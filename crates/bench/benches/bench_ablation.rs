@@ -1,0 +1,24 @@
+//! E10–E12 bench — recovery, ordering and the design ablations (the
+//! heavyweight multi-month deployment runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::{ordering, recovery};
+use glacsweb::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deployments");
+    g.sample_size(10);
+    g.bench_function("recovery_ten_months", |b| b.iter(|| recovery::run(42)));
+    g.bench_function("ordering_comparison", |b| b.iter(|| ordering::run(3)));
+    g.bench_function("iceland_one_simulated_week", |b| {
+        b.iter(|| {
+            let mut d = Scenario::iceland_2008().build();
+            d.run_days(7);
+            d.summary()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

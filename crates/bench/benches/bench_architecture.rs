@@ -1,0 +1,13 @@
+//! E9 bench — the 90-day dual-GPRS vs radio-relay comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::architecture;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("architecture_comparison", |b| {
+        b.iter(|| architecture::run(1))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! E6 bench — backlog bounds and the RS-232 file-by-file drain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::backlog;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("backlog_analysis", |b| b.iter(|| backlog::run(1)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5 bench — battery model: the minute-stepped depletion simulation and
+//! a raw battery step microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::depletion;
+use glacsweb_power::LeadAcidBattery;
+use glacsweb_sim::{AmpHours, Amps, Celsius, SimDuration};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("depletion");
+    g.sample_size(10);
+    g.bench_function("depletion_analysis", |b| b.iter(depletion::run));
+    g.finish();
+
+    c.bench_function("battery_step_1k", |b| {
+        b.iter(|| {
+            let mut bat = LeadAcidBattery::new(AmpHours(36.0));
+            for i in 0..1000 {
+                let current = if i % 2 == 0 { -0.3 } else { 0.2 };
+                bat.step(SimDuration::from_mins(1), Amps(current), Celsius(5.0));
+            }
+            bat.state_of_charge()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E1 bench — Table I device metering: times the power-rail integration
+//! that produces the measured component powers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1_device_metering", |b| {
+        b.iter(|| {
+            let t = table1::run();
+            assert!(t.max_relative_error() < 0.01);
+            t
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

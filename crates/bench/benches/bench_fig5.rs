@@ -1,0 +1,15 @@
+//! E3 bench — Fig 5: the 11-day two-station deployment behind the
+//! voltage/power-state trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("fig5_full_regeneration", |b| b.iter(|| fig5::run(2009)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

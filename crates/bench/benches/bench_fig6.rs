@@ -1,0 +1,15 @@
+//! E4 bench — Fig 6: the ~7-month end-to-end deployment behind the
+//! conductivity series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::fig6;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("fig6_full_regeneration", |b| b.iter(|| fig6::run(2009)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

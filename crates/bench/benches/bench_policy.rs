@@ -1,0 +1,40 @@
+//! E2 bench — Table II policy: voltage sweep + override clamping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glacsweb::experiments::table2;
+use glacsweb_sim::Volts;
+use glacsweb_station::{PolicyTable, PowerState};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table2_generation", |b| b.iter(table2::run));
+    let policy = PolicyTable::paper();
+    c.bench_function("policy_state_for_sweep", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut acc = 0u32;
+                let mut v = 9.0;
+                while v < 15.0 {
+                    acc += u32::from(policy.state_for(Volts(v)).level());
+                    v += 0.001;
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("policy_apply_override", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for local in PowerState::ALL {
+                for remote in PowerState::ALL {
+                    acc += u32::from(policy.apply_override(local, Some(remote)).level());
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E7 bench — the NACK bulk-transfer protocol against the 3000-reading
+//! summer backlog, plus the stop-and-wait baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::retrieval;
+use glacsweb_link::ProbeRadioLink;
+use glacsweb_sim::SimRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.sample_size(10);
+    g.bench_function("retrieval_experiment", |b| b.iter(|| retrieval::run(7)));
+    g.finish();
+
+    let link = ProbeRadioLink::new();
+    c.bench_function("radio_batch_3000", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| link.send_batch(3000, 0.134, &mut rng).delivered())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! E8 bench — the Monte-Carlo probe-survival study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::survival;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("survival_2000_cohorts", |b| {
+        b.iter(|| survival::run(1, 2000))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments                 # run everything
+//! experiments fig5 fig6       # run a subset
+//! experiments --json DIR ...  # also dump raw results as JSON into DIR
+//! ```
+//!
+//! The default seed is fixed so the output is reproducible; pass
+//! `--seed N` to vary it.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use glacsweb::experiments as exp;
+use glacsweb_bench::parse_args;
+
+fn dump_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir}: {e}");
+        return;
+    }
+    let path = format!("{dir}/{name}.json");
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let json = serde_json::to_string_pretty(value).expect("serializable result");
+            if let Err(e) = f.write_all(json.as_bytes()) {
+                eprintln!("warning: cannot write {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {path}: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = options.seed;
+    for name in &options.which {
+        let started = std::time::Instant::now();
+        println!("================================================================");
+        match name.as_str() {
+            "table1" => {
+                let r = exp::table1::run();
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "table2" => {
+                let r = exp::table2::run();
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "fig5" => {
+                let r = exp::fig5::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "fig6" => {
+                let r = exp::fig6::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "depletion" => {
+                let r = exp::depletion::run();
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "backlog" => {
+                let r = exp::backlog::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "retrieval" => {
+                let r = exp::retrieval::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "survival" => {
+                let r = exp::survival::run(seed, 2000);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "architecture" => {
+                let r = exp::architecture::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "recovery" => {
+                let r = exp::recovery::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "ordering" => {
+                let r = exp::ordering::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "ablation" => {
+                let r = exp::ablation::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "science" => {
+                let r = exp::science::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "priority" => {
+                let r = exp::priority::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            "sites" => {
+                let r = exp::sites::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
+            _ => unreachable!("validated against EXPERIMENTS"),
+        }
+        println!("({name} finished in {:.1?})", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

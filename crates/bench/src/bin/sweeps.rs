@@ -1,0 +1,111 @@
+//! Parameter sweeps around the paper's design points.
+//!
+//! The paper picks specific operating points (12/1/0 dGPS readings per
+//! day, a 36 Ah bank, the 12.5/12.0/11.5 V thresholds); these sweeps show
+//! the curves those points sit on:
+//!
+//! 1. battery lifetime vs dGPS readings per day (the Table II column);
+//! 2. winter survival vs battery capacity (the §III sizing question);
+//! 3. day-1 missed packets vs ice wetness (the §V seasonal link).
+//!
+//! ```text
+//! cargo run -p glacsweb-bench --bin sweeps --release
+//! ```
+
+use glacsweb_env::EnvConfig;
+use glacsweb_link::{GprsConfig, ProbeRadioLink};
+use glacsweb_power::budget;
+use glacsweb_probe::{FetchSession, ProtocolConfig};
+use glacsweb_sim::{plot, AmpHours, SimDuration, SimRng, SimTime, Volts, Watts};
+use glacsweb_station::StationConfig;
+
+fn lifetime_vs_duty() {
+    println!("== dGPS readings/day vs unassisted battery lifetime (36 Ah @ 12 V) ==");
+    let session = SimDuration::from_secs(glacsweb_hw::table1::DGPS_SESSION_SECS);
+    let mut rows = Vec::new();
+    for readings in [1u64, 2, 4, 6, 8, 12, 16, 24, 48] {
+        let days = budget::time_to_deplete_duty(
+            AmpHours(36.0),
+            Volts(12.0),
+            Watts(3.6),
+            session * readings,
+        )
+        .as_days_f64();
+        rows.push((readings, days));
+    }
+    for &(readings, days) in &rows {
+        let marker = if readings == 12 { "  <- state 3 (117 d in the paper)" } else { "" };
+        println!("{readings:>3}/day: {days:>7.0} days{marker}");
+    }
+    println!();
+}
+
+fn survival_vs_capacity(seed: u64) {
+    println!("== winter survival vs battery capacity (no wind generator, Nov-Mar) ==");
+    println!("capacity  deaths  final SoC  GPS readings");
+    let mut labels = Vec::new();
+    let mut socs = Vec::new();
+    for capacity in [2.0f64, 4.0, 8.0, 16.0, 36.0, 72.0] {
+        let start = SimTime::from_ymd_hms(2008, 11, 1, 0, 0, 0);
+        let mut base = StationConfig::base_2008();
+        base.gprs = GprsConfig::field();
+        base.wind = None;
+        base.battery = AmpHours(capacity);
+        let mut d = glacsweb::DeploymentBuilder::new(EnvConfig::vatnajokull())
+            .seed(seed)
+            .start(start)
+            .base(base)
+            .build();
+        d.run_until(SimTime::from_ymd_hms(2009, 3, 1, 0, 0, 0));
+        let station = d.base().expect("base");
+        let soc = station.rail().battery().state_of_charge();
+        println!(
+            "{capacity:>5.0} Ah {:>7} {soc:>10.2} {:>13}",
+            station.power_losses(),
+            station.dgps().readings_taken()
+        );
+        labels.push(format!("{capacity:.0} Ah"));
+        socs.push(soc);
+    }
+    let rows: Vec<(&str, f64)> = labels.iter().map(String::as_str).zip(socs).collect();
+    println!("\nfinal state of charge:\n{}", plot::bar_chart(&rows, 30));
+}
+
+fn misses_vs_wetness(seed: u64) {
+    println!("== day-1 missed packets (of 3000) vs per-packet loss ==");
+    let link = ProbeRadioLink::new();
+    let mut rows = Vec::new();
+    for loss_pct in [1u32, 3, 5, 8, 11, 13, 16, 20, 30] {
+        let loss = f64::from(loss_pct) / 100.0;
+        // Build a 3000-reading probe and run one bulk day.
+        let mut rng = SimRng::seed_from(seed + u64::from(loss_pct));
+        let mut env = glacsweb_env::Environment::new(EnvConfig::lab(), seed);
+        let mut t = SimTime::from_ymd_hms(2009, 3, 1, 0, 0, 0);
+        env.advance_to(t);
+        let mut probe = glacsweb_probe::ProbeFirmware::deploy(21, t, &mut rng);
+        for _ in 0..3000 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        let mut session = FetchSession::new(21, ProtocolConfig::fixed());
+        let out = session.run(&mut probe, &link, loss, SimDuration::from_hours(4), &mut rng);
+        rows.push((loss_pct, out.missing_after_bulk));
+    }
+    for &(loss, missed) in &rows {
+        let marker = if loss == 13 { "  <- the paper's wet summer (~400)" } else { "" };
+        println!("{loss:>3}% loss: {missed:>5} missed{marker}");
+    }
+    let values: Vec<f64> = rows.iter().map(|&(_, m)| m as f64).collect();
+    println!("{}", plot::sparkline(&values, rows.len()));
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("seed must be a number"))
+        .unwrap_or(2009);
+    lifetime_vs_duty();
+    survival_vs_capacity(seed);
+    misses_vs_wetness(seed);
+}

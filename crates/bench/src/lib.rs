@@ -1,0 +1,131 @@
+//! Benchmark harness support for the Glacsweb reproduction.
+//!
+//! The real content lives in:
+//!
+//! * `src/bin/experiments.rs` — regenerates every table/figure/in-text
+//!   number of the paper (run `cargo run -p glacsweb-bench --bin
+//!   experiments --release`);
+//! * `benches/bench_*.rs` — Criterion benchmarks timing each experiment's
+//!   underlying machinery (one bench target per paper artifact).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Names of all experiments the binary understands, in run order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig5",
+    "fig6",
+    "depletion",
+    "backlog",
+    "retrieval",
+    "survival",
+    "architecture",
+    "recovery",
+    "ordering",
+    "ablation",
+    "science",
+    "priority",
+    "sites",
+];
+
+/// Parsed command line of the `experiments` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Seed passed to every experiment.
+    pub seed: u64,
+    /// Directory to dump raw JSON results into, if requested.
+    pub json_dir: Option<String>,
+    /// Experiments to run, in order.
+    pub which: Vec<String>,
+}
+
+/// Parses the binary's arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage/error message for unknown experiments, malformed seeds
+/// or missing flag values.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut options = Options {
+        seed: 2009,
+        json_dir: None,
+        which: Vec::new(),
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                options.seed = v.parse().map_err(|e| format!("bad seed {v:?}: {e}"))?;
+            }
+            "--json" => {
+                options.json_dir = Some(args.next().ok_or("--json needs a directory")?);
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: experiments [--seed N] [--json DIR] [{}...]",
+                    EXPERIMENTS.join("|")
+                ));
+            }
+            name if EXPERIMENTS.contains(&name) => options.which.push(name.to_string()),
+            other => return Err(format!("unknown experiment {other:?}; try --help")),
+        }
+    }
+    if options.which.is_empty() {
+        options.which = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fifteen_experiments_cover_the_paper_plus_extensions() {
+        assert_eq!(EXPERIMENTS.len(), 15);
+    }
+
+    #[test]
+    fn no_args_runs_everything_with_the_default_seed() {
+        let o = parse_args(args(&[])).expect("valid");
+        assert_eq!(o.seed, 2009);
+        assert_eq!(o.which.len(), EXPERIMENTS.len());
+        assert_eq!(o.json_dir, None);
+    }
+
+    #[test]
+    fn subset_and_flags_parse() {
+        let o = parse_args(args(&["--seed", "7", "fig5", "--json", "/tmp/out", "fig6"]))
+            .expect("valid");
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.which, vec!["fig5".to_string(), "fig6".to_string()]);
+        assert_eq!(o.json_dir.as_deref(), Some("/tmp/out"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let err = parse_args(args(&["fig9"])).expect_err("invalid");
+        assert!(err.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn missing_flag_values_are_errors() {
+        assert!(parse_args(args(&["--seed"])).is_err());
+        assert!(parse_args(args(&["--json"])).is_err());
+        assert!(parse_args(args(&["--seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse_args(args(&["--help"])).expect_err("usage");
+        assert!(err.starts_with("usage:"));
+        assert!(err.contains("fig5"));
+    }
+}

@@ -1,0 +1,527 @@
+//! The deployment world: builder and deterministic event loop.
+
+use glacsweb_env::{EnvConfig, Environment};
+use glacsweb_probe::{MortalityModel, ProbeFirmware};
+use glacsweb_server::SouthamptonServer;
+use glacsweb_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use glacsweb_station::{Station, StationConfig, StationId};
+
+use crate::metrics::{DeploymentSummary, Metrics};
+
+/// World events driving the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorldEvent {
+    /// MSP430 half-hour tick for one station (voltage sample + any dGPS
+    /// slot that falls on this tick).
+    Tick(StationId),
+    /// The daily midday communications window for one station.
+    Window(StationId),
+    /// Hourly sampling pass over every probe.
+    ProbeSample,
+}
+
+/// Builds a [`Deployment`].
+///
+/// # Example
+///
+/// ```
+/// use glacsweb::DeploymentBuilder;
+/// use glacsweb_env::EnvConfig;
+/// use glacsweb_sim::SimTime;
+/// use glacsweb_station::StationConfig;
+///
+/// let mut deployment = DeploymentBuilder::new(EnvConfig::lab())
+///     .seed(7)
+///     .start(SimTime::from_ymd_hms(2008, 8, 15, 0, 0, 0))
+///     .base(StationConfig::base_2008())
+///     .probes(3)
+///     .build();
+/// deployment.run_days(2);
+/// assert!(deployment.now() >= SimTime::from_ymd_hms(2008, 8, 17, 0, 0, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder {
+    env: EnvConfig,
+    seed: u64,
+    start: SimTime,
+    base: Option<StationConfig>,
+    reference: Option<StationConfig>,
+    probes: u32,
+    mortality: Option<MortalityModel>,
+    probe_interval: SimDuration,
+}
+
+impl DeploymentBuilder {
+    /// Starts a builder for the given environment.
+    pub fn new(env: EnvConfig) -> Self {
+        DeploymentBuilder {
+            env,
+            seed: 0,
+            start: SimTime::from_ymd_hms(2008, 8, 15, 0, 0, 0),
+            base: None,
+            reference: None,
+            probes: 0,
+            mortality: None,
+            probe_interval: SimDuration::from_hours(1),
+        }
+    }
+
+    /// Sets the master seed (identical seeds reproduce identical runs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the deployment start instant.
+    pub fn start(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Adds the glacier base station.
+    pub fn base(mut self, config: StationConfig) -> Self {
+        self.base = Some(config);
+        self
+    }
+
+    /// Adds the café reference station.
+    pub fn reference(mut self, config: StationConfig) -> Self {
+        self.reference = Some(config);
+        self
+    }
+
+    /// Deploys `n` subglacial probes.
+    pub fn probes(mut self, n: u32) -> Self {
+        self.probes = n;
+        self
+    }
+
+    /// Enables the probe mortality model.
+    pub fn mortality(mut self, model: MortalityModel) -> Self {
+        self.mortality = Some(model);
+        self
+    }
+
+    /// Sets the probe sampling interval (default: hourly).
+    pub fn probe_interval(mut self, interval: SimDuration) -> Self {
+        self.probe_interval = interval;
+        self
+    }
+
+    /// Builds the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any station configuration is invalid, or if probes are
+    /// requested without a base station to query them.
+    pub fn build(self) -> Deployment {
+        assert!(
+            self.probes == 0 || self.base.is_some(),
+            "probes need a base station to talk to"
+        );
+        let mut master = SimRng::seed_from(self.seed);
+        let mut env = Environment::new(self.env, self.seed);
+        env.advance_to(self.start);
+        let mut probe_rng = master.fork(0x9B);
+        let mut probes = Vec::new();
+        let mut death_times = Vec::new();
+        for i in 0..self.probes {
+            // The paper numbers probes from 21.
+            let id = 21 + i;
+            probes.push(ProbeFirmware::deploy(id, self.start, &mut probe_rng));
+            let death = self
+                .mortality
+                .map(|m| m.draw_death_time(self.start, &mut probe_rng));
+            death_times.push(death);
+        }
+        let base = self
+            .base
+            .map(|c| Station::new(c, self.start, master.fork(0xBA5E).next_u64_raw()));
+        let reference = self
+            .reference
+            .map(|c| Station::new(c, self.start, master.fork(0x5EF).next_u64_raw()));
+
+        let mut queue = EventQueue::new();
+        if base.is_some() {
+            queue.push(self.start + SimDuration::from_mins(30), WorldEvent::Tick(StationId::Base));
+            queue.push(
+                self.start.next_time_of_day(12, 0, 0),
+                WorldEvent::Window(StationId::Base),
+            );
+        }
+        if reference.is_some() {
+            queue.push(
+                self.start + SimDuration::from_mins(30),
+                WorldEvent::Tick(StationId::Reference),
+            );
+            queue.push(
+                self.start.next_time_of_day(12, 0, 0),
+                WorldEvent::Window(StationId::Reference),
+            );
+        }
+        if !probes.is_empty() {
+            queue.push(self.start + self.probe_interval, WorldEvent::ProbeSample);
+        }
+
+        Deployment {
+            env,
+            server: SouthamptonServer::new(),
+            base,
+            reference,
+            probes,
+            death_times,
+            probe_rng,
+            probe_interval: self.probe_interval,
+            queue,
+            start: self.start,
+            now: self.start,
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+/// Small extension so the builder can mint station seeds without exposing
+/// `rand::RngCore` to callers.
+trait RawU64 {
+    fn next_u64_raw(&mut self) -> u64;
+}
+
+impl RawU64 for SimRng {
+    fn next_u64_raw(&mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}
+
+/// A running Glacsweb deployment.
+pub struct Deployment {
+    env: Environment,
+    server: SouthamptonServer,
+    base: Option<Station>,
+    reference: Option<Station>,
+    probes: Vec<ProbeFirmware>,
+    death_times: Vec<Option<SimTime>>,
+    probe_rng: SimRng,
+    probe_interval: SimDuration,
+    queue: EventQueue<WorldEvent>,
+    start: SimTime,
+    now: SimTime,
+    metrics: Metrics,
+}
+
+impl Deployment {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// When the deployment began.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The environment.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// The Southampton server.
+    pub fn server(&self) -> &SouthamptonServer {
+        &self.server
+    }
+
+    /// Mutable server access (manual overrides, staging commands,
+    /// injecting outages).
+    pub fn server_mut(&mut self) -> &mut SouthamptonServer {
+        &mut self.server
+    }
+
+    /// The base station, if deployed.
+    pub fn base(&self) -> Option<&Station> {
+        self.base.as_ref()
+    }
+
+    /// Mutable base-station access (fault injection).
+    pub fn base_mut(&mut self) -> Option<&mut Station> {
+        self.base.as_mut()
+    }
+
+    /// The reference station, if deployed.
+    pub fn reference(&self) -> Option<&Station> {
+        self.reference.as_ref()
+    }
+
+    /// The probe cohort.
+    pub fn probes(&self) -> &[ProbeFirmware] {
+        &self.probes
+    }
+
+    /// Probes still alive.
+    pub fn probes_alive(&self) -> usize {
+        self.probes.iter().filter(|p| !p.is_dead()).count()
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Runs the event loop until `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked");
+            self.now = t;
+            match event {
+                WorldEvent::Tick(id) => self.handle_tick(id, t),
+                WorldEvent::Window(id) => self.handle_window(id, t),
+                WorldEvent::ProbeSample => self.handle_probe_sample(t),
+            }
+        }
+        // Advance everything to the horizon.
+        self.now = until;
+        self.env.advance_to(until);
+        if let Some(s) = self.base.as_mut() {
+            s.advance(&mut self.env, until);
+        }
+        if let Some(s) = self.reference.as_mut() {
+            s.advance(&mut self.env, until);
+        }
+    }
+
+    /// Runs `days` further days.
+    pub fn run_days(&mut self, days: u64) {
+        self.run_until(self.now + SimDuration::from_days(days));
+    }
+
+    /// Summarises the run so far.
+    pub fn summary(&self) -> DeploymentSummary {
+        let mut windows_run = 0;
+        let mut windows_cut = 0;
+        let mut recoveries = 0;
+        let mut power_losses = 0;
+        let mut data_uploaded = glacsweb_sim::Bytes::ZERO;
+        let mut gprs_cost = 0.0;
+        let mut base_discharged = glacsweb_sim::WattHours::ZERO;
+        for station in [self.base.as_ref(), self.reference.as_ref()].into_iter().flatten() {
+            let (run, cut, rec) = station.stats();
+            windows_run += run;
+            windows_cut += cut;
+            recoveries += rec;
+            power_losses += station.power_losses();
+            data_uploaded += station.store().total_uploaded();
+            gprs_cost += station.cost().total_cost();
+            if station.id() == StationId::Base {
+                base_discharged = station.rail().battery().total_discharged();
+            }
+        }
+        let warehouse = self.server.warehouse();
+        let readings: usize = warehouse
+            .probes_reporting()
+            .iter()
+            .map(|&p| warehouse.probe_series(p).len())
+            .sum();
+        DeploymentSummary {
+            days: (self.now.saturating_since(self.start)).as_days_f64(),
+            windows_run,
+            windows_cut,
+            recoveries,
+            power_losses,
+            data_uploaded,
+            gprs_cost,
+            probes_alive: self.probes_alive(),
+            probes_deployed: self.probes.len(),
+            probe_readings_received: readings,
+            dgps_fixes: warehouse.differential_fixes().len(),
+            dgps_pairing_yield: warehouse.pairing_yield(),
+            base_energy_discharged: base_discharged,
+        }
+    }
+
+    fn station_mut(&mut self, id: StationId) -> Option<&mut Station> {
+        match id {
+            StationId::Base => self.base.as_mut(),
+            StationId::Reference => self.reference.as_mut(),
+        }
+    }
+
+    fn handle_tick(&mut self, id: StationId, t: SimTime) {
+        let env = &mut self.env;
+        let Some(station) = (match id {
+            StationId::Base => self.base.as_mut(),
+            StationId::Reference => self.reference.as_mut(),
+        }) else {
+            return;
+        };
+        station.on_sample(env, t);
+        if station.is_powered() {
+            let v = station.measured_voltage(env).value();
+            let level = station.current_state().level();
+            self.metrics.record_voltage(id, t, v);
+            self.metrics.record_state(id, t, level);
+            if station.effective_schedule().is_gps_slot(t) {
+                if let Some((mid, dip)) = station.on_gps_slot(env, t) {
+                    // Mid-session sag — the two-hourly dips of Fig 5.
+                    self.metrics.record_voltage(id, mid, dip.value());
+                    self.metrics.record_state(id, mid, level);
+                }
+            }
+        }
+        self.queue.push(t + SimDuration::from_mins(30), WorldEvent::Tick(id));
+    }
+
+    fn handle_window(&mut self, id: StationId, t: SimTime) {
+        let env = &mut self.env;
+        let server = &mut self.server;
+        let probes = &mut self.probes;
+        // Relay-architecture stations can only reach the internet while
+        // their partner is alive (§II's failure coupling).
+        let reference_up = self.reference.as_ref().map(|r| r.is_powered()).unwrap_or(false);
+        let report = match id {
+            StationId::Base => self.base.as_mut().and_then(|s| {
+                s.set_wan_partner_up(reference_up);
+                s.on_window(env, t, probes, server)
+            }),
+            StationId::Reference => self
+                .reference
+                .as_mut()
+                .and_then(|s| s.on_window(env, t, &mut [], server)),
+        };
+        if let Some(report) = report {
+            self.metrics.record_window(report);
+        }
+        // The next window comes from the (possibly rewritten) schedule; an
+        // unpowered station still gets its ROM midday wake.
+        let next = self
+            .station_mut(id)
+            .map(|s| s.effective_schedule().next_window(t))
+            .unwrap_or_else(|| t.next_time_of_day(12, 0, 0));
+        self.queue.push(next, WorldEvent::Window(id));
+    }
+
+    fn handle_probe_sample(&mut self, t: SimTime) {
+        self.env.advance_to(t);
+        for (i, probe) in self.probes.iter_mut().enumerate() {
+            if let Some(Some(death)) = self.death_times.get(i) {
+                if *death <= t && !probe.is_dead() {
+                    probe.kill(*death);
+                    self.metrics.record_probe_death(*death, probe.id());
+                }
+            }
+            probe.sample(&self.env, t, &mut self.probe_rng);
+        }
+        self.queue.push(t + self.probe_interval, WorldEvent::ProbeSample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glacsweb_link::GprsConfig;
+
+    fn lab_deployment(seed: u64) -> Deployment {
+        let mut base = StationConfig::base_2008();
+        base.gprs = GprsConfig::ideal();
+        let mut reference = StationConfig::reference_2008();
+        reference.gprs = GprsConfig::ideal();
+        DeploymentBuilder::new(EnvConfig::lab())
+            .seed(seed)
+            .start(SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+            .base(base)
+            .reference(reference)
+            .probes(3)
+            .build()
+    }
+
+    #[test]
+    fn two_stations_run_daily_windows() {
+        let mut d = lab_deployment(1);
+        d.run_days(5);
+        let summary = d.summary();
+        assert_eq!(summary.windows_run, 10, "2 stations × 5 days");
+        assert_eq!(summary.power_losses, 0);
+        assert!(summary.probe_readings_received > 0, "probe data reached the server");
+    }
+
+    #[test]
+    fn dgps_readings_pair_into_fixes() {
+        let mut d = lab_deployment(2);
+        d.run_days(4);
+        let summary = d.summary();
+        assert!(summary.dgps_fixes > 0, "paired differential fixes exist");
+        assert!(
+            summary.dgps_pairing_yield > 0.8,
+            "synchronized schedules pair well: {}",
+            summary.dgps_pairing_yield
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_seeds() {
+        let mut a = lab_deployment(42);
+        let mut b = lab_deployment(42);
+        a.run_days(6);
+        b.run_days(6);
+        let sa = a.summary();
+        let sb = b.summary();
+        assert_eq!(sa, sb);
+        // And the Fig 5 series match sample for sample.
+        let va: Vec<_> = a
+            .metrics()
+            .voltage_series(StationId::Base)
+            .expect("series")
+            .iter()
+            .collect();
+        let vb: Vec<_> = b
+            .metrics()
+            .voltage_series(StationId::Base)
+            .expect("series")
+            .iter()
+            .collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = lab_deployment(1);
+        let mut b = lab_deployment(2);
+        a.run_days(6);
+        b.run_days(6);
+        assert_ne!(
+            a.summary().data_uploaded,
+            b.summary().data_uploaded,
+            "stochastic transfers should differ across seeds"
+        );
+    }
+
+    #[test]
+    fn voltage_series_shows_half_hourly_sampling() {
+        let mut d = lab_deployment(3);
+        d.run_days(2);
+        let series = d.metrics().voltage_series(StationId::Base).expect("series");
+        // 48 half-hourly samples plus 12 mid-dGPS-session dip samples per
+        // day in state 3, for 2 days (±boundary effects).
+        assert!((110..=125).contains(&series.len()), "{} samples", series.len());
+    }
+
+    #[test]
+    fn probes_accumulate_readings_between_windows() {
+        let mut d = lab_deployment(4);
+        d.run_until(d.start() + SimDuration::from_hours(11));
+        // 10 hourly samples before the first window, nothing fetched yet.
+        assert!(d.probes().iter().all(|p| p.stored_readings() >= 9));
+        d.run_days(1);
+        // After the first window the backlog was fetched and confirmed, so
+        // each probe holds only the samples taken since midday (< 24),
+        // not its full lifetime production (~35).
+        assert!(d.probes().iter().all(|p| p.stored_readings() < 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "probes need a base station")]
+    fn probes_without_base_rejected() {
+        let _ = DeploymentBuilder::new(EnvConfig::lab()).probes(3).build();
+    }
+}

@@ -1,0 +1,227 @@
+//! E3 — Fig 5: base-station battery voltage and power state, 22–25 Sep
+//! 2009.
+//!
+//! The paper's trace shows: diurnal voltage peaks around midday (solar
+//! charging), the station initially *held in state 2 by the remote
+//! override system* despite a state-3 battery, then released to state 3 —
+//! after which "regular dips in the battery voltage can be seen, these
+//! dips have an interval of 2 hours" (the dGPS sessions).
+
+use glacsweb_link::GprsConfig;
+use glacsweb_sim::SimTime;
+use glacsweb_station::{PowerState, StationConfig, StationId};
+use serde::{Deserialize, Serialize};
+
+use crate::deployment::DeploymentBuilder;
+use glacsweb_env::EnvConfig;
+
+/// The regenerated Fig 5 data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// `(unix seconds, volts)` samples across the plotted span.
+    pub voltage: Vec<(u64, f64)>,
+    /// `(unix seconds, state level)` samples.
+    pub state: Vec<(u64, f64)>,
+    /// Hour of the maximum of the mean diurnal voltage profile.
+    pub mean_peak_hour: f64,
+    /// Mean voltage over 10:00–14:00 minus mean over 00:00–04:00 — the
+    /// diurnal solar-charging signal (§III: highest voltage ~midday).
+    pub midday_night_delta_v: f64,
+    /// Mean spacing of detected dGPS dips while in state 3, hours.
+    pub mean_dip_interval_hours: f64,
+    /// Mean depth of those dips, volts.
+    pub mean_dip_depth_v: f64,
+    /// Day (index from plot start) on which state 3 was entered.
+    pub state3_entered_day: Option<u32>,
+    /// Voltage range across the plot.
+    pub v_min: f64,
+    /// Voltage range across the plot.
+    pub v_max: f64,
+}
+
+/// Runs the Fig 5 scenario: a September week with the server manually
+/// holding the station in state 2 for the first three plotted days, then
+/// releasing it.
+pub fn run(seed: u64) -> Fig5 {
+    let start = SimTime::from_ymd_hms(2009, 9, 15, 0, 0, 0);
+    let plot_start = SimTime::from_ymd_hms(2009, 9, 22, 0, 0, 0);
+    let release_at = SimTime::from_ymd_hms(2009, 9, 24, 12, 30, 0);
+    let plot_end = SimTime::from_ymd_hms(2009, 9, 26, 0, 0, 0);
+
+    let mut base = StationConfig::base_2008();
+    base.gprs = GprsConfig::ideal(); // comms noise is not what Fig 5 shows
+    base.initial_soc = 0.95;
+    let mut reference = StationConfig::reference_2008();
+    reference.gprs = GprsConfig::ideal();
+    let mut d = DeploymentBuilder::new(EnvConfig::vatnajokull())
+        .seed(seed)
+        .start(start)
+        .base(base)
+        .reference(reference)
+        .build();
+    // Hold in state 2 from Southampton…
+    d.server_mut().states_mut().set_manual_cap(Some(PowerState::S2));
+    d.run_until(release_at);
+    // …then release the override.
+    d.server_mut().states_mut().set_manual_cap(None);
+    d.run_until(plot_end);
+
+    let metrics = d.metrics();
+    let vs = metrics.voltage_series(StationId::Base).expect("voltage series");
+    let ss = metrics.state_series(StationId::Base).expect("state series");
+    let voltage: Vec<(u64, f64)> = vs.window(plot_start, plot_end).map(|(t, v)| (t.unix(), v)).collect();
+    let state: Vec<(u64, f64)> = ss.window(plot_start, plot_end).map(|(t, v)| (t.unix(), v)).collect();
+
+    // Hour of the mean diurnal voltage maximum, averaged over the whole
+    // run so wind gusts average out and the solar-charging signal shows —
+    // §III: "the highest voltage for the day is reached at approximately
+    // midday".
+    let mut by_hour = [(0.0f64, 0usize); 24];
+    for (t, v) in vs.iter() {
+        let h = (t.seconds_of_day() / 3600) as usize;
+        by_hour[h].0 += v;
+        by_hour[h].1 += 1;
+    }
+    let mean_peak_hour = by_hour
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, n))| *n > 0)
+        .max_by(|a, b| {
+            let ma = a.1 .0 / a.1 .1 as f64;
+            let mb = b.1 .0 / b.1 .1 as f64;
+            ma.partial_cmp(&mb).expect("finite")
+        })
+        .map(|(h, _)| h as f64)
+        .unwrap_or(f64::NAN);
+    let band_mean = |lo: usize, hi: usize| {
+        let (sum, n) = by_hour[lo..hi]
+            .iter()
+            .fold((0.0, 0usize), |(s, n), &(hs, hn)| (s + hs, n + hn));
+        sum / n.max(1) as f64
+    };
+    let midday_night_delta_v = band_mean(10, 14) - band_mean(0, 4);
+
+    // Detect dGPS dips: samples at :30-offset mid-session times are the
+    // injected dip samples; measure spacing and depth while in state 3.
+    let mut dips: Vec<(u64, f64)> = Vec::new();
+    for (i, &(t, v)) in voltage.iter().enumerate() {
+        // Dip samples land off the half-hour grid (mid-session).
+        if t % 1800 != 0 && i > 0 {
+            let state_now = ss.value_at(SimTime::from_unix(t)).unwrap_or(0.0);
+            if state_now >= 3.0 {
+                let prev = voltage[i - 1].1;
+                dips.push((t, prev - v));
+            }
+        }
+    }
+    let mean_dip_interval_hours = if dips.len() >= 2 {
+        let spans: Vec<f64> = dips.windows(2).map(|w| (w[1].0 - w[0].0) as f64 / 3600.0).collect();
+        spans.iter().sum::<f64>() / spans.len() as f64
+    } else {
+        0.0
+    };
+    let mean_dip_depth_v = if dips.is_empty() {
+        0.0
+    } else {
+        dips.iter().map(|&(_, d)| d).sum::<f64>() / dips.len() as f64
+    };
+
+    // First plotted day whose midday window applied state 3.
+    let state3_entered_day = metrics
+        .reports_for(StationId::Base)
+        .filter(|r| r.opened >= plot_start)
+        .find(|r| r.applied_state == PowerState::S3)
+        .map(|r| ((r.opened.unix() - plot_start.unix()) / 86_400) as u32);
+
+    let stats_window: Vec<f64> = voltage.iter().map(|&(_, v)| v).collect();
+    let v_min = stats_window.iter().cloned().fold(f64::INFINITY, f64::min);
+    let v_max = stats_window.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    Fig5 {
+        voltage,
+        state,
+        mean_peak_hour,
+        midday_night_delta_v,
+        mean_dip_interval_hours,
+        mean_dip_depth_v,
+        state3_entered_day,
+        v_min,
+        v_max,
+    }
+}
+
+impl Fig5 {
+    /// Renders a summary plus an ASCII sparkline of the series.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "E3 (Fig 5): BASE-STATION VOLTAGE + POWER STATE, 22-26 Sep\n\
+             samples: {} | V range {:.2}-{:.2} V  [paper axis: 12.0-14.5]\n\
+             mean daily peak at {:.1} h UTC, midday-night delta {:+.2} V  [paper: ~midday]\n\
+             state-3 dip interval {:.1} h, depth {:.2} V  [paper: 2 h dips]\n\
+             state 3 entered on plotted day {:?} after override release\n",
+            self.voltage.len(),
+            self.v_min,
+            self.v_max,
+            self.mean_peak_hour,
+            self.midday_night_delta_v,
+            self.mean_dip_interval_hours,
+            self.mean_dip_depth_v,
+            self.state3_entered_day,
+        );
+        let values: Vec<f64> = self.voltage.iter().map(|&(_, v)| v).collect();
+        out.push_str(&glacsweb_sim::plot::line_chart(&values, 72, 6));
+        let states: Vec<f64> = self.state.iter().map(|&(_, s)| s).collect();
+        out.push_str("state:   ");
+        out.push_str(&glacsweb_sim::plot::sparkline(&states, 63));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_fig5_shape() {
+        let f = run(2009);
+        // Diurnal solar charging: daytime voltage clearly above night.
+        assert!(
+            f.midday_night_delta_v > 0.02,
+            "midday-night delta {} V",
+            f.midday_night_delta_v
+        );
+        // The profile peak sits in daylight (wind gusts can move it within
+        // the day on an 11-day sample; the delta above is the hard check).
+        assert!(
+            (6.0..=18.0).contains(&f.mean_peak_hour),
+            "peak hour {}",
+            f.mean_peak_hour
+        );
+        // Two-hourly dips once in state 3.
+        assert!(
+            (1.7..=2.3).contains(&f.mean_dip_interval_hours),
+            "dip interval {} h",
+            f.mean_dip_interval_hours
+        );
+        assert!(f.mean_dip_depth_v > 0.03, "visible dips: {}", f.mean_dip_depth_v);
+        // Override release moves the station into state 3 mid-plot.
+        assert!(f.state3_entered_day.is_some());
+        // Voltage stays in a plausible lead-acid band.
+        assert!(f.v_min > 11.5 && f.v_max < 15.0, "{}..{}", f.v_min, f.v_max);
+    }
+
+    #[test]
+    fn state_series_shows_the_transition() {
+        let f = run(2009);
+        let first = f.state.first().expect("non-empty").1;
+        let last = f.state.last().expect("non-empty").1;
+        assert!(first <= 2.0, "held down early: {first}");
+        assert!(last >= 3.0, "released to state 3: {last}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(5).voltage, run(5).voltage);
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each submodule produces a serialisable result plus a rendered,
+//! paper-style text block. The `experiments` binary in `glacsweb-bench`
+//! runs them all; `EXPERIMENTS.md` records measured-vs-paper for each.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — component characteristics |
+//! | [`table2`] | Table II — power states |
+//! | [`fig5`] | Fig 5 — voltage + power state time series |
+//! | [`fig6`] | Fig 6 — probe conductivity through spring |
+//! | [`depletion`] | §III in-text: 5-day vs 117-day dGPS budgets |
+//! | [`backlog`] | §VI in-text: 21/259-day window-overflow bounds |
+//! | [`retrieval`] | §V: 3000 readings, ~400 missed, NACK recovery |
+//! | [`survival`] | §V: 4/7 probes after one year, 2 after 18 months |
+//! | [`architecture`] | §II: dual-GPRS vs radio-modem relay |
+//! | [`recovery`] | §IV: schedule reset after total power loss |
+//! | [`ordering`] | §VI: special-command ordering lesson |
+//! | [`ablation`] | design-choice ablations (duty-cycling, policy, logging) |
+//! | [`science`] | extension: stick-slip vs water-pressure analysis (§I goal) |
+//! | [`priority`] | extension: §VII priority-forced communication |
+//! | [`sites`] | extension: §II Norway vs Iceland winter comparison |
+
+pub mod ablation;
+pub mod architecture;
+pub mod backlog;
+pub mod depletion;
+pub mod fig5;
+pub mod fig6;
+pub mod ordering;
+pub mod priority;
+pub mod recovery;
+pub mod retrieval;
+pub mod science;
+pub mod sites;
+pub mod survival;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,143 @@
+//! E10 — §IV: automatic schedule resetting after total power loss.
+//!
+//! A base station loses its wind generator in an autumn storm (the §II
+//! antenna/mast damage scenario), runs its undersized battery flat in the
+//! dark months, and is revived by spring sun — at which point the RTC
+//! reads 1970, the RAM schedule is gone, and the §IV recovery procedure
+//! must re-sync from GPS and restart in state 0.
+
+use glacsweb_link::GprsConfig;
+use glacsweb_sim::{AmpHours, SimTime};
+use glacsweb_station::{StationConfig, StationId};
+use serde::{Deserialize, Serialize};
+
+use crate::deployment::DeploymentBuilder;
+use glacsweb_env::EnvConfig;
+
+/// The E10 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recovery {
+    /// Total battery exhaustions over the run.
+    pub power_losses: u64,
+    /// §IV recoveries performed.
+    pub recoveries: u64,
+    /// Days from deployment start to the first power loss.
+    pub first_loss_day: Option<f64>,
+    /// Days from start to the first successful recovery.
+    pub first_recovery_day: Option<f64>,
+    /// The state applied by the recovery window (must be 0).
+    pub state_after_recovery: Option<u8>,
+    /// The state some days later, once the battery recovered (shows the
+    /// system climbing back up the Table II ladder).
+    pub state_by_summer: Option<u8>,
+    /// Windows run across the whole span.
+    pub windows_run: u64,
+}
+
+/// Runs a Oct→Jul deployment designed to exhaust and then recover.
+pub fn run(seed: u64) -> Recovery {
+    let start = SimTime::from_ymd_hms(2008, 10, 1, 0, 0, 0);
+    let end = SimTime::from_ymd_hms(2009, 8, 1, 0, 0, 0);
+    let mut base = StationConfig::base_2008();
+    base.gprs = GprsConfig::field();
+    base.wind = None; // storm-damaged generator
+    base.battery = AmpHours(1.0); // badly undersized bank
+    base.initial_soc = 0.5;
+    let mut d = DeploymentBuilder::new(EnvConfig::vatnajokull())
+        .seed(seed)
+        .start(start)
+        .base(base)
+        .build();
+    d.run_until(end);
+
+    let station = d.base().expect("base deployed");
+    let metrics = d.metrics();
+    let first_recovery = metrics
+        .reports_for(StationId::Base)
+        .find(|r| r.recovered)
+        .map(|r| r.opened);
+    let state_after_recovery = metrics
+        .reports_for(StationId::Base)
+        .find(|r| r.recovered)
+        .map(|r| r.applied_state.level());
+    // First gap in the voltage series marks the death; approximate the
+    // first-loss day from the window reports instead: the last report
+    // before the recovery one.
+    let first_loss_day = first_recovery.map(|rec| {
+        let last_alive = metrics
+            .reports_for(StationId::Base).rfind(|r| r.opened < rec && !r.recovered)
+            .map(|r| r.opened)
+            .unwrap_or(rec);
+        last_alive.saturating_since(start).as_days_f64()
+    });
+    let state_by_summer = metrics
+        .reports_for(StationId::Base).rfind(|r| r.opened >= SimTime::from_ymd_hms(2009, 7, 1, 0, 0, 0))
+        .map(|r| r.applied_state.level());
+    let (windows_run, _, recoveries) = station.stats();
+    Recovery {
+        power_losses: station.power_losses(),
+        recoveries,
+        first_loss_day,
+        first_recovery_day: first_recovery.map(|t| t.saturating_since(start).as_days_f64()),
+        state_after_recovery,
+        state_by_summer,
+        windows_run,
+    }
+}
+
+impl Recovery {
+    /// Renders the timeline.
+    pub fn render(&self) -> String {
+        format!(
+            "E10: POWER-LOSS RECOVERY (no wind generator, 1 Ah bank, Oct-Aug)\n\
+             power losses: {}   recoveries: {}\n\
+             last window before death: day {:?}\n\
+             first recovery window:    day {:?}\n\
+             state applied by recovery: {:?}  [paper: 0]\n\
+             state by July:             {:?}  [battery recovered -> ladder climbed]\n\
+             windows run: {}\n",
+            self.power_losses,
+            self.recoveries,
+            self.first_loss_day.map(|d| d.round()),
+            self.first_recovery_day.map(|d| d.round()),
+            self.state_after_recovery,
+            self.state_by_summer,
+            self.windows_run,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glacsweb_station::PowerState as PS;
+
+    #[test]
+    fn winter_kills_and_spring_revives() {
+        let r = run(42);
+        assert!(r.power_losses >= 1, "the bank must die in winter: {r:?}");
+        assert!(r.recoveries >= 1, "and recover in spring: {r:?}");
+        let loss = r.first_loss_day.expect("died");
+        let rec = r.first_recovery_day.expect("recovered");
+        assert!(rec > loss, "recovery after death");
+        assert!(loss > 20.0, "survives well into autumn first: day {loss}");
+    }
+
+    #[test]
+    fn recovery_restarts_in_state_zero() {
+        let r = run(42);
+        assert_eq!(r.state_after_recovery, Some(PS::S0.level()));
+    }
+
+    #[test]
+    fn the_ladder_is_climbed_again_by_summer() {
+        let r = run(42);
+        let summer = r.state_by_summer.expect("summer windows ran");
+        assert!(summer >= 2, "July sun restores state >= 2: {summer}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,139 @@
+//! E8 — §V probe survival: "4/7 after one year … two after 18 months".
+
+use glacsweb_probe::MortalityModel;
+use glacsweb_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// The E8 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Survival {
+    /// Monte-Carlo cohorts simulated.
+    pub cohorts: u32,
+    /// Mean probes (of 7) alive at one year.
+    pub mean_alive_1y: f64,
+    /// Mean probes (of 7) alive at eighteen months.
+    pub mean_alive_18mo: f64,
+    /// Analytic survival probability at one year.
+    pub analytic_s_1y: f64,
+    /// Analytic survival probability at eighteen months.
+    pub analytic_s_18mo: f64,
+    /// Fraction of cohorts with *exactly* the paper's 4/7 at one year.
+    pub fraction_exactly_4_of_7: f64,
+    /// Distribution of survivors at one year (index = count 0..=7).
+    pub distribution_1y: [f64; 8],
+}
+
+/// Runs the Monte-Carlo survival study.
+pub fn run(seed: u64, cohorts: u32) -> Survival {
+    assert!(cohorts > 0, "need at least one cohort");
+    let model = MortalityModel::paper_2008();
+    let mut rng = SimRng::seed_from(seed);
+    let year = SimDuration::from_days(365);
+    let eighteen = SimDuration::from_days(548);
+    let mut alive_1y_total = 0u64;
+    let mut alive_18_total = 0u64;
+    let mut exactly4 = 0u32;
+    let mut hist = [0u32; 8];
+    for _ in 0..cohorts {
+        let mut alive_1y = 0u32;
+        let mut alive_18 = 0u32;
+        for _ in 0..7 {
+            let life = model.draw_lifetime(&mut rng);
+            if life > year {
+                alive_1y += 1;
+            }
+            if life > eighteen {
+                alive_18 += 1;
+            }
+        }
+        alive_1y_total += u64::from(alive_1y);
+        alive_18_total += u64::from(alive_18);
+        if alive_1y == 4 {
+            exactly4 += 1;
+        }
+        hist[alive_1y as usize] += 1;
+    }
+    let mut distribution_1y = [0.0; 8];
+    for (i, h) in hist.iter().enumerate() {
+        distribution_1y[i] = f64::from(*h) / f64::from(cohorts);
+    }
+    Survival {
+        cohorts,
+        mean_alive_1y: alive_1y_total as f64 / f64::from(cohorts),
+        mean_alive_18mo: alive_18_total as f64 / f64::from(cohorts),
+        analytic_s_1y: model.survival(year),
+        analytic_s_18mo: model.survival(eighteen),
+        fraction_exactly_4_of_7: f64::from(exactly4) / f64::from(cohorts),
+        distribution_1y,
+    }
+}
+
+impl Survival {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "E8: PROBE SURVIVAL ({} cohorts of 7, Weibull scale 488 d shape 2)\n\
+             mean alive @ 1 year:    {:.2}/7   [paper: 4/7]\n\
+             mean alive @ 18 months: {:.2}/7   [paper: 2 producing data]\n\
+             analytic S(1y) = {:.3}, S(18mo) = {:.3}\n\
+             P(exactly 4/7 @ 1y) = {:.2}\n\
+             survivor distribution @ 1y: ",
+            self.cohorts,
+            self.mean_alive_1y,
+            self.mean_alive_18mo,
+            self.analytic_s_1y,
+            self.analytic_s_18mo,
+            self.fraction_exactly_4_of_7,
+        );
+        for (k, p) in self.distribution_1y.iter().enumerate() {
+            out.push_str(&format!("{k}:{p:.2} "));
+        }
+        out.push('\n');
+        let labels = ["0", "1", "2", "3", "4", "5", "6", "7"];
+        let rows: Vec<(&str, f64)> = labels
+            .iter()
+            .zip(self.distribution_1y)
+            .map(|(&l, p)| (l, p))
+            .collect();
+        out.push_str(&glacsweb_sim::plot::bar_chart(&rows, 32));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_match_the_field_record() {
+        let s = run(1, 2000);
+        assert!((s.mean_alive_1y - 4.0).abs() < 0.15, "{}", s.mean_alive_1y);
+        assert!((s.mean_alive_18mo - 2.0).abs() < 0.15, "{}", s.mean_alive_18mo);
+    }
+
+    #[test]
+    fn the_observed_outcome_is_likely() {
+        // 4/7 should be the modal (or near-modal) cohort outcome.
+        let s = run(2, 2000);
+        assert!(s.fraction_exactly_4_of_7 > 0.2, "{}", s.fraction_exactly_4_of_7);
+        let max = s
+            .distribution_1y
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert!(s.distribution_1y[4] >= max - 0.05, "4 is near-modal");
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let s = run(3, 500);
+        let sum: f64 = s.distribution_1y.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cohort")]
+    fn zero_cohorts_rejected() {
+        let _ = run(0, 0);
+    }
+}

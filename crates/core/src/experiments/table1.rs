@@ -1,0 +1,153 @@
+//! E1 — Table I: characteristics of system components.
+//!
+//! Regenerates the paper's component table from the device models by
+//! *measuring* each device rather than echoing constants: every entry is
+//! metered over a simulated hour of operation on a power rail.
+
+use glacsweb_env::{EnvConfig, Environment};
+use glacsweb_hw::{GprsModem, Gumstix, RadioModem};
+use glacsweb_power::{LeadAcidBattery, PowerRail};
+use glacsweb_sim::{AmpHours, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Device name as printed in the paper.
+    pub device: String,
+    /// Transfer rate in bps (`None` renders as “-”).
+    pub transfer_rate_bps: Option<u64>,
+    /// Measured power consumption in mW.
+    pub power_mw: f64,
+    /// The value the paper prints, for the comparison column.
+    pub paper_power_mw: f64,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Row>,
+}
+
+/// Meters every Table I device over one simulated hour and tabulates.
+pub fn run() -> Table1 {
+    let start = SimTime::from_ymd_hms(2009, 9, 22, 0, 0, 0);
+    let mut env = Environment::new(EnvConfig::lab(), 0);
+    env.advance_to(start);
+    let mut rail = PowerRail::new(LeadAcidBattery::new(AmpHours(36.0)), start);
+    let gumstix = Gumstix::new();
+    let gprs = GprsModem::new();
+    let radio = RadioModem::new();
+    {
+        let l = rail.loads_mut();
+        l.add("gumstix", gumstix.power());
+        l.add("gprs", gprs.power());
+        l.add("radio_modem", radio.power());
+        l.add("gps", glacsweb_hw::table1::GPS_POWER);
+    }
+    // Power each device for one hour in turn and read back its meter.
+    let hour = SimDuration::from_hours(1);
+    let mut t = start;
+    for name in ["gumstix", "gprs", "radio_modem", "gps"] {
+        rail.loads_mut().set_on(name, true);
+        let end = t + hour;
+        env.advance_to(end);
+        rail.advance(&env, end);
+        rail.loads_mut().set_on(name, false);
+        t = end;
+    }
+    let measured = |name: &str| -> f64 {
+        // Wh over exactly one hour = average W; report mW.
+        rail.loads().energy(name).expect("metered").value() * 1000.0
+    };
+    Table1 {
+        rows: vec![
+            Row {
+                device: "Gumstix".into(),
+                transfer_rate_bps: None,
+                power_mw: measured("gumstix"),
+                paper_power_mw: 900.0,
+            },
+            Row {
+                device: "GPRS Modem".into(),
+                transfer_rate_bps: Some(gprs.rate().value()),
+                power_mw: measured("gprs"),
+                paper_power_mw: 2640.0,
+            },
+            Row {
+                device: "Radio Modem".into(),
+                transfer_rate_bps: Some(radio.rate().value()),
+                power_mw: measured("radio_modem"),
+                paper_power_mw: 3960.0,
+            },
+            Row {
+                device: "GPS".into(),
+                transfer_rate_bps: None,
+                power_mw: measured("gps"),
+                paper_power_mw: 3600.0,
+            },
+        ],
+    }
+}
+
+impl Table1 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "TABLE I: CHARACTERISTICS OF SYSTEM COMPONENTS\n\
+             Device        Transfer Rate (bps)  Power (mW)  [paper]\n",
+        );
+        for r in &self.rows {
+            let rate = r
+                .transfer_rate_bps
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<13} {:>19}  {:>10.0}  [{:>6.0}]\n",
+                r.device, rate, r.power_mw, r.paper_power_mw
+            ));
+        }
+        out
+    }
+
+    /// Largest relative error between measured and paper power.
+    pub fn max_relative_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| ((r.power_mw - r.paper_power_mw) / r.paper_power_mw).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_powers_match_the_paper() {
+        let t = run();
+        assert_eq!(t.rows.len(), 4);
+        assert!(
+            t.max_relative_error() < 0.01,
+            "metered within 1%: {}",
+            t.render()
+        );
+    }
+
+    #[test]
+    fn rates_match_the_paper() {
+        let t = run();
+        assert_eq!(t.rows[1].transfer_rate_bps, Some(5000));
+        assert_eq!(t.rows[2].transfer_rate_bps, Some(2000));
+        assert_eq!(t.rows[0].transfer_rate_bps, None);
+    }
+
+    #[test]
+    fn render_contains_all_devices() {
+        let text = run().render();
+        for d in ["Gumstix", "GPRS Modem", "Radio Modem", "GPS"] {
+            assert!(text.contains(d), "{text}");
+        }
+    }
+}

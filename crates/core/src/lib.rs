@@ -1,0 +1,38 @@
+//! Glacsweb deployment simulation — the top-level crate of the
+//! reproduction of *"Field Deployment of Low Power High Performance
+//! Nodes"* (Martinez, Basford, Ellul, Clarke — ICDCS 2010).
+//!
+//! A [`Deployment`] wires together the synthetic Vatnajökull environment,
+//! two Gumsense stations (glacier base + café dGPS reference), a cohort of
+//! subglacial probes, and the Southampton server, then runs the whole
+//! system through simulated months of field time under a deterministic
+//! event loop.
+//!
+//! # Quick start
+//!
+//! ```
+//! use glacsweb::Scenario;
+//!
+//! // A two-week lab bring-up of the full system.
+//! let mut deployment = Scenario::lab_bringup().build();
+//! deployment.run_days(14);
+//! let summary = deployment.summary();
+//! assert!(summary.windows_run >= 14, "one window per station per day");
+//! assert_eq!(summary.power_losses, 0, "lab bench has mains power");
+//! ```
+//!
+//! The `experiments` module regenerates every table and figure in the
+//! paper — see `EXPERIMENTS.md` at the repository root for the index and
+//! the measured-vs-paper record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deployment;
+pub mod experiments;
+mod metrics;
+mod scenario;
+
+pub use deployment::{Deployment, DeploymentBuilder};
+pub use metrics::{DeploymentSummary, Metrics};
+pub use scenario::Scenario;

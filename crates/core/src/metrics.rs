@@ -1,0 +1,174 @@
+//! Deployment-wide metrics collection.
+
+use std::collections::BTreeMap;
+
+use glacsweb_sim::{Bytes, SimTime, TimeSeries, WattHours};
+use glacsweb_station::{StationId, WindowReport};
+use serde::{Deserialize, Serialize};
+
+/// Time series and event records accumulated while a deployment runs.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    voltage: BTreeMap<StationId, TimeSeries>,
+    state: BTreeMap<StationId, TimeSeries>,
+    reports: Vec<WindowReport>,
+    probe_deaths: Vec<(SimTime, u32)>,
+}
+
+impl Metrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records a half-hourly battery-voltage sample.
+    pub fn record_voltage(&mut self, station: StationId, t: SimTime, volts: f64) {
+        self.voltage
+            .entry(station)
+            .or_insert_with(|| TimeSeries::new(format!("{station:?} battery voltage (V)")))
+            .push(t, volts);
+    }
+
+    /// Records the operating power state (sampled alongside voltage —
+    /// together these regenerate Fig 5).
+    pub fn record_state(&mut self, station: StationId, t: SimTime, level: u8) {
+        self.state
+            .entry(station)
+            .or_insert_with(|| TimeSeries::new(format!("{station:?} power state")))
+            .push(t, f64::from(level));
+    }
+
+    /// Records a daily window report.
+    pub fn record_window(&mut self, report: WindowReport) {
+        self.reports.push(report);
+    }
+
+    /// Records a probe death.
+    pub fn record_probe_death(&mut self, t: SimTime, probe: u32) {
+        self.probe_deaths.push((t, probe));
+    }
+
+    /// The voltage series for a station, if it ever reported.
+    pub fn voltage_series(&self, station: StationId) -> Option<&TimeSeries> {
+        self.voltage.get(&station)
+    }
+
+    /// The power-state series for a station.
+    pub fn state_series(&self, station: StationId) -> Option<&TimeSeries> {
+        self.state.get(&station)
+    }
+
+    /// All window reports, in time order.
+    pub fn window_reports(&self) -> &[WindowReport] {
+        &self.reports
+    }
+
+    /// Window reports for one station.
+    pub fn reports_for(
+        &self,
+        station: StationId,
+    ) -> impl DoubleEndedIterator<Item = &WindowReport> {
+        self.reports.iter().filter(move |r| r.station == station)
+    }
+
+    /// Probe deaths recorded so far.
+    pub fn probe_deaths(&self) -> &[(SimTime, u32)] {
+        &self.probe_deaths
+    }
+}
+
+/// A one-page summary of a deployment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentSummary {
+    /// Simulated span covered.
+    pub days: f64,
+    /// Daily windows run across all stations.
+    pub windows_run: u64,
+    /// Windows cut by the 2-hour watchdog.
+    pub windows_cut: u64,
+    /// §IV recoveries performed.
+    pub recoveries: u64,
+    /// Total battery exhaustions.
+    pub power_losses: u64,
+    /// Bytes delivered to Southampton.
+    pub data_uploaded: Bytes,
+    /// GPRS cost across all stations.
+    pub gprs_cost: f64,
+    /// Probes still alive at the end.
+    pub probes_alive: usize,
+    /// Probes deployed.
+    pub probes_deployed: usize,
+    /// Probe readings received by the server.
+    pub probe_readings_received: usize,
+    /// Differential dGPS fixes produced.
+    pub dgps_fixes: usize,
+    /// Fraction of base dGPS readings that found a reference pair.
+    pub dgps_pairing_yield: f64,
+    /// Total energy drawn from the base-station battery.
+    pub base_energy_discharged: WattHours,
+}
+
+impl std::fmt::Display for DeploymentSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "deployment summary over {:.1} days", self.days)?;
+        writeln!(
+            f,
+            "  windows: {} run, {} watchdog cuts, {} recoveries, {} power losses",
+            self.windows_run, self.windows_cut, self.recoveries, self.power_losses
+        )?;
+        writeln!(
+            f,
+            "  data: {} uploaded (GPRS cost {:.2}), {} probe readings, {} dGPS fixes ({:.0}% paired)",
+            self.data_uploaded,
+            self.gprs_cost,
+            self.probe_readings_received,
+            self.dgps_fixes,
+            self.dgps_pairing_yield * 100.0
+        )?;
+        write!(
+            f,
+            "  probes: {}/{} alive; base battery discharged {}",
+            self.probes_alive, self.probes_deployed, self.base_energy_discharged
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulate_per_station() {
+        let mut m = Metrics::new();
+        let t = SimTime::from_ymd_hms(2009, 9, 22, 12, 0, 0);
+        m.record_voltage(StationId::Base, t, 12.5);
+        m.record_state(StationId::Base, t, 3);
+        m.record_voltage(StationId::Reference, t, 12.8);
+        assert_eq!(m.voltage_series(StationId::Base).map(|s| s.len()), Some(1));
+        assert_eq!(m.voltage_series(StationId::Reference).map(|s| s.len()), Some(1));
+        assert_eq!(m.state_series(StationId::Reference), None);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let s = DeploymentSummary {
+            days: 30.0,
+            windows_run: 60,
+            windows_cut: 2,
+            recoveries: 1,
+            power_losses: 1,
+            data_uploaded: Bytes::from_mib(50),
+            gprs_cost: 200.0,
+            probes_alive: 5,
+            probes_deployed: 7,
+            probe_readings_received: 4200,
+            dgps_fixes: 300,
+            dgps_pairing_yield: 0.85,
+            base_energy_discharged: WattHours(900.0),
+        };
+        let text = s.to_string();
+        assert!(text.contains("30.0 days"));
+        assert!(text.contains("5/7 alive"));
+        assert!(text.contains("85% paired"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Café mains-power season.
+//!
+//! §II: "Whilst the Iceland reference station is also attached to a café
+//! the power there is only available during the tourist season (April to
+//! September); the rest of the time the system needs to be entirely self
+//! contained." In Norway the café had power all year.
+
+use glacsweb_sim::SimTime;
+
+/// `true` if the café mains supply is live at `t`, given the inclusive
+/// month range of the tourist season.
+///
+/// ```
+/// use glacsweb_env::cafe_mains_available;
+/// use glacsweb_sim::SimTime;
+///
+/// let july = SimTime::from_ymd_hms(2009, 7, 15, 12, 0, 0);
+/// let january = SimTime::from_ymd_hms(2009, 1, 15, 12, 0, 0);
+/// assert!(cafe_mains_available(july, (4, 9)));
+/// assert!(!cafe_mains_available(january, (4, 9)));
+/// // The Norwegian café is powered all year.
+/// assert!(cafe_mains_available(january, (1, 12)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the months are not a valid inclusive range within `1..=12`.
+pub fn cafe_mains_available(t: SimTime, season_months: (u32, u32)) -> bool {
+    let (first, last) = season_months;
+    assert!(
+        (1..=12).contains(&first) && (1..=12).contains(&last) && first <= last,
+        "invalid season {first}..={last}"
+    );
+    let month = t.date().month;
+    (first..=last).contains(&month)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iceland_season_boundaries() {
+        let mar31 = SimTime::from_ymd_hms(2009, 3, 31, 23, 59, 59);
+        let apr1 = SimTime::from_ymd_hms(2009, 4, 1, 0, 0, 0);
+        let sep30 = SimTime::from_ymd_hms(2009, 9, 30, 23, 59, 59);
+        let oct1 = SimTime::from_ymd_hms(2009, 10, 1, 0, 0, 0);
+        assert!(!cafe_mains_available(mar31, (4, 9)));
+        assert!(cafe_mains_available(apr1, (4, 9)));
+        assert!(cafe_mains_available(sep30, (4, 9)));
+        assert!(!cafe_mains_available(oct1, (4, 9)));
+    }
+
+    #[test]
+    fn full_year_season() {
+        for m in 1..=12u32 {
+            let t = SimTime::from_ymd_hms(2009, m, 10, 0, 0, 0);
+            assert!(cafe_mains_available(t, (1, 12)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid season")]
+    fn rejects_inverted_season() {
+        let _ = cafe_mains_available(SimTime::EPOCH, (9, 4));
+    }
+}

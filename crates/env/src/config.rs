@@ -1,0 +1,214 @@
+//! Environment configuration.
+
+use glacsweb_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic glacier environment.
+///
+/// The defaults ([`EnvConfig::vatnajokull`]) are calibrated to the paper's
+/// Iceland deployment; [`EnvConfig::briksdalsbreen`] approximates the older
+/// Norwegian site (lower latitude, little winter snowfall, so the wind
+/// generator keeps working — the property §II says made the Norway
+/// architecture viable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvConfig {
+    /// Site latitude in degrees north (solar geometry).
+    pub latitude_deg: f64,
+    /// Internal tick for stochastic state updates.
+    pub tick: SimDuration,
+    /// Annual mean air temperature at the site, °C.
+    pub temp_annual_mean_c: f64,
+    /// Half swing of the annual temperature sinusoid, °C.
+    pub temp_annual_amplitude_c: f64,
+    /// Half swing of the diurnal temperature sinusoid, °C.
+    pub temp_diurnal_amplitude_c: f64,
+    /// Standard deviation of the temperature noise process, °C.
+    pub temp_noise_sd_c: f64,
+    /// Mean wind speed in deep winter, m/s.
+    pub wind_mean_winter_ms: f64,
+    /// Mean wind speed in high summer, m/s.
+    pub wind_mean_summer_ms: f64,
+    /// Wind gust standard deviation, m/s.
+    pub wind_gust_sd_ms: f64,
+    /// Mean fraction of clear-sky irradiance that reaches the panel
+    /// (cloudiness), in `[0, 1]`.
+    pub cloud_clear_fraction: f64,
+    /// Expected snow storms per day in mid-winter.
+    pub storm_rate_winter_per_day: f64,
+    /// Mean fresh snow per storm, metres.
+    pub snow_per_storm_m: f64,
+    /// Snow melt per positive degree-day, metres.
+    pub melt_m_per_degree_day: f64,
+    /// Snow depth that fully buries the solar panel, metres.
+    pub panel_burial_depth_m: f64,
+    /// Snow depth that stalls the wind generator, metres.
+    pub turbine_burial_depth_m: f64,
+    /// Probe radio packet-loss probability under dry winter ice.
+    pub probe_loss_dry: f64,
+    /// Probe radio packet-loss probability at the summer wetness peak.
+    pub probe_loss_wet: f64,
+    /// First and last month (inclusive) of café mains power availability.
+    pub cafe_season_months: (u32, u32),
+    /// Mean glacier surface velocity, metres per day.
+    pub base_velocity_m_per_day: f64,
+    /// Extra displacement per stick-slip event, metres.
+    pub slip_event_m: f64,
+    /// Expected slip events per day at maximum water pressure.
+    pub slip_rate_wet_per_day: f64,
+}
+
+impl EnvConfig {
+    /// The Iceland deployment site on Vatnajökull (the paper's §II: heavy
+    /// snowfall that stops even the wind generator in winter, café mains
+    /// only during the April–September tourist season).
+    pub fn vatnajokull() -> Self {
+        EnvConfig {
+            latitude_deg: 64.3,
+            tick: SimDuration::from_mins(10),
+            temp_annual_mean_c: 0.5,
+            temp_annual_amplitude_c: 6.5,
+            temp_diurnal_amplitude_c: 3.0,
+            temp_noise_sd_c: 1.5,
+            wind_mean_winter_ms: 9.0,
+            wind_mean_summer_ms: 5.5,
+            wind_gust_sd_ms: 3.0,
+            cloud_clear_fraction: 0.5,
+            storm_rate_winter_per_day: 0.3,
+            snow_per_storm_m: 0.07,
+            melt_m_per_degree_day: 0.012,
+            panel_burial_depth_m: 1.2,
+            turbine_burial_depth_m: 2.5,
+            probe_loss_dry: 0.025,
+            probe_loss_wet: 0.16,
+            cafe_season_months: (4, 9),
+            base_velocity_m_per_day: 0.12,
+            slip_event_m: 0.025,
+            slip_rate_wet_per_day: 5.0,
+        }
+    }
+
+    /// The earlier Norwegian site (Briksdalsbreen): milder, far less winter
+    /// snowfall, café mains available all year.
+    pub fn briksdalsbreen() -> Self {
+        EnvConfig {
+            latitude_deg: 61.7,
+            temp_annual_mean_c: 1.5,
+            storm_rate_winter_per_day: 0.08,
+            snow_per_storm_m: 0.05,
+            wind_mean_winter_ms: 7.0,
+            cafe_season_months: (1, 12),
+            ..EnvConfig::vatnajokull()
+        }
+    }
+
+    /// A benign laboratory environment: constant mild conditions, mains
+    /// power all year, negligible packet loss. Used by bring-up tests.
+    pub fn lab() -> Self {
+        EnvConfig {
+            latitude_deg: 50.9, // Southampton
+            temp_annual_mean_c: 18.0,
+            temp_annual_amplitude_c: 2.0,
+            temp_diurnal_amplitude_c: 1.0,
+            temp_noise_sd_c: 0.2,
+            wind_mean_winter_ms: 0.0,
+            wind_mean_summer_ms: 0.0,
+            wind_gust_sd_ms: 0.0,
+            cloud_clear_fraction: 0.7,
+            storm_rate_winter_per_day: 0.0,
+            snow_per_storm_m: 0.0,
+            probe_loss_dry: 0.001,
+            probe_loss_wet: 0.001,
+            cafe_season_months: (1, 12),
+            base_velocity_m_per_day: 0.0,
+            slip_event_m: 0.0,
+            slip_rate_wet_per_day: 0.0,
+            ..EnvConfig::vatnajokull()
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(-90.0..=90.0).contains(&self.latitude_deg) {
+            return Err(format!("latitude {} out of range", self.latitude_deg));
+        }
+        if self.tick.as_secs() == 0 {
+            return Err("tick must be non-zero".into());
+        }
+        for (name, p) in [
+            ("cloud_clear_fraction", self.cloud_clear_fraction),
+            ("probe_loss_dry", self.probe_loss_dry),
+            ("probe_loss_wet", self.probe_loss_wet),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} {p} not a probability"));
+            }
+        }
+        if self.probe_loss_wet < self.probe_loss_dry {
+            return Err("wet ice cannot be more radio-transparent than dry ice".into());
+        }
+        let (a, b) = self.cafe_season_months;
+        if !(1..=12).contains(&a) || !(1..=12).contains(&b) || a > b {
+            return Err(format!("invalid café season {a}..={b}"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig::vatnajokull()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        EnvConfig::vatnajokull().validate().expect("iceland");
+        EnvConfig::briksdalsbreen().validate().expect("norway");
+        EnvConfig::lab().validate().expect("lab");
+    }
+
+    #[test]
+    fn default_is_iceland() {
+        assert_eq!(EnvConfig::default(), EnvConfig::vatnajokull());
+    }
+
+    #[test]
+    fn norway_differs_where_the_paper_says() {
+        let no = EnvConfig::briksdalsbreen();
+        let is = EnvConfig::vatnajokull();
+        assert!(no.storm_rate_winter_per_day < is.storm_rate_winter_per_day);
+        assert_eq!(no.cafe_season_months, (1, 12));
+        assert_eq!(is.cafe_season_months, (4, 9));
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = EnvConfig::vatnajokull();
+        c.latitude_deg = 120.0;
+        assert!(c.validate().is_err());
+
+        let mut c = EnvConfig::vatnajokull();
+        c.probe_loss_wet = 0.01; // drier than dry
+        assert!(c.validate().is_err());
+
+        let mut c = EnvConfig::vatnajokull();
+        c.cafe_season_months = (9, 4);
+        assert!(c.validate().is_err());
+
+        let mut c = EnvConfig::vatnajokull();
+        c.cloud_clear_fraction = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = EnvConfig::vatnajokull();
+        c.tick = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Air temperature: annual + diurnal sinusoids plus a correlated noise
+//! process.
+
+use glacsweb_sim::{SimRng, SimTime};
+
+/// Seasonal/diurnal air temperature with Ornstein–Uhlenbeck weather noise.
+///
+/// The deterministic part is a pure function of time; the OU noise state is
+/// advanced by [`TemperatureModel::step_noise`], called from the
+/// environment's fixed tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemperatureModel {
+    annual_mean_c: f64,
+    annual_amplitude_c: f64,
+    diurnal_amplitude_c: f64,
+    noise_sd_c: f64,
+    noise_c: f64,
+}
+
+impl TemperatureModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either amplitude or the noise standard deviation is
+    /// negative.
+    pub fn new(
+        annual_mean_c: f64,
+        annual_amplitude_c: f64,
+        diurnal_amplitude_c: f64,
+        noise_sd_c: f64,
+    ) -> Self {
+        assert!(
+            annual_amplitude_c >= 0.0 && diurnal_amplitude_c >= 0.0 && noise_sd_c >= 0.0,
+            "amplitudes must be non-negative"
+        );
+        TemperatureModel {
+            annual_mean_c,
+            annual_amplitude_c,
+            diurnal_amplitude_c,
+            noise_sd_c,
+            noise_c: 0.0,
+        }
+    }
+
+    /// The deterministic seasonal + diurnal component at `t`, °C.
+    ///
+    /// The annual minimum falls in late January (lag behind the solstice),
+    /// the diurnal minimum just before dawn.
+    pub fn seasonal_c(&self, t: SimTime) -> f64 {
+        let doy = f64::from(t.day_of_year());
+        // Coldest around day 25, warmest around day 207.
+        let annual =
+            -self.annual_amplitude_c * (std::f64::consts::TAU * (doy - 25.0) / 365.0).cos();
+        let hod = t.hour_of_day_f64();
+        // Warmest mid-afternoon (15:00), coldest 03:00.
+        let diurnal =
+            -self.diurnal_amplitude_c * (std::f64::consts::TAU * (hod - 3.0) / 24.0).cos();
+        self.annual_mean_c + annual + diurnal
+    }
+
+    /// The current temperature: seasonal component plus weather noise.
+    pub fn temperature_c(&self, t: SimTime) -> f64 {
+        self.seasonal_c(t) + self.noise_c
+    }
+
+    /// Advances the OU weather-noise state over `dt_hours`.
+    pub fn step_noise(&mut self, dt_hours: f64, rng: &mut SimRng) {
+        // Mean-reverting with ~12 h correlation time.
+        let theta = 1.0 / 12.0;
+        let decay = (-theta * dt_hours).exp();
+        let stationary_sd = self.noise_sd_c;
+        let step_sd = stationary_sd * (1.0 - decay * decay).sqrt();
+        self.noise_c = self.noise_c * decay + rng.normal(0.0, step_sd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iceland() -> TemperatureModel {
+        TemperatureModel::new(-2.5, 8.0, 3.0, 1.5)
+    }
+
+    #[test]
+    fn summer_warmer_than_winter() {
+        let m = iceland();
+        let july = m.seasonal_c(SimTime::from_ymd_hms(2009, 7, 25, 15, 0, 0));
+        let jan = m.seasonal_c(SimTime::from_ymd_hms(2009, 1, 25, 15, 0, 0));
+        assert!(july > 3.0, "july afternoon {july}");
+        assert!(jan < -7.0, "january afternoon {jan}");
+        assert!(july - jan > 12.0);
+    }
+
+    #[test]
+    fn afternoon_warmer_than_night() {
+        let m = iceland();
+        let noon = m.seasonal_c(SimTime::from_ymd_hms(2009, 4, 10, 15, 0, 0));
+        let night = m.seasonal_c(SimTime::from_ymd_hms(2009, 4, 10, 3, 0, 0));
+        assert!((noon - night - 6.0).abs() < 0.1, "diurnal swing {}", noon - night);
+    }
+
+    #[test]
+    fn noise_is_mean_reverting_and_bounded() {
+        let mut m = iceland();
+        let mut rng = SimRng::seed_from(5);
+        let mut max_abs: f64 = 0.0;
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            m.step_noise(1.0 / 6.0, &mut rng);
+            max_abs = max_abs.max(m.noise_c.abs());
+            sum += m.noise_c;
+        }
+        assert!(max_abs < 10.0, "noise escaped: {max_abs}");
+        assert!((sum / f64::from(n)).abs() < 0.5, "noise biased");
+    }
+
+    #[test]
+    fn temperature_includes_noise() {
+        let mut m = iceland();
+        let t = SimTime::from_ymd_hms(2009, 4, 10, 12, 0, 0);
+        let before = m.temperature_c(t);
+        m.noise_c = 2.0;
+        assert!((m.temperature_c(t) - before - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_amplitude() {
+        let _ = TemperatureModel::new(0.0, -1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The compact-flash data store.
+//!
+//! §II: "The system also has a 4GB compact flash card for data storage."
+//! §VII records that a card "had become corrupted … it proved possible to
+//! recover the data", prompting the file-system investigation — so the
+//! model includes a corruption fault and a (lossy) recovery operation.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use glacsweb_sim::{Bytes, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A file on the card.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredFile {
+    /// File name (unique on the card).
+    pub name: String,
+    /// Size on disk.
+    pub size: Bytes,
+    /// Creation time.
+    pub created: SimTime,
+    /// `true` if a corruption event damaged this file.
+    pub corrupted: bool,
+}
+
+/// Errors returned by [`CfCard`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The card is full.
+    Full {
+        /// Bytes requested.
+        requested: Bytes,
+        /// Bytes free.
+        free: Bytes,
+    },
+    /// A file with this name already exists.
+    Exists(String),
+    /// No file with this name.
+    NotFound(String),
+    /// The card's filesystem is corrupted and must be recovered first.
+    Corrupted,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Full { requested, free } => {
+                write!(f, "card full: requested {requested}, free {free}")
+            }
+            StorageError::Exists(name) => write!(f, "file {name:?} already exists"),
+            StorageError::NotFound(name) => write!(f, "file {name:?} not found"),
+            StorageError::Corrupted => write!(f, "filesystem corrupted; recovery required"),
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+/// A 4 GB compact-flash card with a corruption fault model.
+///
+/// # Example
+///
+/// ```
+/// use glacsweb_hw::CfCard;
+/// use glacsweb_sim::{Bytes, SimTime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut card = CfCard::new(Bytes::from_mib(4096));
+/// let t = SimTime::from_ymd_hms(2009, 9, 22, 12, 0, 0);
+/// card.write("gps/20090922.obs", Bytes::from_kib(165), t)?;
+/// assert_eq!(card.used(), Bytes::from_kib(165));
+/// card.delete("gps/20090922.obs")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfCard {
+    capacity: Bytes,
+    files: BTreeMap<String, StoredFile>,
+    fs_corrupted: bool,
+    corruption_events: u64,
+}
+
+impl CfCard {
+    /// Creates an empty, healthy card.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity: Bytes) -> Self {
+        assert!(capacity.value() > 0, "capacity must be non-zero");
+        CfCard {
+            capacity,
+            files: BTreeMap::new(),
+            fs_corrupted: false,
+            corruption_events: 0,
+        }
+    }
+
+    /// Card capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes in use.
+    pub fn used(&self) -> Bytes {
+        self.files.values().map(|f| f.size).sum()
+    }
+
+    /// Bytes free.
+    pub fn free(&self) -> Bytes {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// `true` if the filesystem is currently corrupted.
+    pub fn is_corrupted(&self) -> bool {
+        self.fs_corrupted
+    }
+
+    /// Number of corruption events over the card's life.
+    pub fn corruption_events(&self) -> u64 {
+        self.corruption_events
+    }
+
+    /// Writes a new file.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupted`] if the filesystem needs recovery,
+    /// [`StorageError::Exists`] on a name collision, or
+    /// [`StorageError::Full`] if the card lacks space.
+    pub fn write(&mut self, name: &str, size: Bytes, now: SimTime) -> Result<(), StorageError> {
+        if self.fs_corrupted {
+            return Err(StorageError::Corrupted);
+        }
+        if self.files.contains_key(name) {
+            return Err(StorageError::Exists(name.to_string()));
+        }
+        if size > self.free() {
+            return Err(StorageError::Full {
+                requested: size,
+                free: self.free(),
+            });
+        }
+        self.files.insert(
+            name.to_string(),
+            StoredFile {
+                name: name.to_string(),
+                size,
+                created: now,
+                corrupted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reads a file's metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupted`] or [`StorageError::NotFound`].
+    pub fn read(&self, name: &str) -> Result<&StoredFile, StorageError> {
+        if self.fs_corrupted {
+            return Err(StorageError::Corrupted);
+        }
+        self.files
+            .get(name)
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))
+    }
+
+    /// Deletes a file.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupted`] or [`StorageError::NotFound`].
+    pub fn delete(&mut self, name: &str) -> Result<(), StorageError> {
+        if self.fs_corrupted {
+            return Err(StorageError::Corrupted);
+        }
+        self.files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))
+    }
+
+    /// Lists file names (empty while corrupted).
+    pub fn list(&self) -> Vec<&str> {
+        if self.fs_corrupted {
+            return Vec::new();
+        }
+        self.files.keys().map(String::as_str).collect()
+    }
+
+    /// Fault injection: corrupts the filesystem and marks a random subset
+    /// of files damaged (the §VII field failure).
+    pub fn inject_corruption(&mut self, rng: &mut SimRng) {
+        self.fs_corrupted = true;
+        self.corruption_events += 1;
+        for f in self.files.values_mut() {
+            if rng.bernoulli(0.15) {
+                f.corrupted = true;
+            }
+        }
+    }
+
+    /// Attempts recovery (the paper: "it proved possible to recover the
+    /// data from the card"). Files marked damaged are lost; the rest
+    /// become readable again. Returns how many files were recovered and
+    /// how many were lost.
+    pub fn recover(&mut self) -> (usize, usize) {
+        let before = self.files.len();
+        self.files.retain(|_, f| !f.corrupted);
+        self.fs_corrupted = false;
+        let kept = self.files.len();
+        (kept, before - kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd_hms(2009, 9, 22, 12, 0, 0)
+    }
+
+    #[test]
+    fn write_read_delete_round_trip() {
+        let mut c = CfCard::new(Bytes::from_mib(10));
+        c.write("a.obs", Bytes::from_kib(165), t0()).expect("write");
+        let f = c.read("a.obs").expect("read");
+        assert_eq!(f.size, Bytes::from_kib(165));
+        assert_eq!(c.list(), vec!["a.obs"]);
+        c.delete("a.obs").expect("delete");
+        assert_eq!(c.used(), Bytes::ZERO);
+        assert!(matches!(c.read("a.obs"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn card_fills_up() {
+        let mut c = CfCard::new(Bytes::from_kib(300));
+        c.write("a", Bytes::from_kib(165), t0()).expect("first fits");
+        let err = c.write("b", Bytes::from_kib(165), t0()).expect_err("second does not");
+        assert!(matches!(err, StorageError::Full { .. }));
+        assert_eq!(c.free(), Bytes::from_kib(300) - Bytes::from_kib(165));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = CfCard::new(Bytes::from_mib(1));
+        c.write("a", Bytes(10), t0()).expect("write");
+        assert!(matches!(c.write("a", Bytes(10), t0()), Err(StorageError::Exists(_))));
+    }
+
+    #[test]
+    fn corruption_blocks_io_until_recovery() {
+        let mut c = CfCard::new(Bytes::from_mib(10));
+        for i in 0..50 {
+            c.write(&format!("f{i}"), Bytes::from_kib(10), t0()).expect("write");
+        }
+        let mut rng = SimRng::seed_from(13);
+        c.inject_corruption(&mut rng);
+        assert!(c.is_corrupted());
+        assert!(matches!(c.read("f0"), Err(StorageError::Corrupted)));
+        assert!(matches!(c.write("x", Bytes(1), t0()), Err(StorageError::Corrupted)));
+        assert!(c.list().is_empty());
+
+        let (kept, lost) = c.recover();
+        assert!(!c.is_corrupted());
+        assert_eq!(kept + lost, 50);
+        assert!(kept > 30, "most data recovers, as in the field: kept {kept}");
+        assert!(lost > 0, "recovery is lossy with this seed: lost {lost}");
+        assert_eq!(c.corruption_events(), 1);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let full = StorageError::Full {
+            requested: Bytes::from_kib(165),
+            free: Bytes(0),
+        };
+        assert!(full.to_string().contains("card full"));
+        assert!(StorageError::NotFound("x".into()).to_string().contains("not found"));
+        assert!(StorageError::Corrupted.to_string().contains("recovery"));
+        assert!(StorageError::Exists("x".into()).to_string().contains("exists"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = CfCard::new(Bytes::ZERO);
+    }
+}

@@ -1,0 +1,98 @@
+//! The paper's Table I — "Characteristics of system components" — as
+//! constants. Every other model derives its power and rate figures from
+//! here, and the E1 experiment regenerates the table from these values.
+
+use glacsweb_sim::{BitsPerSecond, Watts};
+
+/// Gumstix (connex) processor board: ~100 mA at high performance, no
+/// useful sleep mode. 900 mW in the paper's table.
+pub const GUMSTIX_POWER: Watts = Watts(0.9);
+
+/// GPRS modem power while a session is up: 2 640 mW.
+pub const GPRS_POWER: Watts = Watts(2.64);
+
+/// GPRS modem useful throughput: 5 000 bps.
+pub const GPRS_RATE: BitsPerSecond = BitsPerSecond(5_000);
+
+/// Long-range 500 mW 466 MHz radio modem power: 3 960 mW.
+pub const RADIO_MODEM_POWER: Watts = Watts(3.96);
+
+/// Radio-modem useful throughput: 2 000 bps.
+pub const RADIO_MODEM_RATE: BitsPerSecond = BitsPerSecond(2_000);
+
+/// Differential GPS receiver power while recording: 3 600 mW.
+pub const GPS_POWER: Watts = Watts(3.6);
+
+/// MSP430 supervisor draw (not in Table I — it is the "low power" half of
+/// the Gumsense design, three orders of magnitude below the Gumstix).
+pub const MSP430_POWER: Watts = Watts(0.0035);
+
+/// A single dGPS reading is "approximately 165KB, although the exact size
+/// varies depending on the number of satellites available" (§III).
+pub const DGPS_READING_BYTES: u64 = 165 * 1024;
+
+/// Duration of one scheduled dGPS recording session. Chosen so that the
+/// paper's §III arithmetic holds: 12 sessions/day at 3.6 W drains a
+/// 432 Wh bank in ≈117 days ⇒ ≈308 s per session.
+pub const DGPS_SESSION_SECS: u64 = 308;
+
+/// Effective RS-232 transfer rate from the dGPS internal CF card to the
+/// Gumstix, bytes/second. Back-derived from §VI: a 2-hour window can move
+/// ≈21 days of state-3 data (21.5 × 12 × 165 KiB ≈ 42.7 MB) ⇒ ≈5 935 B/s.
+pub const RS232_BYTES_PER_SEC: f64 = 5_935.0;
+
+/// Gumstix Linux boot time before the daily job can start.
+pub const GUMSTIX_BOOT_SECS: u64 = 45;
+
+/// The §VI safety mechanism: no daily run may exceed two hours.
+pub const WATCHDOG_LIMIT_SECS: u64 = 2 * 3600;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glacsweb_sim::{AmpHours, Volts};
+
+    #[test]
+    fn table_matches_the_paper() {
+        assert_eq!(GUMSTIX_POWER.milliwatts(), 900.0);
+        assert_eq!(GPRS_POWER.milliwatts(), 2640.0);
+        assert_eq!(RADIO_MODEM_POWER.milliwatts(), 3960.0);
+        assert_eq!(GPS_POWER.milliwatts(), 3600.0);
+        assert_eq!(GPRS_RATE.value(), 5_000);
+        assert_eq!(RADIO_MODEM_RATE.value(), 2_000);
+    }
+
+    #[test]
+    fn gprs_beats_radio_modem_on_both_axes() {
+        // §II's argument for the dual-GPRS architecture: the GPRS modem is
+        // both faster and cheaper to run.
+        assert!(GPRS_RATE > RADIO_MODEM_RATE);
+        assert!(GPRS_POWER < RADIO_MODEM_POWER);
+        // Energy per byte is the real figure of merit: 2.64/625 vs 3.96/250.
+        let gprs_j_per_byte = GPRS_POWER.value() / GPRS_RATE.bytes_per_sec();
+        let radio_j_per_byte = RADIO_MODEM_POWER.value() / RADIO_MODEM_RATE.bytes_per_sec();
+        assert!(radio_j_per_byte / gprs_j_per_byte > 3.0);
+    }
+
+    #[test]
+    fn dgps_session_reproduces_117_day_lifetime() {
+        let daily_hours = 12.0 * DGPS_SESSION_SECS as f64 / 3600.0;
+        let daily_wh = GPS_POWER.value() * daily_hours;
+        let days = AmpHours(36.0).energy_at(Volts(12.0)).value() / daily_wh;
+        assert!((days - 117.0).abs() < 1.0, "state 3 lifetime {days}");
+    }
+
+    #[test]
+    fn rs232_rate_reproduces_backlog_bounds() {
+        let window_bytes = RS232_BYTES_PER_SEC * WATCHDOG_LIMIT_SECS as f64;
+        let days_s3 = window_bytes / (12.0 * DGPS_READING_BYTES as f64);
+        let days_s2 = window_bytes / DGPS_READING_BYTES as f64;
+        assert!((days_s3 - 21.0).abs() < 1.0, "state 3: {days_s3} days");
+        assert!((days_s2 - 259.0).abs() < 7.0, "state 2: {days_s2} days");
+    }
+
+    #[test]
+    fn msp430_is_orders_of_magnitude_below_gumstix() {
+        assert!(GUMSTIX_POWER.value() / MSP430_POWER.value() > 100.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Packet-loss models.
+
+use glacsweb_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A per-packet loss process.
+///
+/// The probe link defaults to [`LossModel::Bernoulli`] with a
+/// wetness-derived probability; [`LossModel::GilbertElliott`] adds bursty
+/// loss for experiments on how burstiness affects the NACK protocol (the
+/// paper's 400-missed-packets figure is an aggregate, compatible with
+/// either).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Independent loss with the given probability.
+    Bernoulli {
+        /// Per-packet loss probability.
+        p: f64,
+    },
+    /// Two-state bursty loss (good/bad channel states).
+    GilbertElliott {
+        /// P(good → bad) per packet.
+        p_gb: f64,
+        /// P(bad → good) per packet.
+        p_bg: f64,
+        /// Loss probability in the good state.
+        loss_good: f64,
+        /// Loss probability in the bad state.
+        loss_bad: f64,
+        /// Current state (`true` = bad).
+        in_bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Independent loss with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn bernoulli(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        LossModel::Bernoulli { p }
+    }
+
+    /// A bursty channel whose *average* loss matches `mean_loss`, with
+    /// bursts of expected length `burst_len` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_loss` is not in `(0, 0.5]` or `burst_len < 1`.
+    pub fn bursty(mean_loss: f64, burst_len: f64) -> Self {
+        assert!(mean_loss > 0.0 && mean_loss <= 0.5, "mean loss {mean_loss} unsupported");
+        assert!(burst_len >= 1.0, "burst length must be >= 1");
+        // Bad state loses everything; stationary P(bad) = mean_loss.
+        let p_bg = 1.0 / burst_len;
+        let p_gb = p_bg * mean_loss / (1.0 - mean_loss);
+        LossModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+            in_bad: false,
+        }
+    }
+
+    /// Draws whether the next packet is lost.
+    pub fn next_lost(&mut self, rng: &mut SimRng) -> bool {
+        match self {
+            LossModel::Bernoulli { p } => rng.bernoulli(*p),
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                in_bad,
+            } => {
+                // Transition first, then draw loss in the new state.
+                if *in_bad {
+                    if rng.bernoulli(*p_bg) {
+                        *in_bad = false;
+                    }
+                } else if rng.bernoulli(*p_gb) {
+                    *in_bad = true;
+                }
+                let p = if *in_bad { *loss_bad } else { *loss_good };
+                rng.bernoulli(p)
+            }
+        }
+    }
+
+    /// The long-run average loss rate of the model.
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossModel::Bernoulli { p } => *p,
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                let p_bad = p_gb / (p_gb + p_bg);
+                p_bad * loss_bad + (1.0 - p_bad) * loss_good
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_empirical_rate() {
+        let mut m = LossModel::bernoulli(0.13);
+        let mut rng = SimRng::seed_from(9);
+        let n = 100_000;
+        let losses = (0..n).filter(|_| m.next_lost(&mut rng)).count();
+        let rate = losses as f64 / f64::from(n);
+        assert!((rate - 0.13).abs() < 0.005, "rate {rate}");
+        assert!((m.mean_loss() - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_matches_mean_and_bursts() {
+        let mut m = LossModel::bursty(0.13, 8.0);
+        assert!((m.mean_loss() - 0.13).abs() < 1e-9);
+        let mut rng = SimRng::seed_from(10);
+        let n = 200_000;
+        let mut losses = 0u32;
+        let mut runs = Vec::new();
+        let mut run = 0u32;
+        for _ in 0..n {
+            if m.next_lost(&mut rng) {
+                losses += 1;
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        let rate = f64::from(losses) / f64::from(n);
+        assert!((rate - 0.13).abs() < 0.01, "rate {rate}");
+        let mean_run = runs.iter().map(|&r| f64::from(r)).sum::<f64>() / runs.len() as f64;
+        assert!(mean_run > 4.0, "bursts are long: mean run {mean_run}");
+    }
+
+    #[test]
+    fn bernoulli_runs_are_short() {
+        let mut m = LossModel::bernoulli(0.13);
+        let mut rng = SimRng::seed_from(11);
+        let mut runs = Vec::new();
+        let mut run = 0u32;
+        for _ in 0..200_000 {
+            if m.next_lost(&mut rng) {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        let mean_run = runs.iter().map(|&r| f64::from(r)).sum::<f64>() / runs.len() as f64;
+        assert!(mean_run < 1.4, "independent losses: mean run {mean_run}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let _ = LossModel::bernoulli(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length")]
+    fn rejects_bad_burst() {
+        let _ = LossModel::bursty(0.1, 0.5);
+    }
+}

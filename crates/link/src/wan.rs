@@ -1,0 +1,291 @@
+//! The station's wide-area uplink abstraction.
+//!
+//! The paper's §II weighs two architectures: independent per-station GPRS
+//! (deployed) versus the Norway-style relay, where the base station
+//! reaches the internet through a 466 MHz PPP link to the reference
+//! station. [`WanLink`] abstracts over both so the station controller is
+//! identical either way — which is precisely the property that made the
+//! architecture swap a deployment decision rather than a rewrite.
+
+use std::fmt;
+
+use glacsweb_sim::{BitsPerSecond, Bytes, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::gprs::{GprsLink, TransferOutcome};
+use crate::ppp::{DisconnectReason, PppRadioLink};
+
+/// A wide-area uplink a station can move its daily data over.
+pub trait WanLink: fmt::Debug {
+    /// Short name for logs and load accounting (`"gprs"` or
+    /// `"radio_modem"`).
+    fn label(&self) -> &'static str;
+
+    /// Useful throughput once connected.
+    fn rate(&self) -> BitsPerSecond;
+
+    /// `true` while a session is up.
+    fn is_connected(&self) -> bool;
+
+    /// Attach attempt with a weather multiplier; `Ok(setup time)` or
+    /// `Err(time wasted)`.
+    #[allow(clippy::result_large_err)]
+    fn connect_weathered(
+        &mut self,
+        weather_multiplier: f64,
+        rng: &mut SimRng,
+    ) -> Result<SimDuration, SimDuration>;
+
+    /// Transfers up to `size` within `budget`; may drop mid-transfer.
+    fn transfer(&mut self, size: Bytes, budget: SimDuration, rng: &mut SimRng) -> TransferOutcome;
+
+    /// Cleanly closes the session.
+    fn disconnect(&mut self);
+
+    /// Informs time-of-day-sensitive links of the wall clock (PPP
+    /// interference follows local activity; GPRS ignores this).
+    fn advance_clock(&mut self, _t: SimTime) {}
+
+    /// Informs relay links whether the partner station is up (the §II
+    /// failure-coupling: "if the reference station failed in any way then
+    /// all communication with the base station would also cease").
+    fn set_partner_up(&mut self, _up: bool) {}
+}
+
+impl WanLink for GprsLink {
+    fn label(&self) -> &'static str {
+        "gprs"
+    }
+
+    fn rate(&self) -> BitsPerSecond {
+        self.config().rate
+    }
+
+    fn is_connected(&self) -> bool {
+        GprsLink::is_connected(self)
+    }
+
+    fn connect_weathered(
+        &mut self,
+        weather_multiplier: f64,
+        rng: &mut SimRng,
+    ) -> Result<SimDuration, SimDuration> {
+        GprsLink::connect_weathered(self, weather_multiplier, rng)
+    }
+
+    fn transfer(&mut self, size: Bytes, budget: SimDuration, rng: &mut SimRng) -> TransferOutcome {
+        GprsLink::transfer(self, size, budget, rng)
+    }
+
+    fn disconnect(&mut self) {
+        GprsLink::disconnect(self);
+    }
+}
+
+/// The Norway-style relay uplink: PPP over the long-range radio modem to
+/// the reference station, which forwards to the internet.
+///
+/// # Example
+///
+/// ```
+/// use glacsweb_link::{RelayWanLink, WanLink};
+/// use glacsweb_sim::{Bytes, SimDuration, SimRng, SimTime};
+///
+/// let mut wan = RelayWanLink::new();
+/// wan.advance_clock(SimTime::from_ymd_hms(2008, 5, 1, 12, 0, 0));
+/// wan.set_partner_up(true);
+/// let mut rng = SimRng::seed_from(1);
+/// if wan.connect_weathered(1.0, &mut rng).is_ok() {
+///     let out = wan.transfer(Bytes::from_kib(10), SimDuration::from_mins(30), &mut rng);
+///     assert!(out.sent.value() > 0);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayWanLink {
+    ppp: PppRadioLink,
+    now: SimTime,
+    partner_up: bool,
+    connected: bool,
+    dial_time: SimDuration,
+    dial_failure_p: f64,
+    sessions: u64,
+    failed_dials: u64,
+}
+
+impl RelayWanLink {
+    /// Creates the relay link with glacier-profile interference.
+    pub fn new() -> Self {
+        RelayWanLink {
+            ppp: PppRadioLink::glacier(),
+            now: SimTime::EPOCH,
+            partner_up: true,
+            connected: false,
+            dial_time: SimDuration::from_secs(30),
+            dial_failure_p: 0.15,
+            sessions: 0,
+            failed_dials: 0,
+        }
+    }
+
+    /// (sessions dialled, failed dials) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sessions, self.failed_dials)
+    }
+}
+
+impl Default for RelayWanLink {
+    fn default() -> Self {
+        RelayWanLink::new()
+    }
+}
+
+impl WanLink for RelayWanLink {
+    fn label(&self) -> &'static str {
+        "radio_modem"
+    }
+
+    fn rate(&self) -> BitsPerSecond {
+        self.ppp.rate()
+    }
+
+    fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    fn connect_weathered(
+        &mut self,
+        weather_multiplier: f64,
+        rng: &mut SimRng,
+    ) -> Result<SimDuration, SimDuration> {
+        assert!(!self.connected, "already connected");
+        self.sessions += 1;
+        if !self.partner_up {
+            // The café end is dead: no amount of dialling helps.
+            self.failed_dials += 1;
+            return Err(self.dial_time);
+        }
+        let p = (self.dial_failure_p * weather_multiplier).min(0.95);
+        if rng.bernoulli(p) {
+            self.failed_dials += 1;
+            return Err(self.dial_time);
+        }
+        self.connected = true;
+        Ok(self.dial_time)
+    }
+
+    fn transfer(&mut self, size: Bytes, budget: SimDuration, rng: &mut SimRng) -> TransferOutcome {
+        assert!(self.connected, "transfer on a down link");
+        if !self.partner_up {
+            self.connected = false;
+            return TransferOutcome {
+                sent: Bytes::ZERO,
+                elapsed: SimDuration::ZERO,
+                dropped: true,
+            };
+        }
+        let (sent, elapsed, reason) = self.ppp.transfer(size, self.now, budget, rng);
+        self.now += elapsed;
+        let dropped = reason == DisconnectReason::Interference;
+        if dropped {
+            self.connected = false;
+        }
+        TransferOutcome {
+            sent,
+            elapsed,
+            dropped,
+        }
+    }
+
+    fn disconnect(&mut self) {
+        self.connected = false;
+    }
+
+    fn advance_clock(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    fn set_partner_up(&mut self, up: bool) {
+        self.partner_up = up;
+        if !up {
+            self.connected = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gprs::GprsConfig;
+
+    fn noon() -> SimTime {
+        SimTime::from_ymd_hms(2008, 5, 1, 12, 0, 0)
+    }
+
+    #[test]
+    fn gprs_satisfies_the_trait() {
+        let mut wan: Box<dyn WanLink> = Box::new(GprsLink::new(GprsConfig::ideal()));
+        assert_eq!(wan.label(), "gprs");
+        assert_eq!(wan.rate().value(), 5000);
+        let mut rng = SimRng::seed_from(1);
+        wan.connect_weathered(1.0, &mut rng).expect("ideal attaches");
+        let out = wan.transfer(Bytes::from_kib(10), SimDuration::from_mins(10), &mut rng);
+        assert!(out.complete(Bytes::from_kib(10)));
+        wan.disconnect();
+        assert!(!wan.is_connected());
+    }
+
+    #[test]
+    fn relay_moves_data_while_the_partner_is_up() {
+        let mut wan = RelayWanLink::new();
+        wan.advance_clock(noon());
+        wan.set_partner_up(true);
+        let mut rng = SimRng::seed_from(2);
+        let mut delivered = Bytes::ZERO;
+        let target = Bytes::from_kib(100);
+        for _ in 0..50 {
+            if !wan.is_connected() && wan.connect_weathered(1.0, &mut rng).is_err() {
+                continue;
+            }
+            let out = wan.transfer(target.saturating_sub(delivered), SimDuration::from_mins(60), &mut rng);
+            delivered += out.sent;
+            if delivered >= target {
+                break;
+            }
+        }
+        assert_eq!(delivered, target, "resume over drops eventually finishes");
+    }
+
+    #[test]
+    fn dead_partner_kills_the_relay_entirely() {
+        let mut wan = RelayWanLink::new();
+        wan.advance_clock(noon());
+        wan.set_partner_up(false);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..20 {
+            assert!(wan.connect_weathered(1.0, &mut rng).is_err(), "no dial succeeds");
+        }
+        let (sessions, failed) = wan.stats();
+        assert_eq!(sessions, failed);
+    }
+
+    #[test]
+    fn partner_death_mid_session_drops_it() {
+        let mut wan = RelayWanLink::new();
+        wan.advance_clock(noon());
+        wan.set_partner_up(true);
+        let mut rng = SimRng::seed_from(4);
+        while wan.connect_weathered(1.0, &mut rng).is_err() {}
+        assert!(wan.is_connected());
+        wan.set_partner_up(false);
+        assert!(!wan.is_connected(), "session dies with the partner");
+    }
+
+    #[test]
+    fn relay_is_slower_than_gprs() {
+        let wan = RelayWanLink::new();
+        assert_eq!(wan.rate().value(), 2000);
+        assert_eq!(wan.label(), "radio_modem");
+    }
+}

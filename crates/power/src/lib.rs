@@ -1,0 +1,45 @@
+//! Power substrate for the Glacsweb reproduction.
+//!
+//! Models the base/reference-station power system the paper describes:
+//! a lead-acid battery bank charged by a 10 W solar panel, a 50 W wind
+//! generator (base station) or café mains (reference station, April to
+//! September only), feeding the Gumsense board and its peripherals.
+//!
+//! The station logic never sees this crate's internals — exactly like the
+//! real system, it only sees the battery voltage sampled every thirty
+//! minutes by the MSP430 ([`LeadAcidBattery::terminal_voltage`]), and the
+//! paper's entire power-management design (§III) keys off that one signal.
+//!
+//! # Example
+//!
+//! ```
+//! use glacsweb_power::{budget, LeadAcidBattery};
+//! use glacsweb_sim::{AmpHours, SimDuration, Volts, Watts};
+//!
+//! // The paper's §III worked example: a 3.6 W dGPS left on continuously
+//! // drains a 36 Ah bank in about 5 days…
+//! let continuous = budget::time_to_deplete(AmpHours(36.0), Volts(12.0), Watts(3.6));
+//! assert!((continuous.as_days_f64() - 5.0).abs() < 0.01);
+//!
+//! // …but duty-cycled as in power state 3 (12 readings/day, ~5 min each)
+//! // the same bank lasts around 117 days.
+//! let duty = SimDuration::from_secs(308 * 12);
+//! let state3 = budget::time_to_deplete_duty(
+//!     AmpHours(36.0), Volts(12.0), Watts(3.6), duty,
+//! );
+//! assert!((state3.as_days_f64() - 117.0).abs() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+pub mod budget;
+mod charger;
+mod load;
+mod rail;
+
+pub use battery::LeadAcidBattery;
+pub use charger::{Charger, MainsCharger, SolarPanel, WindTurbine};
+pub use load::{LoadSet, LoadSnapshot};
+pub use rail::PowerRail;

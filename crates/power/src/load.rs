@@ -1,0 +1,244 @@
+//! Named electrical loads with per-device energy metering.
+
+use std::collections::BTreeMap;
+
+use glacsweb_sim::{SimDuration, WattHours, Watts};
+use serde::{Deserialize, Serialize};
+
+/// The set of switchable loads hanging off a station's power rail.
+///
+/// The Gumsense board's defining feature (§II) is *software-controlled
+/// powering of peripherals*: the MSP430 switches the Gumstix, dGPS, and
+/// modem rails on and off. `LoadSet` models those switches and meters each
+/// device's lifetime energy, which is what the architecture-comparison
+/// experiment (E9) reports.
+///
+/// # Example
+///
+/// ```
+/// use glacsweb_power::LoadSet;
+/// use glacsweb_sim::{SimDuration, Watts};
+///
+/// let mut loads = LoadSet::new();
+/// loads.add("gumstix", Watts::from_milliwatts(900.0));
+/// loads.add("gprs", Watts::from_milliwatts(2640.0));
+/// loads.set_on("gumstix", true);
+/// assert_eq!(loads.total_power(), Watts(0.9));
+///
+/// loads.meter(SimDuration::from_hours(2));
+/// assert!((loads.energy("gumstix").unwrap().value() - 1.8).abs() < 1e-9);
+/// assert_eq!(loads.energy("gprs").unwrap().value(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadSet {
+    loads: BTreeMap<String, Load>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Load {
+    power: Watts,
+    on: bool,
+    energy: WattHours,
+}
+
+/// A point-in-time view of one load, as returned by [`LoadSet::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSnapshot {
+    /// Device name.
+    pub name: String,
+    /// Rated draw when on.
+    pub power: Watts,
+    /// Whether the device rail is currently switched on.
+    pub on: bool,
+    /// Lifetime energy consumed.
+    pub energy: WattHours,
+}
+
+impl LoadSet {
+    /// Creates an empty load set.
+    pub fn new() -> Self {
+        LoadSet::default()
+    }
+
+    /// Registers a device (initially off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered or the power is negative.
+    pub fn add(&mut self, name: impl Into<String>, power: Watts) {
+        let name = name.into();
+        assert!(power.value() >= 0.0, "load power must be non-negative");
+        let prev = self.loads.insert(
+            name.clone(),
+            Load {
+                power,
+                on: false,
+                energy: WattHours::ZERO,
+            },
+        );
+        assert!(prev.is_none(), "duplicate load {name:?}");
+    }
+
+    /// Switches a device rail on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is unknown — switching a rail that does not
+    /// exist is a wiring bug, not a runtime condition.
+    pub fn set_on(&mut self, name: &str, on: bool) {
+        self.loads
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown load {name:?}"))
+            .on = on;
+    }
+
+    /// `true` if the named device rail is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is unknown.
+    pub fn is_on(&self, name: &str) -> bool {
+        self.loads
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown load {name:?}"))
+            .on
+    }
+
+    /// Total instantaneous draw of all switched-on devices.
+    pub fn total_power(&self) -> Watts {
+        self.loads
+            .values()
+            .filter(|l| l.on)
+            .map(|l| l.power)
+            .sum()
+    }
+
+    /// Accumulates per-device energy for a period during which the on/off
+    /// pattern did not change.
+    pub fn meter(&mut self, dt: SimDuration) {
+        for load in self.loads.values_mut() {
+            if load.on {
+                load.energy += load.power.over(dt);
+            }
+        }
+    }
+
+    /// Lifetime energy of one device, or `None` if unknown.
+    pub fn energy(&self, name: &str) -> Option<WattHours> {
+        self.loads.get(name).map(|l| l.energy)
+    }
+
+    /// Lifetime energy of every device combined.
+    pub fn total_energy(&self) -> WattHours {
+        self.loads.values().map(|l| l.energy).sum()
+    }
+
+    /// Snapshot of every registered device, sorted by name.
+    pub fn snapshot(&self) -> Vec<LoadSnapshot> {
+        self.loads
+            .iter()
+            .map(|(name, l)| LoadSnapshot {
+                name: name.clone(),
+                power: l.power,
+                on: l.on,
+                energy: l.energy,
+            })
+            .collect()
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// `true` if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Switches every device off (the watchdog's end-of-window action).
+    pub fn all_off(&mut self) {
+        for load in self.loads.values_mut() {
+            load.on = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_loads() -> LoadSet {
+        let mut l = LoadSet::new();
+        l.add("gumstix", Watts::from_milliwatts(900.0));
+        l.add("gprs", Watts::from_milliwatts(2640.0));
+        l.add("radio_modem", Watts::from_milliwatts(3960.0));
+        l.add("gps", Watts::from_milliwatts(3600.0));
+        l
+    }
+
+    #[test]
+    fn total_power_sums_only_on_devices() {
+        let mut l = table1_loads();
+        assert_eq!(l.total_power(), Watts::ZERO);
+        l.set_on("gumstix", true);
+        l.set_on("gps", true);
+        assert!((l.total_power().value() - 4.5).abs() < 1e-12);
+        l.set_on("gps", false);
+        assert!((l.total_power().value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metering_accumulates_per_device() {
+        let mut l = table1_loads();
+        l.set_on("gprs", true);
+        l.meter(SimDuration::from_mins(30));
+        l.set_on("gprs", false);
+        l.set_on("gumstix", true);
+        l.meter(SimDuration::from_hours(1));
+        assert!((l.energy("gprs").unwrap().value() - 1.32).abs() < 1e-9);
+        assert!((l.energy("gumstix").unwrap().value() - 0.9).abs() < 1e-9);
+        assert!((l.total_energy().value() - 2.22).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_off_kills_every_rail() {
+        let mut l = table1_loads();
+        l.set_on("gumstix", true);
+        l.set_on("gps", true);
+        l.all_off();
+        assert_eq!(l.total_power(), Watts::ZERO);
+        assert!(!l.is_on("gumstix"));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let l = table1_loads();
+        let snap = l.snapshot();
+        assert_eq!(snap.len(), 4);
+        let names: Vec<_> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["gprs", "gps", "gumstix", "radio_modem"]);
+        assert_eq!(l.len(), 4);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn unknown_energy_is_none() {
+        let l = table1_loads();
+        assert!(l.energy("toaster").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate load")]
+    fn rejects_duplicate_names() {
+        let mut l = table1_loads();
+        l.add("gps", Watts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown load")]
+    fn rejects_unknown_switch() {
+        let mut l = table1_loads();
+        l.set_on("toaster", true);
+    }
+}

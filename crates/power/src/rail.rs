@@ -1,0 +1,304 @@
+//! The power rail: battery + chargers + loads integrated over time.
+
+use glacsweb_env::Environment;
+use glacsweb_sim::{Amps, Celsius, SimDuration, SimTime, Volts, WattHours, Watts};
+
+use crate::battery::LeadAcidBattery;
+use crate::charger::{controller_taper, Charger};
+use crate::load::LoadSet;
+
+/// One station's complete power system.
+///
+/// The simulation loop advances the rail between events with
+/// [`PowerRail::advance`]; the MSP430 model samples
+/// [`PowerRail::measured_voltage`] every thirty minutes — the exact signal
+/// the paper's Table II policy consumes.
+#[derive(Debug, Clone)]
+pub struct PowerRail {
+    battery: LeadAcidBattery,
+    chargers: Vec<Charger>,
+    /// Per-charger harvested energy, aligned with `chargers`.
+    harvest_by: Vec<WattHours>,
+    loads: LoadSet,
+    now: SimTime,
+    harvested: WattHours,
+    /// Seconds of brown-out (load demanded but battery empty).
+    brownout_secs: u64,
+}
+
+impl PowerRail {
+    /// Sub-step used when integrating between events.
+    const STEP: SimDuration = SimDuration::from_secs(60);
+
+    /// Creates a rail starting at `start` simulated time.
+    pub fn new(battery: LeadAcidBattery, start: SimTime) -> Self {
+        PowerRail {
+            battery,
+            chargers: Vec::new(),
+            harvest_by: Vec::new(),
+            loads: LoadSet::new(),
+            now: start,
+            harvested: WattHours::ZERO,
+            brownout_secs: 0,
+        }
+    }
+
+    /// Attaches a charging source.
+    pub fn add_charger(&mut self, charger: Charger) -> &mut Self {
+        self.chargers.push(charger);
+        self.harvest_by.push(WattHours::ZERO);
+        self
+    }
+
+    /// Per-charger lifetime harvest, labelled (`"solar"`, `"wind"`,
+    /// `"mains"`).
+    pub fn harvest_by_source(&self) -> Vec<(&'static str, WattHours)> {
+        self.chargers
+            .iter()
+            .zip(&self.harvest_by)
+            .map(|(c, &wh)| (c.label(), wh))
+            .collect()
+    }
+
+    /// The switchable loads (register devices and toggle rails here).
+    pub fn loads_mut(&mut self) -> &mut LoadSet {
+        &mut self.loads
+    }
+
+    /// Read-only view of the loads.
+    pub fn loads(&self) -> &LoadSet {
+        &self.loads
+    }
+
+    /// Read-only view of the battery.
+    pub fn battery(&self) -> &LeadAcidBattery {
+        &self.battery
+    }
+
+    /// The simulated instant the rail state reflects.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total charger energy harvested so far.
+    pub fn total_harvested(&self) -> WattHours {
+        self.harvested
+    }
+
+    /// Cumulative seconds during which the battery could not carry the
+    /// switched-on loads.
+    pub fn brownout_secs(&self) -> u64 {
+        self.brownout_secs
+    }
+
+    /// `true` if the battery is completely exhausted right now.
+    pub fn is_exhausted(&self) -> bool {
+        self.battery.is_exhausted()
+    }
+
+    /// The battery terminal voltage under the present net current — what
+    /// the MSP430's ADC reads.
+    pub fn measured_voltage(&self, env: &Environment) -> Volts {
+        let net = self.net_current(env, self.now);
+        self.battery.terminal_voltage(net)
+    }
+
+    /// Instantaneous charger output after controller taper.
+    ///
+    /// The controller regulates against the *charging* terminal voltage:
+    /// it finds the largest acceptance fraction whose resulting terminal
+    /// voltage stays within the absorb/float band, which is what caps the
+    /// midday peaks of Fig 5 near 14.4 V.
+    pub fn charge_power(&self, env: &Environment, t: SimTime) -> Watts {
+        let raw: Watts = self.chargers.iter().map(|c| c.output(env, t)).sum();
+        if raw.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        let i_raw = raw.value() / LeadAcidBattery::NOMINAL.value();
+        // Monotone in the fraction → bisect for the regulation point.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        if controller_taper(self.battery.terminal_voltage(Amps(i_raw))) >= 1.0 {
+            return raw;
+        }
+        for _ in 0..24 {
+            let mid = (lo + hi) / 2.0;
+            let v = self.battery.terminal_voltage(Amps(i_raw * mid));
+            if controller_taper(v) > mid {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        raw * lo.max(0.05)
+    }
+
+    fn net_current(&self, env: &Environment, t: SimTime) -> Amps {
+        let v = LeadAcidBattery::NOMINAL;
+        let charge = self.charge_power(env, t);
+        let load = self.loads.total_power();
+        Amps((charge.value() - load.value()) / v.value())
+    }
+
+    /// Integrates the rail forward to `t` in one-minute sub-steps.
+    ///
+    /// The caller must have advanced `env` to (at least) `t` first. The
+    /// load on/off pattern is assumed constant over the span — callers
+    /// advance the rail *before* switching rails at an event, which is how
+    /// the event loop in `glacsweb::Deployment` uses it.
+    pub fn advance(&mut self, env: &Environment, t: SimTime) {
+        while self.now < t {
+            let dt = (t - self.now).min(Self::STEP);
+            let temp = Celsius(env.temperature_c(self.now));
+            let charge = self.charge_power(env, self.now);
+            let load = self.loads.total_power();
+            let net = Amps((charge.value() - load.value()) / LeadAcidBattery::NOMINAL.value());
+            let actual = self.battery.step(dt, net, temp);
+            if load.value() > 0.0 && self.battery.is_exhausted() && actual.value() >= net.value() + 1e-12 {
+                // Discharge was truncated: the loads browned out.
+                self.brownout_secs += dt.as_secs();
+            }
+            self.harvested += charge.over(dt);
+            if charge.value() > 0.0 {
+                // Apportion the tapered harvest by each charger's raw share.
+                let raw: f64 = self
+                    .chargers
+                    .iter()
+                    .map(|c| c.output(env, self.now).value())
+                    .sum();
+                if raw > 0.0 {
+                    for (i, c) in self.chargers.iter().enumerate() {
+                        let share = c.output(env, self.now).value() / raw;
+                        self.harvest_by[i] += charge.over(dt) * share;
+                    }
+                }
+            }
+            self.loads.meter(dt);
+            self.now += dt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glacsweb_env::EnvConfig;
+    use glacsweb_sim::AmpHours;
+
+    use crate::charger::{MainsCharger, SolarPanel, WindTurbine};
+
+    fn setup(config: EnvConfig, y: i32, mo: u32, d: u32) -> (Environment, PowerRail, SimTime) {
+        let mut env = Environment::new(config, 77);
+        let t0 = SimTime::from_ymd_hms(y, mo, d, 0, 0, 0);
+        env.advance_to(t0);
+        let rail = PowerRail::new(LeadAcidBattery::with_state(AmpHours(36.0), 0.8), t0);
+        (env, rail, t0)
+    }
+
+    #[test]
+    fn idle_rail_holds_charge_for_days() {
+        let (mut env, mut rail, t0) = setup(EnvConfig::lab(), 2009, 5, 1);
+        let end = t0 + SimDuration::from_days(7);
+        env.advance_to(end);
+        rail.advance(&env, end);
+        assert!(rail.battery().state_of_charge() > 0.75);
+        assert_eq!(rail.brownout_secs(), 0);
+    }
+
+    #[test]
+    fn summer_solar_recharges_the_bank() {
+        let (mut env, mut rail, t0) = setup(EnvConfig::vatnajokull(), 2009, 6, 15);
+        rail.add_charger(Charger::Solar(SolarPanel::new(Watts(10.0))));
+        rail.loads_mut().add("msp430", Watts::from_milliwatts(5.0));
+        rail.loads_mut().set_on("msp430", true);
+        let mut t = t0;
+        for _ in 0..(4 * 24) {
+            t += SimDuration::from_mins(15);
+            env.advance_to(t);
+            rail.advance(&env, t);
+        }
+        assert!(
+            rail.battery().state_of_charge() > 0.85,
+            "soc {}",
+            rail.battery().state_of_charge()
+        );
+        assert!(rail.total_harvested().value() > 20.0);
+    }
+
+    #[test]
+    fn continuous_gps_without_charging_depletes_in_about_five_days() {
+        // End-to-end check of the paper's §III example through the rail.
+        let (mut env, _, t0) = setup(EnvConfig::lab(), 2009, 1, 10);
+        // A full battery for the clean arithmetic.
+        let mut rail = PowerRail::new(LeadAcidBattery::new(AmpHours(36.0)), t0);
+        rail.loads_mut().add("gps", Watts(3.6));
+        rail.loads_mut().set_on("gps", true);
+        let mut t = t0;
+        let mut depleted_at = None;
+        for _ in 0..(10 * 24) {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            rail.advance(&env, t);
+            if rail.is_exhausted() && depleted_at.is_none() {
+                depleted_at = Some(t);
+            }
+        }
+        let days = (depleted_at.expect("should deplete") - t0).as_days_f64();
+        // Lab temperature ~18 °C slightly derates capacity; accept 4–6 days.
+        assert!((4.0..6.0).contains(&days), "depleted after {days} days");
+        assert!(rail.brownout_secs() > 0, "brown-out accounted");
+    }
+
+    #[test]
+    fn wind_turbine_carries_a_winter_load() {
+        let (mut env, mut rail, t0) = setup(EnvConfig::vatnajokull(), 2009, 1, 5);
+        rail.add_charger(Charger::Wind(WindTurbine::new(Watts(50.0))));
+        rail.loads_mut().add("msp430", Watts::from_milliwatts(5.0));
+        rail.loads_mut().set_on("msp430", true);
+        let mut t = t0;
+        for _ in 0..(24 * 4) {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            rail.advance(&env, t);
+        }
+        // January wind at ~9 m/s mean should keep the bank up (until
+        // burial, which takes longer than 4 days).
+        assert!(rail.battery().state_of_charge() > 0.6);
+    }
+
+    #[test]
+    fn mains_charger_respects_cafe_season() {
+        let (mut env, mut rail, t0) = setup(EnvConfig::vatnajokull(), 2009, 1, 15);
+        rail.add_charger(Charger::Mains(MainsCharger::new(Watts(30.0))));
+        assert_eq!(rail.charge_power(&env, t0), Watts::ZERO, "no mains in January");
+        let summer = SimTime::from_ymd_hms(2009, 7, 15, 12, 0, 0);
+        env.advance_to(summer);
+        rail.advance(&env, summer);
+        assert!(rail.charge_power(&env, summer).value() > 0.0);
+    }
+
+    #[test]
+    fn measured_voltage_sags_under_load() {
+        let (mut env, mut rail, t0) = setup(EnvConfig::lab(), 2009, 3, 1);
+        env.advance_to(t0 + SimDuration::from_hours(1));
+        rail.advance(&env, t0 + SimDuration::from_hours(1));
+        rail.loads_mut().add("gps", Watts(3.6));
+        let v_rest = rail.measured_voltage(&env);
+        rail.loads_mut().set_on("gps", true);
+        let v_loaded = rail.measured_voltage(&env);
+        assert!(v_rest.value() - v_loaded.value() > 0.04, "{v_rest} -> {v_loaded}");
+    }
+
+    #[test]
+    fn charge_controller_tapers_near_full() {
+        let (mut env, _, t0) = setup(EnvConfig::vatnajokull(), 2009, 6, 21);
+        let noon = SimTime::from_ymd_hms(2009, 6, 21, 12, 0, 0);
+        env.advance_to(noon);
+        // A battery held artificially at absorb voltage accepts less.
+        let mut full = PowerRail::new(LeadAcidBattery::with_state(AmpHours(36.0), 1.0), t0);
+        full.add_charger(Charger::Solar(SolarPanel::new(Watts(10.0))));
+        let mut half = PowerRail::new(LeadAcidBattery::with_state(AmpHours(36.0), 0.5), t0);
+        half.add_charger(Charger::Solar(SolarPanel::new(Watts(10.0))));
+        assert!(full.charge_power(&env, noon) <= half.charge_power(&env, noon));
+    }
+}

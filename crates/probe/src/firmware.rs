@@ -1,0 +1,265 @@
+//! Probe firmware: sampling, buffering and the probe-side protocol state.
+
+use std::collections::BTreeMap;
+
+use glacsweb_env::Environment;
+use glacsweb_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::reading::ProbeReading;
+use crate::sensing::ProbeSensing;
+
+/// Identifier of a probe (the paper numbers them 21, 24, 25…).
+pub type ProbeId = u32;
+
+/// The firmware state of one subglacial probe.
+///
+/// Readings are buffered in a bounded store keyed by sequence number.
+/// Delivered readings are only discarded when the base station explicitly
+/// confirms the fetch task complete — the §V behaviour that saved the
+/// 3000-reading fetch: "Fortunately the task was not marked as complete in
+/// the probes; so many missing readings were obtained in subsequent days."
+///
+/// # Example
+///
+/// ```
+/// use glacsweb_env::{EnvConfig, Environment};
+/// use glacsweb_probe::ProbeFirmware;
+/// use glacsweb_sim::{SimRng, SimTime};
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let mut env = Environment::new(EnvConfig::vatnajokull(), 1);
+/// let t = SimTime::from_ymd_hms(2009, 2, 1, 0, 0, 0);
+/// env.advance_to(t);
+///
+/// let mut probe = ProbeFirmware::deploy(21, t, &mut rng);
+/// probe.sample(&env, t, &mut rng);
+/// assert_eq!(probe.stored_readings(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeFirmware {
+    id: ProbeId,
+    sensing: ProbeSensing,
+    buffer: BTreeMap<u64, ProbeReading>,
+    next_seq: u64,
+    deployed_at: SimTime,
+    dead_at: Option<SimTime>,
+    buffer_capacity: usize,
+    overwritten: u64,
+}
+
+impl ProbeFirmware {
+    /// Deploys a probe at `t` with a freshly randomised sensing
+    /// personality.
+    pub fn deploy(id: ProbeId, t: SimTime, rng: &mut SimRng) -> Self {
+        ProbeFirmware {
+            id,
+            sensing: ProbeSensing::deploy(id, rng),
+            buffer: BTreeMap::new(),
+            next_seq: 0,
+            deployed_at: t,
+            dead_at: None,
+            // ~8 months of hourly readings fit in the probe's flash.
+            buffer_capacity: 6000,
+            overwritten: 0,
+        }
+    }
+
+    /// Probe identifier.
+    pub fn id(&self) -> ProbeId {
+        self.id
+    }
+
+    /// When the probe was lowered down the borehole.
+    pub fn deployed_at(&self) -> SimTime {
+        self.deployed_at
+    }
+
+    /// `true` if the probe has failed ("vanished offline").
+    pub fn is_dead(&self) -> bool {
+        self.dead_at.is_some()
+    }
+
+    /// Marks the probe failed at `t` (driven by
+    /// [`MortalityModel`](crate::MortalityModel)).
+    pub fn kill(&mut self, t: SimTime) {
+        if self.dead_at.is_none() {
+            self.dead_at = Some(t);
+        }
+    }
+
+    /// Number of readings currently buffered.
+    pub fn stored_readings(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Readings lost to ring-buffer overwrite (base fell too far behind).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// The next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Takes one scheduled sample (no-op when dead).
+    pub fn sample(&mut self, env: &Environment, t: SimTime, rng: &mut SimRng) {
+        if self.is_dead() {
+            return;
+        }
+        let reading = self.sensing.sample(env, t, self.next_seq, rng);
+        if self.buffer.len() == self.buffer_capacity {
+            // Oldest reading is overwritten — data loss the protocol
+            // cannot recover.
+            let oldest = *self.buffer.keys().next().expect("buffer non-empty");
+            self.buffer.remove(&oldest);
+            self.overwritten += 1;
+        }
+        self.buffer.insert(self.next_seq, reading);
+        self.next_seq += 1;
+    }
+
+    /// Responds to the base's MANIFEST query: the inclusive seq range
+    /// currently held, or `None` if empty (or dead — a dead probe never
+    /// answers).
+    pub fn manifest(&self) -> Option<(u64, u64)> {
+        if self.is_dead() {
+            return None;
+        }
+        let first = *self.buffer.keys().next()?;
+        let last = *self.buffer.keys().next_back()?;
+        Some((first, last))
+    }
+
+    /// Streams the requested sequence numbers (missing ones are silently
+    /// skipped — they were overwritten). The radio decides which survive.
+    pub fn stream(&self, seqs: impl IntoIterator<Item = u64>) -> Vec<ProbeReading> {
+        if self.is_dead() {
+            return Vec::new();
+        }
+        seqs.into_iter()
+            .filter_map(|s| self.buffer.get(&s).copied())
+            .collect()
+    }
+
+    /// The base confirms every reading up to and including `seq` is safely
+    /// stored; the probe frees that storage (task complete).
+    pub fn confirm_complete_up_to(&mut self, seq: u64) {
+        let keep: BTreeMap<u64, ProbeReading> =
+            self.buffer.split_off(&(seq + 1));
+        self.buffer = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glacsweb_env::EnvConfig;
+    use glacsweb_sim::SimDuration;
+
+    fn setup() -> (Environment, ProbeFirmware, SimRng, SimTime) {
+        let mut rng = SimRng::seed_from(20);
+        let t = SimTime::from_ymd_hms(2008, 8, 15, 0, 0, 0);
+        let mut env = Environment::new(EnvConfig::vatnajokull(), 2);
+        env.advance_to(t);
+        let probe = ProbeFirmware::deploy(21, t, &mut rng);
+        (env, probe, rng, t)
+    }
+
+    #[test]
+    fn hourly_sampling_builds_a_backlog() {
+        let (mut env, mut probe, mut rng, mut t) = setup();
+        // §V: ~3000 readings accumulate over months offline (hourly × 125
+        // days).
+        for _ in 0..3000 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        assert_eq!(probe.stored_readings(), 3000);
+        assert_eq!(probe.manifest(), Some((0, 2999)));
+        assert_eq!(probe.overwritten(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest() {
+        let (mut env, mut probe, mut rng, mut t) = setup();
+        probe.buffer_capacity = 100;
+        for _ in 0..150 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        assert_eq!(probe.stored_readings(), 100);
+        assert_eq!(probe.overwritten(), 50);
+        assert_eq!(probe.manifest(), Some((50, 149)));
+    }
+
+    #[test]
+    fn stream_skips_overwritten_seqs() {
+        let (mut env, mut probe, mut rng, mut t) = setup();
+        probe.buffer_capacity = 10;
+        for _ in 0..20 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        let got = probe.stream(5..15);
+        // Seqs 5..10 were overwritten; only 10..15 exist.
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|r| r.seq >= 10));
+    }
+
+    #[test]
+    fn confirmation_frees_storage_but_not_newer_readings() {
+        let (mut env, mut probe, mut rng, mut t) = setup();
+        for _ in 0..100 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        probe.confirm_complete_up_to(59);
+        assert_eq!(probe.stored_readings(), 40);
+        assert_eq!(probe.manifest(), Some((60, 99)));
+    }
+
+    #[test]
+    fn unconfirmed_readings_survive_for_subsequent_days() {
+        // The §V save: a failed fetch leaves everything in place.
+        let (mut env, mut probe, mut rng, mut t) = setup();
+        for _ in 0..500 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        let before = probe.stored_readings();
+        // A fetch happens, readings stream out, but no confirmation
+        // arrives…
+        let _ = probe.stream(0..500);
+        assert_eq!(probe.stored_readings(), before, "nothing freed without confirm");
+    }
+
+    #[test]
+    fn dead_probe_goes_silent() {
+        let (mut env, mut probe, mut rng, mut t) = setup();
+        for _ in 0..10 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        probe.kill(t);
+        assert!(probe.is_dead());
+        assert_eq!(probe.manifest(), None, "dead probes vanish offline");
+        assert!(probe.stream(0..10).is_empty());
+        let count = probe.stored_readings();
+        probe.sample(&env, t + SimDuration::from_hours(1), &mut rng);
+        assert_eq!(probe.stored_readings(), count, "no sampling after death");
+    }
+
+    #[test]
+    fn empty_probe_has_no_manifest() {
+        let (_, probe, _, _) = setup();
+        assert_eq!(probe.manifest(), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Probe mortality.
+//!
+//! §V: "The probes deployed in the summer of 2008 survived longer than
+//! previous generations (4/7 after one year), with fewer vanishing offline
+//! and data is being produced by two after 18 months under the ice."
+//!
+//! A Weibull wear-out model with shape ≈ 2 and scale ≈ 488 days passes
+//! through both points: S(365 d) ≈ 4/7 and S(548 d) ≈ 2/7.
+
+use glacsweb_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Weibull lifetime model for a cohort of probes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MortalityModel {
+    scale_days: f64,
+    shape: f64,
+}
+
+impl MortalityModel {
+    /// The model calibrated to the paper's 2008 cohort.
+    pub fn paper_2008() -> Self {
+        MortalityModel {
+            scale_days: 488.0,
+            shape: 2.0,
+        }
+    }
+
+    /// A custom Weibull model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(scale_days: f64, shape: f64) -> Self {
+        assert!(scale_days > 0.0 && shape > 0.0, "Weibull parameters must be positive");
+        MortalityModel { scale_days, shape }
+    }
+
+    /// Analytic survival probability at `age`.
+    pub fn survival(&self, age: SimDuration) -> f64 {
+        let t = age.as_days_f64();
+        (-(t / self.scale_days).powf(self.shape)).exp()
+    }
+
+    /// Draws a lifetime for one probe.
+    pub fn draw_lifetime(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.weibull(self.scale_days, self.shape) * 86_400.0)
+    }
+
+    /// Draws the absolute death time of a probe deployed at `deployed`.
+    pub fn draw_death_time(&self, deployed: SimTime, rng: &mut SimRng) -> SimTime {
+        deployed + self.draw_lifetime(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_the_paper_record() {
+        let m = MortalityModel::paper_2008();
+        let one_year = m.survival(SimDuration::from_days(365));
+        let eighteen_months = m.survival(SimDuration::from_days(548));
+        assert!((one_year - 4.0 / 7.0).abs() < 0.02, "S(1y) = {one_year}");
+        assert!((eighteen_months - 2.0 / 7.0).abs() < 0.03, "S(18mo) = {eighteen_months}");
+    }
+
+    #[test]
+    fn monte_carlo_cohorts_reproduce_4_of_7() {
+        let m = MortalityModel::paper_2008();
+        let mut rng = SimRng::seed_from(99);
+        let cohorts = 2000;
+        let mut total_alive_1y = 0u32;
+        let mut total_alive_18mo = 0u32;
+        for _ in 0..cohorts {
+            for _ in 0..7 {
+                let life = m.draw_lifetime(&mut rng);
+                if life > SimDuration::from_days(365) {
+                    total_alive_1y += 1;
+                }
+                if life > SimDuration::from_days(548) {
+                    total_alive_18mo += 1;
+                }
+            }
+        }
+        let mean_1y = f64::from(total_alive_1y) / f64::from(cohorts);
+        let mean_18mo = f64::from(total_alive_18mo) / f64::from(cohorts);
+        assert!((mean_1y - 4.0).abs() < 0.15, "mean survivors at 1 y: {mean_1y}");
+        assert!((mean_18mo - 2.0).abs() < 0.15, "mean survivors at 18 mo: {mean_18mo}");
+    }
+
+    #[test]
+    fn survival_is_monotone_decreasing() {
+        let m = MortalityModel::paper_2008();
+        let mut last = 1.0;
+        for d in (0..=730).step_by(30) {
+            let s = m.survival(SimDuration::from_days(d));
+            assert!(s <= last + 1e-12);
+            last = s;
+        }
+        assert!((m.survival(SimDuration::ZERO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wear_out_shape_means_increasing_hazard() {
+        // With shape 2 > 1, conditional survival over the *second* year is
+        // worse than over the first (old probes die faster).
+        let m = MortalityModel::paper_2008();
+        let s1 = m.survival(SimDuration::from_days(365));
+        let s2 = m.survival(SimDuration::from_days(730));
+        let second_year_conditional = s2 / s1;
+        assert!(second_year_conditional < s1, "{second_year_conditional} vs {s1}");
+    }
+
+    #[test]
+    fn death_time_is_after_deployment() {
+        let m = MortalityModel::paper_2008();
+        let mut rng = SimRng::seed_from(7);
+        let deployed = SimTime::from_ymd_hms(2008, 8, 15, 0, 0, 0);
+        for _ in 0..100 {
+            assert!(m.draw_death_time(deployed, &mut rng) >= deployed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_parameters() {
+        let _ = MortalityModel::new(0.0, 2.0);
+    }
+}

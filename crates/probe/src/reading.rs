@@ -1,0 +1,59 @@
+//! The probe data record.
+
+use glacsweb_sim::{Bytes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One sensor sample from a subglacial probe.
+///
+/// §I: the probes carry "an array of sensors chosen to measure changes in
+/// conductivity, orientation and pressure".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeReading {
+    /// The probe that took the sample.
+    pub probe_id: u32,
+    /// Monotonic per-probe sequence number (the protocol's retransmission
+    /// key).
+    pub seq: u64,
+    /// Sample time (probe RTC).
+    pub time: SimTime,
+    /// Electrical conductivity, µS (Fig 6's y-axis).
+    pub conductivity_us: f64,
+    /// Subglacial water pressure, kPa.
+    pub pressure_kpa: f64,
+    /// Case tilt from vertical, degrees (clast orientation studies).
+    pub tilt_deg: f64,
+    /// Ice temperature, °C.
+    pub temp_c: f64,
+}
+
+impl ProbeReading {
+    /// On-air payload size of one reading (fits the radio's 32-byte
+    /// packet payload).
+    pub const WIRE_SIZE: Bytes = Bytes(32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_matches_radio_payload() {
+        assert_eq!(ProbeReading::WIRE_SIZE, Bytes(32));
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let r = ProbeReading {
+            probe_id: 21,
+            seq: 99,
+            time: SimTime::from_ymd_hms(2009, 2, 10, 6, 0, 0),
+            conductivity_us: 3.4,
+            pressure_kpa: 612.0,
+            tilt_deg: 12.5,
+            temp_c: -0.4,
+        };
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: ProbeReading = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-probe sensor signal generation.
+
+use glacsweb_env::Environment;
+use glacsweb_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::reading::ProbeReading;
+
+/// The sensing personality of one probe.
+///
+/// Fig 6 shows three probes with distinct conductivity baselines and
+/// slopes — each probe sits in slightly different till, so each gets an
+/// offset and gain over the shared bed signal, plus instrument noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSensing {
+    probe_id: u32,
+    conductivity_offset_us: f64,
+    conductivity_gain: f64,
+    depth_m: f64,
+    noise_sd: f64,
+}
+
+impl ProbeSensing {
+    /// Creates the personality for `probe_id`, randomised once at
+    /// deployment (drill-site lottery).
+    pub fn deploy(probe_id: u32, rng: &mut SimRng) -> Self {
+        ProbeSensing {
+            probe_id,
+            conductivity_offset_us: rng.uniform(-1.0, 2.5),
+            conductivity_gain: rng.uniform(0.6, 1.4),
+            depth_m: rng.uniform(60.0, 80.0),
+            noise_sd: 0.25,
+        }
+    }
+
+    /// The probe id this personality belongs to.
+    pub fn probe_id(&self) -> u32 {
+        self.probe_id
+    }
+
+    /// Emplacement depth below the surface (§I: "approximately 70
+    /// metres").
+    pub fn depth_m(&self) -> f64 {
+        self.depth_m
+    }
+
+    /// Takes one sample of every channel.
+    pub fn sample(&self, env: &Environment, t: SimTime, seq: u64, rng: &mut SimRng) -> ProbeReading {
+        let cond = (env.bed_conductivity_microsiemens() * self.conductivity_gain
+            + self.conductivity_offset_us
+            + rng.normal(0.0, self.noise_sd))
+        .max(0.0);
+        // Hydrostatic head of ~70 m of ice plus the water-pressure signal.
+        let pressure =
+            9.0 * self.depth_m + 150.0 * env.water_pressure(t) + rng.normal(0.0, 2.0);
+        // Till deformation slowly tilts the case; more so when sliding.
+        let tilt = (seq as f64 * 0.001 * (1.0 + env.melt_index())) % 45.0
+            + rng.normal(0.0, 0.1);
+        ProbeReading {
+            probe_id: self.probe_id,
+            seq,
+            time: t,
+            conductivity_us: cond,
+            pressure_kpa: pressure,
+            tilt_deg: tilt.abs(),
+            temp_c: -0.5 + 0.3 * env.melt_index() + rng.normal(0.0, 0.05),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glacsweb_env::EnvConfig;
+    use glacsweb_sim::SimDuration;
+
+    fn env_at(t: SimTime) -> Environment {
+        let mut e = Environment::new(EnvConfig::vatnajokull(), 3);
+        e.advance_to(t);
+        e
+    }
+
+    #[test]
+    fn probes_have_distinct_personalities() {
+        let mut rng = SimRng::seed_from(8);
+        let a = ProbeSensing::deploy(21, &mut rng);
+        let b = ProbeSensing::deploy(24, &mut rng);
+        assert_ne!(a.conductivity_offset_us, b.conductivity_offset_us);
+        assert!(a.depth_m() >= 60.0 && a.depth_m() <= 80.0);
+        assert_eq!(a.probe_id(), 21);
+    }
+
+    #[test]
+    fn winter_conductivity_is_low_spring_rises() {
+        let mut rng = SimRng::seed_from(9);
+        let probe = ProbeSensing::deploy(21, &mut rng);
+        let feb = SimTime::from_ymd_hms(2009, 2, 10, 12, 0, 0);
+        let winter_env = env_at(feb);
+        let winter = probe.sample(&winter_env, feb, 0, &mut rng).conductivity_us;
+
+        // Run the environment into late April.
+        let mut spring_env = Environment::new(EnvConfig::vatnajokull(), 3);
+        spring_env.advance_to(SimTime::from_ymd_hms(2009, 2, 1, 0, 0, 0));
+        let apr = SimTime::from_ymd_hms(2009, 4, 25, 12, 0, 0);
+        spring_env.advance_to(apr);
+        let spring = probe.sample(&spring_env, apr, 100, &mut rng).conductivity_us;
+        assert!(
+            spring > winter + 1.0,
+            "Fig 6 shape: winter {winter:.2} µS → late April {spring:.2} µS"
+        );
+    }
+
+    #[test]
+    fn conductivity_never_negative() {
+        let mut rng = SimRng::seed_from(10);
+        // A probe with the most negative possible offset.
+        let probe = ProbeSensing::deploy(25, &mut rng);
+        let t = SimTime::from_ymd_hms(2009, 1, 15, 0, 0, 0);
+        let env = env_at(t);
+        for s in 0..500 {
+            let r = probe.sample(&env, t, s, &mut rng);
+            assert!(r.conductivity_us >= 0.0);
+            assert!(r.tilt_deg >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pressure_reflects_depth_and_melt() {
+        let mut rng = SimRng::seed_from(11);
+        let probe = ProbeSensing::deploy(22, &mut rng);
+        let jan = SimTime::from_ymd_hms(2009, 1, 15, 17, 0, 0);
+        let winter = probe.sample(&env_at(jan), jan, 0, &mut rng).pressure_kpa;
+        let jul = SimTime::from_ymd_hms(2009, 7, 15, 17, 0, 0);
+        let mut summer_env = Environment::new(EnvConfig::vatnajokull(), 3);
+        summer_env.advance_to(jul);
+        let summer = probe.sample(&summer_env, jul, 0, &mut rng).pressure_kpa;
+        assert!(summer > winter + 30.0, "melt season pressurises the bed");
+        assert!(winter > 500.0, "hydrostatic head of ~70 m of ice");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let t = SimTime::from_ymd_hms(2009, 2, 10, 12, 0, 0);
+        let env = env_at(t);
+        let run = || {
+            let mut rng = SimRng::seed_from(12);
+            let p = ProbeSensing::deploy(21, &mut rng);
+            p.sample(&env, t, 5, &mut rng)
+        };
+        assert_eq!(run(), run());
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,279 @@
+//! The data warehouse: everything the stations send home.
+
+use std::collections::BTreeMap;
+
+use glacsweb_probe::{ProbeId, ProbeReading};
+use glacsweb_sim::{Bytes, SimDuration, SimTime, TimeSeries};
+use glacsweb_station::{StationId, UploadItem};
+use serde::{Deserialize, Serialize};
+
+/// One raw dGPS observation as received.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsRecord {
+    /// Station that took it.
+    pub station: StationId,
+    /// Recording start time.
+    pub taken_at: SimTime,
+    /// Single-receiver observed position, metres.
+    pub observed_position_m: f64,
+    /// File size.
+    pub size: Bytes,
+}
+
+/// A differential fix produced by pairing a base reading with a
+/// simultaneous reference reading.
+///
+/// §II: "In order to dramatically improve the accuracy of the position fix
+/// of a mobile object a simultaneous dGPS recording for a known location
+/// is needed." §III: "the readings from one station are less useful than
+/// when readings for both stations are available" — which is the entire
+/// reason the reading schedules are kept in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DgpsFix {
+    /// When the paired readings were taken.
+    pub taken_at: SimTime,
+    /// Differentially corrected down-flow position, metres.
+    pub position_m: f64,
+}
+
+/// Everything received from the field.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Warehouse {
+    gps: Vec<GpsRecord>,
+    probe_readings: BTreeMap<ProbeId, Vec<ProbeReading>>,
+    sensor_samples: u64,
+    logs_received: u64,
+    log_bytes: Bytes,
+    total_items: u64,
+}
+
+impl Warehouse {
+    /// Maximum skew between base and reference readings that still counts
+    /// as "simultaneous" for a differential fix.
+    pub const PAIRING_TOLERANCE: SimDuration = SimDuration::from_mins(10);
+
+    /// Creates an empty warehouse.
+    pub fn new() -> Self {
+        Warehouse::default()
+    }
+
+    /// Ingests one upload item.
+    pub fn ingest(&mut self, from: StationId, item: &UploadItem) {
+        self.total_items += 1;
+        match item {
+            UploadItem::GpsFile {
+                taken_at,
+                observed_position_m,
+                size,
+            } => self.gps.push(GpsRecord {
+                station: from,
+                taken_at: *taken_at,
+                observed_position_m: *observed_position_m,
+                size: *size,
+            }),
+            UploadItem::ProbeData(readings) => {
+                for r in readings {
+                    self.probe_readings.entry(r.probe_id).or_default().push(*r);
+                }
+            }
+            UploadItem::SensorData { samples, .. } => self.sensor_samples += samples,
+            UploadItem::SystemLog { size, .. } => {
+                self.logs_received += 1;
+                self.log_bytes += *size;
+            }
+        }
+    }
+
+    /// Raw GPS records from one station, time-ordered.
+    pub fn gps_records(&self, station: StationId) -> Vec<&GpsRecord> {
+        let mut v: Vec<&GpsRecord> = self.gps.iter().filter(|g| g.station == station).collect();
+        v.sort_by_key(|g| g.taken_at);
+        v
+    }
+
+    /// Produces differential fixes by pairing base readings with the
+    /// nearest reference reading within [`Warehouse::PAIRING_TOLERANCE`].
+    pub fn differential_fixes(&self) -> Vec<DgpsFix> {
+        let base = self.gps_records(StationId::Base);
+        let reference = self.gps_records(StationId::Reference);
+        let mut fixes = Vec::new();
+        for b in base {
+            let paired = reference.iter().find(|r| {
+                let skew = if r.taken_at > b.taken_at {
+                    r.taken_at.saturating_since(b.taken_at)
+                } else {
+                    b.taken_at.saturating_since(r.taken_at)
+                };
+                skew <= Self::PAIRING_TOLERANCE
+            });
+            if let Some(r) = paired {
+                // Differential correction: the reference knows its true
+                // position is 0, so its observed error corrects the base.
+                fixes.push(DgpsFix {
+                    taken_at: b.taken_at,
+                    position_m: b.observed_position_m - r.observed_position_m,
+                });
+            }
+        }
+        fixes
+    }
+
+    /// Fraction of base readings that could be differentially corrected —
+    /// the figure of merit of the §III synchronisation design.
+    pub fn pairing_yield(&self) -> f64 {
+        let base = self.gps_records(StationId::Base).len();
+        if base == 0 {
+            return 0.0;
+        }
+        self.differential_fixes().len() as f64 / base as f64
+    }
+
+    /// Probes that have delivered any data.
+    pub fn probes_reporting(&self) -> Vec<ProbeId> {
+        self.probe_readings.keys().copied().collect()
+    }
+
+    /// All readings from one probe, time-ordered.
+    pub fn probe_series(&self, probe: ProbeId) -> Vec<&ProbeReading> {
+        let mut v: Vec<&ProbeReading> = self
+            .probe_readings
+            .get(&probe)
+            .map(|v| v.iter().collect())
+            .unwrap_or_default();
+        v.sort_by_key(|r| r.time);
+        v
+    }
+
+    /// The Fig 6 product: a conductivity time series for one probe.
+    pub fn conductivity_series(&self, probe: ProbeId) -> TimeSeries {
+        let mut s = TimeSeries::new(format!("probe {probe} conductivity (uS)"));
+        for r in self.probe_series(probe) {
+            s.push(r.time, r.conductivity_us);
+        }
+        s
+    }
+
+    /// Subglacial water-pressure series for one probe, kPa — the other
+    /// half of the §I stick-slip analysis.
+    pub fn pressure_series(&self, probe: ProbeId) -> TimeSeries {
+        let mut s = TimeSeries::new(format!("probe {probe} pressure (kPa)"));
+        for r in self.probe_series(probe) {
+            s.push(r.time, r.pressure_kpa);
+        }
+        s
+    }
+
+    /// Case-tilt series for one probe, degrees (till-deformation studies).
+    pub fn tilt_series(&self, probe: ProbeId) -> TimeSeries {
+        let mut s = TimeSeries::new(format!("probe {probe} tilt (deg)"));
+        for r in self.probe_series(probe) {
+            s.push(r.time, r.tilt_deg);
+        }
+        s
+    }
+
+    /// Totals: (upload items, sensor samples, logs, log bytes).
+    pub fn totals(&self) -> (u64, u64, u64, Bytes) {
+        (self.total_items, self.sensor_samples, self.logs_received, self.log_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gps_item(taken_at: SimTime, pos: f64) -> UploadItem {
+        UploadItem::GpsFile {
+            taken_at,
+            observed_position_m: pos,
+            size: Bytes::from_kib(165),
+        }
+    }
+
+    fn t(h: u32, m: u32) -> SimTime {
+        SimTime::from_ymd_hms(2009, 9, 22, h, m, 0)
+    }
+
+    #[test]
+    fn pairs_simultaneous_readings_into_fixes() {
+        let mut w = Warehouse::new();
+        // Base observes truth 5.0 with +2.0 common-mode error; reference
+        // (truth 0) observes +2.0 as well → fix recovers 5.0.
+        w.ingest(StationId::Base, &gps_item(t(0, 30), 7.0));
+        w.ingest(StationId::Reference, &gps_item(t(0, 30), 2.0));
+        // An unpaired base reading (reference was in a lower state).
+        w.ingest(StationId::Base, &gps_item(t(2, 30), 7.5));
+        let fixes = w.differential_fixes();
+        assert_eq!(fixes.len(), 1);
+        assert!((fixes[0].position_m - 5.0).abs() < 1e-9);
+        assert!((w.pairing_yield() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairing_respects_the_tolerance() {
+        let mut w = Warehouse::new();
+        w.ingest(StationId::Base, &gps_item(t(0, 30), 1.0));
+        w.ingest(StationId::Reference, &gps_item(t(0, 39), 0.5));
+        assert_eq!(w.differential_fixes().len(), 1, "9 min skew pairs");
+        let mut w2 = Warehouse::new();
+        w2.ingest(StationId::Base, &gps_item(t(0, 30), 1.0));
+        w2.ingest(StationId::Reference, &gps_item(t(0, 41), 0.5));
+        assert_eq!(w2.differential_fixes().len(), 0, "11 min skew does not");
+    }
+
+    #[test]
+    fn probe_readings_accumulate_per_probe() {
+        let mut w = Warehouse::new();
+        let mk = |probe_id, seq, cond| ProbeReading {
+            probe_id,
+            seq,
+            time: t(0, 0) + SimDuration::from_hours(seq),
+            conductivity_us: cond,
+            pressure_kpa: 600.0,
+            tilt_deg: 1.0,
+            temp_c: -0.4,
+        };
+        w.ingest(StationId::Base, &UploadItem::ProbeData(vec![mk(21, 1, 2.0), mk(24, 1, 3.0)]));
+        w.ingest(StationId::Base, &UploadItem::ProbeData(vec![mk(21, 2, 2.5)]));
+        assert_eq!(w.probes_reporting(), vec![21, 24]);
+        let series = w.conductivity_series(21);
+        assert_eq!(series.len(), 2);
+        assert_eq!(w.probe_series(24).len(), 1);
+        assert!(w.conductivity_series(99).is_empty());
+        assert_eq!(w.pressure_series(21).len(), 2);
+        assert_eq!(w.tilt_series(24).len(), 1);
+        assert!((w.pressure_series(21).stats().mean - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_track_everything() {
+        let mut w = Warehouse::new();
+        w.ingest(
+            StationId::Base,
+            &UploadItem::SensorData {
+                samples: 48,
+                size: Bytes::from_kib(1),
+            },
+        );
+        w.ingest(
+            StationId::Base,
+            &UploadItem::SystemLog {
+                size: Bytes::from_kib(10),
+                special_results: vec![],
+            },
+        );
+        let (items, sensors, logs, log_bytes) = w.totals();
+        assert_eq!(items, 2);
+        assert_eq!(sensors, 48);
+        assert_eq!(logs, 1);
+        assert_eq!(log_bytes, Bytes::from_kib(10));
+    }
+
+    #[test]
+    fn empty_warehouse_yields_nothing() {
+        let w = Warehouse::new();
+        assert_eq!(w.pairing_yield(), 0.0);
+        assert!(w.differential_fixes().is_empty());
+        assert!(w.probes_reporting().is_empty());
+    }
+}

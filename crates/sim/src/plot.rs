@@ -1,0 +1,178 @@
+//! Terminal plotting for experiment output.
+//!
+//! The experiment harness regenerates the paper's *figures*; these helpers
+//! render them legibly in a terminal: sparklines for dense series, block
+//! charts for multi-row plots, and histograms for distributions.
+
+/// Unicode block glyphs from empty to full.
+const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a one-line sparkline of `values`, downsampled to at most
+/// `width` glyphs.
+///
+/// ```
+/// use glacsweb_sim::plot::sparkline;
+/// let line = sparkline(&[0.0, 0.5, 1.0, 0.5, 0.0], 5);
+/// assert_eq!(line.chars().count(), 5);
+/// assert!(line.starts_with('▁'));
+/// ```
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let bucket = (values.len() as f64 / width as f64).max(1.0);
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < values.len() && out.chars().count() < width {
+        let start = i as usize;
+        let end = ((i + bucket) as usize).min(values.len()).max(start + 1);
+        let mean = values[start..end].iter().sum::<f64>() / (end - start) as f64;
+        let x = if hi > lo { (mean - lo) / (hi - lo) } else { 0.5 };
+        out.push(GLYPHS[((x * 7.0).round() as usize).min(7)]);
+        i += bucket;
+    }
+    out
+}
+
+/// Renders a multi-line chart of `values` with `height` rows and at most
+/// `width` columns, plus a y-axis range annotation.
+///
+/// ```
+/// use glacsweb_sim::plot::line_chart;
+/// let chart = line_chart(&[1.0, 2.0, 3.0, 2.0, 1.0], 20, 4);
+/// assert_eq!(chart.lines().count(), 4);
+/// ```
+pub fn line_chart(values: &[f64], width: usize, height: usize) -> String {
+    if values.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let bucket = (values.len() as f64 / width as f64).max(1.0);
+    // Downsample to column means.
+    let mut cols = Vec::new();
+    let mut i = 0.0;
+    while (i as usize) < values.len() && cols.len() < width {
+        let start = i as usize;
+        let end = ((i + bucket) as usize).min(values.len()).max(start + 1);
+        cols.push(values[start..end].iter().sum::<f64>() / (end - start) as f64);
+        i += bucket;
+    }
+    let mut rows = vec![String::new(); height];
+    for &v in &cols {
+        let x = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+        // Total fill in eighths across the column's stack.
+        let eighths = (x * (height * 8) as f64).round() as usize;
+        for (r, row) in rows.iter_mut().enumerate() {
+            let row_index = height - 1 - r; // bottom row fills first
+            let filled = eighths.saturating_sub(row_index * 8).min(8);
+            row.push(match filled {
+                0 => ' ',
+                n => GLYPHS[n - 1],
+            });
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>8.2} ┤")
+        } else if r == height - 1 {
+            format!("{lo:>8.2} ┤")
+        } else {
+            "         │".to_string()
+        };
+        out.push_str(&label);
+        out.push_str(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a labelled horizontal bar chart; bars are scaled to the
+/// maximum value and `width` characters.
+///
+/// ```
+/// use glacsweb_sim::plot::bar_chart;
+/// let chart = bar_chart(&[("winter", 2.0), ("spring", 6.0)], 10);
+/// assert!(chart.contains("spring"));
+/// ```
+pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
+    let max = rows.iter().map(|&(_, v)| v).fold(f64::EPSILON, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for &(label, v) in rows {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} │{} {v:.2}\n",
+            "█".repeat(n)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0], 2);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_downsamples_to_width() {
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        let s = sparkline(&values, 60);
+        assert!(s.chars().count() <= 60);
+        assert!(s.chars().count() >= 55, "close to the target width");
+    }
+
+    #[test]
+    fn sparkline_flat_series_is_mid() {
+        let s = sparkline(&[5.0; 10], 10);
+        assert!(s.chars().all(|c| c == '▄' || c == '▅'));
+    }
+
+    #[test]
+    fn empty_inputs_render_empty() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        assert_eq!(line_chart(&[], 10, 3), "");
+        assert_eq!(bar_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn line_chart_has_requested_rows_and_axis() {
+        let values: Vec<f64> = (0..100).map(|i| (f64::from(i) / 10.0).sin()).collect();
+        let chart = line_chart(&values, 40, 6);
+        assert_eq!(chart.lines().count(), 6);
+        assert!(chart.contains("1.00"), "y-axis max label: {chart}");
+        assert!(chart.contains('┤'));
+    }
+
+    #[test]
+    fn line_chart_peak_is_on_top_row() {
+        let chart = line_chart(&[0.0, 0.0, 10.0, 0.0, 0.0], 5, 3);
+        let top = chart.lines().next().expect("rows");
+        assert!(top.chars().any(|c| GLYPHS.contains(&c)), "peak reaches top: {chart}");
+        let bottom = chart.lines().nth(2).expect("rows");
+        assert!(
+            bottom.chars().filter(|c| GLYPHS.contains(c)).count() >= 1,
+            "bottom row has the base: {chart}"
+        );
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = bar_chart(&[("a", 1.0), ("b", 2.0)], 10);
+        let a_bars = chart.lines().next().expect("a").matches('█').count();
+        let b_bars = chart.lines().nth(1).expect("b").matches('█').count();
+        assert_eq!(b_bars, 10);
+        assert_eq!(a_bars, 5);
+    }
+}

@@ -1,0 +1,265 @@
+//! Bounded structured tracing.
+//!
+//! The paper's §VI records a hard lesson: verbose field logs cost
+//! time/power/money to transfer (a probe reappearing after months produced
+//! over a megabyte of log). [`TraceLog`] therefore has a bounded capacity
+//! and per-level counters, and the station models account for the *size* of
+//! what they log when packaging the daily upload.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+use crate::units::Bytes;
+
+/// Severity of a trace event.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum TraceLevel {
+    /// Routine progress suitable for remote debugging.
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Recoverable anomalies (dropped link, missed packets).
+    Warn,
+    /// Failures requiring intervention or recovery logic.
+    Error,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured log line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Emitting component, e.g. `"base.controller"`.
+    pub source: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}: {}", self.time, self.level, self.source, self.message)
+    }
+}
+
+/// A bounded in-memory log with level filtering and size accounting.
+///
+/// # Example
+///
+/// ```
+/// use glacsweb_sim::{SimTime, TraceLevel, TraceLog};
+///
+/// let mut log = TraceLog::with_capacity(100);
+/// log.set_min_level(TraceLevel::Info);
+/// log.record(SimTime::from_unix(0), TraceLevel::Debug, "probe", "chatty");
+/// log.record(SimTime::from_unix(1), TraceLevel::Warn, "probe", "27 packets missing");
+/// assert_eq!(log.len(), 1); // the debug line was filtered
+/// assert_eq!(log.count(TraceLevel::Warn), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    min_level: TraceLevel,
+    counts: [u64; 4],
+    bytes: u64,
+}
+
+impl TraceLog {
+    /// Creates a log that keeps at most `capacity` events (older events are
+    /// discarded first once full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "log capacity must be non-zero");
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            min_level: TraceLevel::Debug,
+            counts: [0; 4],
+            bytes: 0,
+        }
+    }
+
+    /// Sets the minimum severity that will be retained.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Records an event (if at or above the minimum level).
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        let event = TraceEvent {
+            time,
+            level,
+            source: source.into(),
+            message: message.into(),
+        };
+        self.counts[level_index(level)] += 1;
+        // Size accounting mirrors what a textual logfile upload would cost.
+        self.bytes += event.source.len() as u64 + event.message.len() as u64 + 32;
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events recorded at `level` (including evicted ones).
+    pub fn count(&self, level: TraceLevel) -> u64 {
+        self.counts[level_index(level)]
+    }
+
+    /// Approximate serialized size of everything recorded so far — the cost
+    /// of shipping this log over GPRS.
+    pub fn transfer_size(&self) -> Bytes {
+        Bytes(self.bytes)
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Clears retained events and resets the size meter (counters for
+    /// totals are kept), modelling a daily log rotation after upload.
+    pub fn rotate(&mut self) -> Bytes {
+        let shipped = Bytes(self.bytes);
+        self.events.clear();
+        self.bytes = 0;
+        shipped
+    }
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::with_capacity(4096)
+    }
+}
+
+fn level_index(level: TraceLevel) -> usize {
+    match level {
+        TraceLevel::Debug => 0,
+        TraceLevel::Info => 1,
+        TraceLevel::Warn => 2,
+        TraceLevel::Error => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_unix(secs)
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut log = TraceLog::with_capacity(10);
+        log.record(t(0), TraceLevel::Info, "a", "one");
+        log.record(t(1), TraceLevel::Error, "a", "two");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.count(TraceLevel::Info), 1);
+        assert_eq!(log.count(TraceLevel::Error), 1);
+        assert_eq!(log.count(TraceLevel::Debug), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..5u64 {
+            log.record(t(i), TraceLevel::Info, "s", format!("m{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.iter().next().expect("non-empty");
+        assert_eq!(first.message, "m2");
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let mut log = TraceLog::with_capacity(10);
+        log.set_min_level(TraceLevel::Warn);
+        log.record(t(0), TraceLevel::Debug, "s", "nope");
+        log.record(t(0), TraceLevel::Info, "s", "nope");
+        log.record(t(0), TraceLevel::Warn, "s", "yes");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.count(TraceLevel::Debug), 0);
+    }
+
+    #[test]
+    fn transfer_size_grows_and_rotates() {
+        let mut log = TraceLog::with_capacity(100);
+        assert_eq!(log.transfer_size(), Bytes::ZERO);
+        log.record(t(0), TraceLevel::Info, "probe", "x".repeat(1000));
+        assert!(log.transfer_size().value() > 1000);
+        let shipped = log.rotate();
+        assert!(shipped.value() > 1000);
+        assert_eq!(log.transfer_size(), Bytes::ZERO);
+        assert!(log.is_empty());
+        // Totals survive rotation.
+        assert_eq!(log.count(TraceLevel::Info), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let ev = TraceEvent {
+            time: SimTime::from_ymd_hms(2009, 9, 22, 12, 0, 0),
+            level: TraceLevel::Warn,
+            source: "base".into(),
+            message: "hello".into(),
+        };
+        assert_eq!(ev.to_string(), "2009-09-22 12:00:00 [WARN] base: hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = TraceLog::with_capacity(0);
+    }
+}

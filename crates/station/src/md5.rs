@@ -1,0 +1,177 @@
+//! MD5, implemented from scratch (RFC 1321).
+//!
+//! §VI: "In order to make sure that the code has arrived at the station
+//! without corruption the code then has to have a checksum calculated …
+//! scripts on the system … automatically download the program, calculate
+//! a checksum and if it is correct replace the old file with the new one",
+//! with the computed MD5 reported back over an HTTP GET. MD5 is used here
+//! exactly as the paper used it — an integrity check against transfer
+//! corruption, not a security boundary.
+
+/// Per-round left-rotate amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants: `K[i] = floor(|sin(i + 1)| · 2³²)`.
+fn k_table() -> [u32; 64] {
+    let mut k = [0u32; 64];
+    for (i, slot) in k.iter_mut().enumerate() {
+        *slot = ((i as f64 + 1.0).sin().abs() * 4_294_967_296.0) as u32;
+    }
+    k
+}
+
+/// Computes the MD5 digest of `data`.
+///
+/// # Example
+///
+/// ```
+/// use glacsweb_station::md5::{md5, to_hex};
+///
+/// let digest = md5(b"");
+/// assert_eq!(to_hex(&digest), "d41d8cd98f00b204e9800998ecf8427e");
+/// ```
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let k = k_table();
+    let mut a0: u32 = 0x6745_2301;
+    let mut b0: u32 = 0xefcd_ab89;
+    let mut c0: u32 = 0x98ba_dcfe;
+    let mut d0: u32 = 0x1032_5476;
+
+    // Padding: 0x80, zeros, then the original bit length as little-endian
+    // u64, to a multiple of 64 bytes.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (j, word) in m.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                chunk[4 * j],
+                chunk[4 * j + 1],
+                chunk[4 * j + 2],
+                chunk[4 * j + 3],
+            ]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | (!b & d), i),
+                16..=31 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a
+                .wrapping_add(f)
+                .wrapping_add(k[i])
+                .wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(S[i]));
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// Renders a digest as the conventional lowercase hex string (what the
+/// verification script puts in its HTTP GET query).
+pub fn to_hex(digest: &[u8; 16]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(to_hex(&md5(input)), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            to_hex(&md5(b"The quick brown fox jumps over the lazy dog")),
+            "9e107d9d372bb6826bd81d3542a419d6"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Exercise messages straddling the 55/56/64-byte padding edges.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x5Au8; len];
+            let d1 = md5(&data);
+            let d2 = md5(&data);
+            assert_eq!(d1, d2, "len {len} deterministic");
+            // Flip one byte → different digest.
+            let mut flipped = data.clone();
+            flipped[len / 2] ^= 0xFF;
+            assert_ne!(md5(&flipped), d1, "len {len} sensitive to corruption");
+        }
+    }
+
+    proptest! {
+        /// Any single-bit corruption changes the digest — the property the
+        /// paper's update-verification script relies on.
+        #[test]
+        fn detects_single_bit_corruption(
+            data in proptest::collection::vec(any::<u8>(), 1..512),
+            bit in 0usize..4096,
+        ) {
+            let byte = (bit / 8) % data.len();
+            let mask = 1u8 << (bit % 8);
+            let mut corrupted = data.clone();
+            corrupted[byte] ^= mask;
+            prop_assert_ne!(md5(&corrupted), md5(&data));
+        }
+
+        /// Hex rendering is 32 lowercase hex chars.
+        #[test]
+        fn hex_format(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let h = to_hex(&md5(&data));
+            prop_assert_eq!(h.len(), 32);
+            prop_assert!(h.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The station ↔ Southampton server contract.
+//!
+//! §III: "the communications are managed by a server in Southampton" —
+//! stations never talk to each other. This trait is the station's view of
+//! that server; `glacsweb-server` provides the real implementation, and
+//! tests use small fakes.
+
+use glacsweb_probe::ProbeReading;
+use glacsweb_sim::{Bytes, CivilDate, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::power_state::PowerState;
+
+/// Which station is talking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StationId {
+    /// The glacier base station.
+    Base,
+    /// The dGPS reference station at the café.
+    Reference,
+}
+
+impl StationId {
+    /// The paired station.
+    pub fn other(self) -> StationId {
+        match self {
+            StationId::Base => StationId::Reference,
+            StationId::Reference => StationId::Base,
+        }
+    }
+}
+
+/// A "special" command script staged on the server for one station (§VI).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecialCommand {
+    /// Server-side identifier.
+    pub id: u64,
+    /// Script size (download cost).
+    pub size: Bytes,
+    /// How long the script runs on the Gumstix.
+    pub runtime: SimDuration,
+    /// Size of the output it writes into the normal log files (§VI: "the
+    /// output from the special file … just goes into the normal log
+    /// files", so it comes back with *tomorrow's* upload).
+    pub output_size: Bytes,
+}
+
+/// Result of executing a special command, delivered to the server inside
+/// the *next* day's log upload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecialResult {
+    /// Which command ran.
+    pub id: u64,
+    /// When it ran on the station.
+    pub executed_at: SimTime,
+    /// Output bytes that went into the log.
+    pub output_size: Bytes,
+}
+
+/// A staged code update (§VI): download, verify MD5, swap, report the
+/// checksum by HTTP GET.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeUpdate {
+    /// Target file name.
+    pub name: String,
+    /// The payload bytes (small — Python control code).
+    pub payload: Vec<u8>,
+    /// The MD5 the server advertises for the payload.
+    pub expected_md5: [u8; 16],
+}
+
+/// One item of a daily upload bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UploadItem {
+    /// A dGPS observation file.
+    GpsFile {
+        /// Recording start time.
+        taken_at: SimTime,
+        /// Observed down-flow position, metres.
+        observed_position_m: f64,
+        /// File size.
+        size: Bytes,
+    },
+    /// A batch of probe readings.
+    ProbeData(Vec<ProbeReading>),
+    /// Surface sensor and housekeeping data (voltage log etc.).
+    SensorData {
+        /// Number of samples in the batch.
+        samples: u64,
+        /// Serialized size.
+        size: Bytes,
+    },
+    /// The daily system log (§VI: "all messages or errors are redirected
+    /// to a standard logfile which is sent back daily with the data"),
+    /// carrying any special-command results from yesterday.
+    SystemLog {
+        /// Serialized size.
+        size: Bytes,
+        /// Special-command results embedded in the log.
+        special_results: Vec<SpecialResult>,
+    },
+}
+
+/// The station's view of the Southampton server.
+///
+/// Every method models one HTTP(S)/SCP exchange *after* the GPRS session
+/// is up; transport failures are handled by the caller around these
+/// calls. `report_checksum` exists as a separate tiny GET because the
+/// deployed `wget` could not POST (§VI).
+pub trait Uplink {
+    /// Uploads today's locally computed power state.
+    fn upload_power_state(&mut self, from: StationId, date: CivilDate, state: PowerState);
+
+    /// Delivers one completed upload item.
+    fn upload_item(&mut self, from: StationId, item: UploadItem);
+
+    /// Fetches the override state: the server returns the *lowest* of the
+    /// two stations' reported states (§III).
+    fn fetch_override(&mut self, for_station: StationId) -> Option<PowerState>;
+
+    /// Fetches the next staged special command, if any.
+    fn fetch_special(&mut self, for_station: StationId) -> Option<SpecialCommand>;
+
+    /// Fetches a staged code update, if any.
+    fn fetch_update(&mut self, for_station: StationId) -> Option<CodeUpdate>;
+
+    /// Reports an update's computed MD5 immediately via HTTP GET.
+    fn report_checksum(&mut self, from: StationId, file: &str, md5_hex: &str);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn station_pairing() {
+        assert_eq!(StationId::Base.other(), StationId::Reference);
+        assert_eq!(StationId::Reference.other(), StationId::Base);
+    }
+
+    #[test]
+    fn upload_items_serialize() {
+        let item = UploadItem::SystemLog {
+            size: Bytes::from_kib(12),
+            special_results: vec![SpecialResult {
+                id: 3,
+                executed_at: SimTime::from_ymd_hms(2009, 9, 22, 12, 40, 0),
+                output_size: Bytes(900),
+            }],
+        };
+        let json = serde_json::to_string(&item).expect("serialize");
+        let back: UploadItem = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, item);
+    }
+}

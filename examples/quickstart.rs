@@ -1,0 +1,44 @@
+//! Quickstart: build a two-station Glacsweb deployment, run two simulated
+//! weeks, and inspect what reached Southampton.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use glacsweb::Scenario;
+use glacsweb_station::StationId;
+
+fn main() {
+    // A benign lab bring-up: both stations on the bench, ideal GPRS,
+    // three probes, no mortality — the configuration used for pre-field
+    // verification (§VI of the paper).
+    let mut deployment = Scenario::lab_bringup().build();
+    println!("running 14 simulated days from {}…\n", deployment.now());
+    deployment.run_days(14);
+
+    println!("{}\n", deployment.summary());
+
+    println!("daily windows (base station):");
+    println!("day  state  probes  readings  gps  uploaded        drained");
+    for report in deployment.metrics().reports_for(StationId::Base) {
+        println!(
+            "{}  {:>5}  {:>6}  {:>8}  {:>3}  {:>14}  {}",
+            report.opened.date(),
+            report.applied_state.level(),
+            report.probes_contacted,
+            report.probe_readings,
+            report.gps_files_fetched,
+            report.upload.bytes_sent.to_string(),
+            report.upload.drained,
+        );
+    }
+
+    let warehouse = deployment.server().warehouse();
+    println!("\ndifferential dGPS fixes produced: {}", warehouse.differential_fixes().len());
+    for probe in warehouse.probes_reporting() {
+        let series = warehouse.conductivity_series(probe);
+        if let Some((t, v)) = series.last() {
+            println!("probe {probe}: {} readings, latest conductivity {v:.2} µS at {t}", series.len());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! §VI remote maintenance: staging a verified code update from
+//! Southampton and watching the checksum receipts come back.
+//!
+//! "In order to make sure that the code has arrived at the station without
+//! corruption the code then has to have a checksum calculated … the script
+//! that performs this verification uploads the MD5sum that it has
+//! calculated using a HTTP GET … this enables researchers to know
+//! immediately if the transfer was successful."
+//!
+//! ```text
+//! cargo run --example remote_update --release
+//! ```
+
+use glacsweb::Scenario;
+use glacsweb_station::md5::{md5, to_hex};
+use glacsweb_station::StationId;
+
+fn main() {
+    let mut deployment = Scenario::lab_bringup().build();
+    deployment.run_days(1);
+
+    // The researchers test new control code in the lab, hash it, stage it.
+    let new_code = b"#!/usr/bin/env python\n# v2 control loop with wider GPS window\n".to_vec();
+    let staged_hash = to_hex(&md5(&new_code));
+    println!("staging control.py update, md5 {staged_hash}");
+    deployment
+        .server_mut()
+        .desk_mut()
+        .stage_update(StationId::Base, "control.py", new_code);
+
+    // Run until the station reports the update applied (the 3 % in-flight
+    // corruption model occasionally forces a retry — exactly why the
+    // verification script exists).
+    let mut day = 1;
+    loop {
+        deployment.run_days(1);
+        day += 1;
+        let applied = deployment
+            .metrics()
+            .reports_for(StationId::Base)
+            .any(|r| r.update_applied.as_deref() == Some("control.py"));
+        let rejected = deployment
+            .metrics()
+            .reports_for(StationId::Base)
+            .filter(|r| r.update_rejected.as_deref() == Some("control.py"))
+            .count();
+        if applied {
+            println!("day {day}: update verified and installed ({rejected} corrupted transfer(s) rejected first)");
+            break;
+        }
+        if rejected > 0 {
+            // Restage after a rejected (corrupted) transfer.
+            deployment.server_mut().desk_mut().stage_update(
+                StationId::Base,
+                "control.py",
+                b"#!/usr/bin/env python\n# v2 control loop with wider GPS window\n".to_vec(),
+            );
+        }
+        assert!(day < 30, "should apply within days");
+    }
+
+    println!("\nchecksum receipts at Southampton (via HTTP GET):");
+    for (station, file, hex, matches) in deployment.server().desk().checksum_reports() {
+        println!(
+            "  {station:?} {file}: {hex} {}",
+            if *matches { "== staged (OK)" } else { "!= staged (transfer corrupted)" }
+        );
+    }
+
+    let status = deployment
+        .base()
+        .map(|b| b.status(deployment.env()))
+        .expect("base station");
+    println!("\nstation housekeeping after the update:\n{status:#?}");
+}

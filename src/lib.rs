@@ -1,0 +1,19 @@
+//! Facade crate for the Glacsweb reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so that the root `examples/`
+//! and `tests/` can exercise the whole system, and so that a downstream
+//! user can depend on a single crate.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use glacsweb as core;
+pub use glacsweb_env as env;
+pub use glacsweb_hw as hw;
+pub use glacsweb_link as link;
+pub use glacsweb_power as power;
+pub use glacsweb_probe as probe;
+pub use glacsweb_server as server;
+pub use glacsweb_sim as sim;
+pub use glacsweb_station as station;

@@ -1,0 +1,68 @@
+//! Reproducibility: identical seeds must replay identical deployments —
+//! the property that makes the experiment numbers in EXPERIMENTS.md
+//! stable and debuggable.
+
+use glacsweb::Scenario;
+use glacsweb_station::StationId;
+
+#[test]
+fn iceland_replays_bit_identically() {
+    let run = || {
+        let mut d = Scenario::iceland_2008().build();
+        d.run_days(25);
+        d
+    };
+    let a = run();
+    let b = run();
+
+    assert_eq!(a.summary(), b.summary());
+
+    // Window-report streams match exactly.
+    let ra: Vec<_> = a.metrics().window_reports().to_vec();
+    let rb: Vec<_> = b.metrics().window_reports().to_vec();
+    assert_eq!(ra, rb);
+
+    // Voltage traces match sample for sample.
+    for id in [StationId::Base, StationId::Reference] {
+        let va: Vec<_> = a.metrics().voltage_series(id).expect("series").iter().collect();
+        let vb: Vec<_> = b.metrics().voltage_series(id).expect("series").iter().collect();
+        assert_eq!(va, vb, "{id:?} voltage trace");
+    }
+
+    // The warehouses agree.
+    assert_eq!(
+        a.server().warehouse().differential_fixes(),
+        b.server().warehouse().differential_fixes()
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_weather() {
+    let mut a = Scenario::iceland_2008().build();
+    let mut b = Scenario::iceland_2008().seed(999).build();
+    a.run_days(20);
+    b.run_days(20);
+    let va: Vec<_> = a
+        .metrics()
+        .voltage_series(StationId::Base)
+        .expect("series")
+        .iter()
+        .map(|(_, v)| v)
+        .collect();
+    let vb: Vec<_> = b
+        .metrics()
+        .voltage_series(StationId::Base)
+        .expect("series")
+        .iter()
+        .map(|(_, v)| v)
+        .collect();
+    assert_ne!(va, vb, "weather should differ across seeds");
+}
+
+#[test]
+fn experiment_results_are_reproducible() {
+    use glacsweb::experiments::{backlog, retrieval, survival};
+    assert_eq!(retrieval::run(7), retrieval::run(7));
+    assert_eq!(survival::run(3, 200), survival::run(3, 200));
+    assert_eq!(backlog::run(1), backlog::run(1));
+}

@@ -1,0 +1,101 @@
+//! Whole-system integration: the Iceland scenario end to end.
+
+use glacsweb::Scenario;
+use glacsweb_sim::SimTime;
+use glacsweb_station::StationId;
+
+#[test]
+fn sixty_days_of_iceland_2008() {
+    let mut d = Scenario::iceland_2008().build();
+    d.run_days(60);
+    let s = d.summary();
+
+    // Two stations, one window each per day (minus any recovery sleeps).
+    assert!(s.windows_run >= 110, "windows {}", s.windows_run);
+    assert_eq!(s.power_losses, 0, "august deployment has plenty of power");
+
+    // Data actually flowed end to end.
+    assert!(s.probe_readings_received > 5_000, "readings {}", s.probe_readings_received);
+    assert!(s.data_uploaded.as_mib_f64() > 50.0, "uploaded {}", s.data_uploaded);
+    assert!(s.gprs_cost > 0.0);
+
+    // The §III synchronisation keeps dGPS readings pairable.
+    assert!(s.dgps_fixes > 300, "fixes {}", s.dgps_fixes);
+    assert!(s.dgps_pairing_yield > 0.7, "yield {}", s.dgps_pairing_yield);
+}
+
+#[test]
+fn probe_data_arrives_in_order_without_duplicates() {
+    let mut d = Scenario::iceland_2008().build();
+    d.run_days(30);
+    let warehouse = d.server().warehouse();
+    for probe in warehouse.probes_reporting() {
+        let series = warehouse.probe_series(probe);
+        assert!(!series.is_empty());
+        let mut seqs: Vec<u64> = series.iter().map(|r| r.seq).collect();
+        let n = seqs.len();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), n, "probe {probe} delivered duplicates");
+        // Time-ordered by construction of probe_series.
+        for pair in series.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+    }
+}
+
+#[test]
+fn power_states_track_the_season() {
+    // From high summer into early winter the base station must descend
+    // the Table II ladder (less sun, buried panel) rather than dying.
+    let mut d = Scenario::iceland_lessons_learnt().build();
+    d.run_until(SimTime::from_ymd_hms(2009, 1, 15, 0, 0, 0));
+    let metrics = d.metrics();
+    let august_states: Vec<u8> = metrics
+        .reports_for(StationId::Base)
+        .filter(|r| r.opened < SimTime::from_ymd_hms(2008, 9, 1, 0, 0, 0))
+        .map(|r| r.applied_state.level())
+        .collect();
+    let january_states: Vec<u8> = metrics
+        .reports_for(StationId::Base)
+        .filter(|r| r.opened >= SimTime::from_ymd_hms(2009, 1, 1, 0, 0, 0))
+        .map(|r| r.applied_state.level())
+        .collect();
+    let mean = |v: &[u8]| v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len().max(1) as f64;
+    assert!(mean(&august_states) > 2.5, "summer runs high: {:?}", mean(&august_states));
+    assert!(
+        mean(&january_states) < mean(&august_states),
+        "winter backs off: {} vs {}",
+        mean(&january_states),
+        mean(&august_states)
+    );
+    assert_eq!(d.summary().power_losses, 0, "the policy's whole point: survival");
+}
+
+#[test]
+fn both_station_roles_report_gps() {
+    let mut d = Scenario::iceland_2008().build();
+    d.run_days(20);
+    let warehouse = d.server().warehouse();
+    let base = warehouse.gps_records(StationId::Base).len();
+    let reference = warehouse.gps_records(StationId::Reference).len();
+    assert!(base > 50, "base recorded {base}");
+    assert!(reference > 50, "reference recorded {reference}");
+    // Differential fixes recover the glacier's displacement signal.
+    let fixes = warehouse.differential_fixes();
+    let first = fixes.first().expect("fixes exist").position_m;
+    let last = fixes.last().expect("fixes exist").position_m;
+    assert!(
+        last > first + 0.5,
+        "20 days of flow visible in the fixes: {first:.2} -> {last:.2} m"
+    );
+}
+
+#[test]
+fn log_files_reach_southampton_daily() {
+    let mut d = Scenario::iceland_2008().build();
+    d.run_days(15);
+    let (_, _, logs, log_bytes) = d.server().warehouse().totals();
+    assert!(logs >= 20, "daily logs from two stations: {logs}");
+    assert!(log_bytes.value() > 0);
+}

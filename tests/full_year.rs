@@ -1,0 +1,73 @@
+//! A full year on the glacier — the paper's actual deployment span
+//! (summer 2008 → autumn 2009, "the system is still running successfully
+//! in October").
+//!
+//! Debug builds skip this test (it simulates ~440 days of half-hourly
+//! events); `cargo test --release` runs it.
+
+use glacsweb::Scenario;
+use glacsweb_sim::SimTime;
+use glacsweb_station::StationId;
+
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run with --release")]
+#[test]
+fn one_year_on_vatnajokull() {
+    let mut d = Scenario::iceland_2008().build();
+    // August 2008 → October 2009, like the paper.
+    d.run_until(SimTime::from_ymd_hms(2009, 10, 1, 0, 0, 0));
+    let s = d.summary();
+
+    // "data has been continuously received": windows ran nearly every day
+    // on both stations for ~412 days.
+    assert!(s.windows_run > 750, "windows {}", s.windows_run);
+    assert_eq!(s.power_losses, 0, "the power design survives the winter");
+    assert_eq!(s.recoveries, 0, "no exhaustion, no recovery needed");
+
+    // §V probe survival: with the calibrated mortality, expect a 2008-like
+    // outcome (the field saw 4/7; accept the distribution's bulk).
+    assert!(
+        (2..=6).contains(&s.probes_alive),
+        "{}/7 probes alive after ~13.5 months",
+        s.probes_alive
+    );
+    assert!(!d.metrics().probe_deaths().is_empty(), "some probes died");
+
+    // Data products: a year of probe readings and dGPS fixes.
+    assert!(
+        s.probe_readings_received > 20_000,
+        "readings {}",
+        s.probe_readings_received
+    );
+    assert!(s.dgps_fixes > 1_500, "fixes {}", s.dgps_fixes);
+    assert!(s.dgps_pairing_yield > 0.6, "yield {}", s.dgps_pairing_yield);
+
+    // Seasonal behaviour: mean applied state by month descends into winter
+    // and recovers by summer.
+    let mean_state = |y: i32, m: u32| {
+        let from = SimTime::from_ymd_hms(y, m, 1, 0, 0, 0);
+        let to = SimTime::from_ymd_hms(y, m, 28, 0, 0, 0);
+        let states: Vec<f64> = d
+            .metrics()
+            .reports_for(StationId::Base)
+            .filter(|r| r.opened >= from && r.opened < to)
+            .map(|r| f64::from(r.applied_state.level()))
+            .collect();
+        states.iter().sum::<f64>() / states.len().max(1) as f64
+    };
+    let september = mean_state(2008, 9);
+    let january = mean_state(2009, 1);
+    let july = mean_state(2009, 7);
+    assert!(september > 2.5, "autumn runs high: {september}");
+    assert!(january < september, "winter backs off: {january} < {september}");
+    assert!(july > january, "summer recovers: {july} > {january}");
+
+    // The GPRS bill for the year is substantial but finite — the §II cost
+    // concern. ~1.9 MiB/day of state-3 data at 4 units/MiB.
+    assert!(s.gprs_cost > 100.0);
+    assert!(s.gprs_cost < 10_000.0);
+
+    // The dashboard reflects a living system.
+    let page = d.server().dashboard();
+    assert!(page.contains("Base: last reported"));
+    assert!(page.contains("pairing yield"));
+}

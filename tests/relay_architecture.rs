@@ -1,0 +1,121 @@
+//! The §II architecture decision, end to end: the same base station run
+//! with its own GPRS modem versus relaying through the reference station
+//! over the 466 MHz PPP link.
+//!
+//! "One advantage of the separation of the systems in this way is that
+//! they become independent. This independence means that the failure of
+//! one will not adversely affect the other whereas using the previous
+//! scheme if the reference station failed in any way then all
+//! communication with the base station would also cease."
+
+use glacsweb::{DeploymentBuilder, Scenario};
+use glacsweb_env::EnvConfig;
+use glacsweb_link::GprsConfig;
+use glacsweb_sim::{AmpHours, SimTime};
+use glacsweb_station::{CommsPath, StationConfig};
+
+#[test]
+fn relay_architecture_delivers_data_while_the_partner_lives() {
+    let mut d = Scenario::iceland_relay_architecture().build();
+    d.run_days(20);
+    let s = d.summary();
+    // Data still gets home over the relay — slower link, more drops, but
+    // the file-by-file machinery is identical.
+    assert!(s.probe_readings_received > 1_000, "readings {}", s.probe_readings_received);
+    assert!(s.data_uploaded.value() > 0);
+    // The radio modem, not the GPRS modem, carries the base's bytes.
+    let base = d.base().expect("base");
+    let radio_wh = base.rail().loads().energy("radio_modem").expect("metered");
+    let gprs_wh = base.rail().loads().energy("gprs").expect("metered");
+    assert!(radio_wh.value() > 0.5, "radio modem worked: {radio_wh}");
+    assert_eq!(gprs_wh.value(), 0.0, "the base has no GPRS in this architecture");
+}
+
+#[test]
+fn reference_failure_silences_a_relay_base_but_not_a_gprs_base() {
+    let run = |comms: CommsPath| {
+        let start = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+        let mut base = StationConfig::base_2008();
+        base.comms = comms;
+        base.gprs = GprsConfig::ideal();
+        // A reference station doomed to die quickly: tiny bank, no
+        // chargers.
+        let mut reference = StationConfig::reference_2008();
+        reference.battery = AmpHours(1.0);
+        reference.initial_soc = 0.3;
+        reference.solar = None;
+        reference.mains = None;
+        let mut d = DeploymentBuilder::new(EnvConfig::lab())
+            .seed(9)
+            .start(start)
+            .base(base)
+            .reference(reference)
+            .probes(1)
+            .build();
+        d.run_days(30);
+        d
+    };
+
+    let gprs = run(CommsPath::DualGprs);
+    let relay = run(CommsPath::RelayViaReference);
+
+    // The reference dies in both runs.
+    assert!(gprs.reference().expect("ref").power_losses() >= 1);
+    assert!(relay.reference().expect("ref").power_losses() >= 1);
+
+    // Dual GPRS: the base barely notices.
+    let gprs_delivered = gprs.summary().probe_readings_received;
+    assert!(gprs_delivered > 500, "independent base keeps delivering: {gprs_delivered}");
+
+    // Relay: deliveries stop when the partner dies; the data waits on the
+    // glacier.
+    let relay_delivered = relay.summary().probe_readings_received;
+    assert!(
+        relay_delivered < gprs_delivered / 2,
+        "coupled base mostly silenced: {relay_delivered} vs {gprs_delivered}"
+    );
+    let stranded = relay.base().expect("base").store().backlog_bytes();
+    assert!(stranded.value() > 0, "data buffered locally, §I-style");
+}
+
+#[test]
+fn relay_costs_more_modem_energy_for_the_same_payload() {
+    // Same site, same window of days, both architectures healthy.
+    let run = |comms: CommsPath| {
+        let start = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+        let mut base = StationConfig::base_2008();
+        base.comms = comms;
+        base.gprs = GprsConfig::field();
+        let mut d = DeploymentBuilder::new(EnvConfig::lab())
+            .seed(10)
+            .start(start)
+            .base(base)
+            .reference(StationConfig::reference_2008())
+            .probes(1)
+            .build();
+        d.run_days(15);
+        d
+    };
+    let gprs = run(CommsPath::DualGprs);
+    let relay = run(CommsPath::RelayViaReference);
+    let gprs_wh = gprs
+        .base()
+        .expect("base")
+        .rail()
+        .loads()
+        .energy("gprs")
+        .expect("metered")
+        .value();
+    let radio_wh = relay
+        .base()
+        .expect("base")
+        .rail()
+        .loads()
+        .energy("radio_modem")
+        .expect("metered")
+        .value();
+    assert!(
+        radio_wh > 1.5 * gprs_wh,
+        "the 3.96 W / 2000 bps relay burns more than the 2.64 W / 5000 bps modem: {radio_wh} vs {gprs_wh}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Serialisation round-trips for everything a field operator would
+//! persist or ship: configurations, schedules, reports and experiment
+//! results. The real system stored configuration on flash and shipped
+//! structured records to Southampton; snapshot-ability is part of the
+//! public contract.
+
+use glacsweb_env::EnvConfig;
+use glacsweb_link::GprsConfig;
+use glacsweb_probe::{MortalityModel, ProtocolConfig};
+use glacsweb_sim::{SimDuration, SimTime};
+use glacsweb_station::{
+    ControllerConfig, PolicyTable, PowerState, Schedule, StationConfig, UploadItem,
+};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn env_configs_round_trip() {
+    for config in [EnvConfig::vatnajokull(), EnvConfig::briksdalsbreen(), EnvConfig::lab()] {
+        assert_eq!(round_trip(&config), config);
+    }
+}
+
+#[test]
+fn station_configs_round_trip() {
+    for config in [StationConfig::base_2008(), StationConfig::reference_2008()] {
+        assert_eq!(round_trip(&config), config);
+    }
+}
+
+#[test]
+fn controller_and_protocol_configs_round_trip() {
+    for config in [
+        ControllerConfig::deployed_2008(),
+        ControllerConfig::lessons_learnt(),
+        ControllerConfig::with_priority_data(),
+    ] {
+        assert_eq!(round_trip(&config), config);
+    }
+    for config in [ProtocolConfig::deployed_2008(), ProtocolConfig::fixed()] {
+        assert_eq!(round_trip(&config), config);
+    }
+    assert_eq!(round_trip(&GprsConfig::field()), GprsConfig::field());
+    assert_eq!(round_trip(&PolicyTable::paper()), PolicyTable::paper());
+    assert_eq!(
+        round_trip(&MortalityModel::paper_2008()),
+        MortalityModel::paper_2008()
+    );
+}
+
+#[test]
+fn schedule_and_states_round_trip() {
+    for state in PowerState::ALL {
+        assert_eq!(round_trip(&state), state);
+        let schedule = Schedule::standard(state);
+        assert_eq!(round_trip(&schedule), schedule);
+    }
+}
+
+#[test]
+fn window_reports_round_trip() {
+    // Run a real window and snapshot its report.
+    let mut d = glacsweb::Scenario::lab_bringup().build();
+    d.run_days(2);
+    for report in d.metrics().window_reports() {
+        assert_eq!(&round_trip(report), report);
+    }
+    assert!(!d.metrics().window_reports().is_empty());
+}
+
+#[test]
+fn upload_items_round_trip_through_the_wire_format() {
+    let item = UploadItem::GpsFile {
+        taken_at: SimTime::from_ymd_hms(2009, 9, 22, 0, 30, 0),
+        observed_position_m: 12.5,
+        size: glacsweb_sim::Bytes::from_kib(165),
+    };
+    assert_eq!(round_trip(&item), item);
+}
+
+#[test]
+fn experiment_results_serialize_for_the_json_dump() {
+    // The `experiments --json` flag relies on every result serialising.
+    let t1 = glacsweb::experiments::table1::run();
+    let json = serde_json::to_string_pretty(&t1).expect("table1");
+    assert!(json.contains("Gumstix"));
+
+    let t2 = glacsweb::experiments::table2::run();
+    let back: glacsweb::experiments::table2::Table2 =
+        serde_json::from_str(&serde_json::to_string(&t2).expect("ser")).expect("de");
+    assert_eq!(back, t2);
+
+    let s = glacsweb::experiments::survival::run(1, 50);
+    let back: glacsweb::experiments::survival::Survival =
+        serde_json::from_str(&serde_json::to_string(&s).expect("ser")).expect("de");
+    assert_eq!(back, s);
+}
+
+#[test]
+fn sim_time_serialises_compactly() {
+    let t = SimTime::from_ymd_hms(2009, 9, 22, 12, 0, 0);
+    let json = serde_json::to_string(&t).expect("serialize");
+    // A bare integer — cheap to ship over a paid-per-MB link.
+    assert_eq!(json, t.unix().to_string());
+    let d = SimDuration::from_hours(2);
+    assert_eq!(serde_json::to_string(&d).expect("serialize"), "7200");
+}
