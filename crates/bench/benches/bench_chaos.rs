@@ -1,0 +1,29 @@
+//! E16 bench — fault-plan scheduling overhead and a full chaos run.
+//!
+//! The per-level comparison only means anything if the fault machinery
+//! itself is cheap: the baseline (empty plan) and the worst-case plan are
+//! timed over the same two simulated weeks to expose the event-loop cost
+//! of injection, clearance and window classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb::experiments::chaos;
+use glacsweb::Scenario;
+
+fn two_weeks(intensity: u32) -> glacsweb::DeploymentSummary {
+    let mut d = Scenario::iceland_2008()
+        .fault_plan(chaos::plan_for(intensity))
+        .build();
+    d.run_days(14);
+    d.summary()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos");
+    g.sample_size(10);
+    g.bench_function("two_weeks_no_faults", |b| b.iter(|| two_weeks(0)));
+    g.bench_function("two_weeks_full_catalogue", |b| b.iter(|| two_weeks(3)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -123,6 +123,11 @@ fn main() -> ExitCode {
                 print!("{}", r.render());
                 dump_json(&options.json_dir, name, &r);
             }
+            "chaos" => {
+                let r = exp::chaos::run(seed);
+                print!("{}", r.render());
+                dump_json(&options.json_dir, name, &r);
+            }
             _ => unreachable!("validated against EXPERIMENTS"),
         }
         println!("({name} finished in {:.1?})", started.elapsed());

@@ -34,7 +34,11 @@ fn lifetime_vs_duty() {
         rows.push((readings, days));
     }
     for &(readings, days) in &rows {
-        let marker = if readings == 12 { "  <- state 3 (117 d in the paper)" } else { "" };
+        let marker = if readings == 12 {
+            "  <- state 3 (117 d in the paper)"
+        } else {
+            ""
+        };
         println!("{readings:>3}/day: {days:>7.0} days{marker}");
     }
     println!();
@@ -89,11 +93,21 @@ fn misses_vs_wetness(seed: u64) {
             probe.sample(&env, t, &mut rng);
         }
         let mut session = FetchSession::new(21, ProtocolConfig::fixed());
-        let out = session.run(&mut probe, &link, loss, SimDuration::from_hours(4), &mut rng);
+        let out = session.run(
+            &mut probe,
+            &link,
+            loss,
+            SimDuration::from_hours(4),
+            &mut rng,
+        );
         rows.push((loss_pct, out.missing_after_bulk));
     }
     for &(loss, missed) in &rows {
-        let marker = if loss == 13 { "  <- the paper's wet summer (~400)" } else { "" };
+        let marker = if loss == 13 {
+            "  <- the paper's wet summer (~400)"
+        } else {
+            ""
+        };
         println!("{loss:>3}% loss: {missed:>5} missed{marker}");
     }
     let values: Vec<f64> = rows.iter().map(|&(_, m)| m as f64).collect();

@@ -28,6 +28,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "science",
     "priority",
     "sites",
+    "chaos",
 ];
 
 /// Parsed command line of the `experiments` binary.
@@ -88,8 +89,8 @@ mod tests {
     }
 
     #[test]
-    fn fifteen_experiments_cover_the_paper_plus_extensions() {
-        assert_eq!(EXPERIMENTS.len(), 15);
+    fn sixteen_experiments_cover_the_paper_plus_extensions() {
+        assert_eq!(EXPERIMENTS.len(), 16);
     }
 
     #[test]

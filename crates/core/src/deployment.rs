@@ -1,9 +1,10 @@
 //! The deployment world: builder and deterministic event loop.
 
 use glacsweb_env::{EnvConfig, Environment};
+use glacsweb_faults::{Fault, FaultPlan, FaultTarget, WindowClass};
 use glacsweb_probe::{MortalityModel, ProbeFirmware};
 use glacsweb_server::SouthamptonServer;
-use glacsweb_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use glacsweb_sim::{Bytes, EventQueue, SimDuration, SimRng, SimTime};
 use glacsweb_station::{Station, StationConfig, StationId};
 
 use crate::metrics::{DeploymentSummary, Metrics};
@@ -18,6 +19,10 @@ enum WorldEvent {
     Window(StationId),
     /// Hourly sampling pass over every probe.
     ProbeSample,
+    /// A fault-plan entry activates (index into the plan's specs).
+    FaultOn(usize),
+    /// A non-instantaneous fault clears.
+    FaultOff(usize),
 }
 
 /// Builds a [`Deployment`].
@@ -49,6 +54,7 @@ pub struct DeploymentBuilder {
     probes: u32,
     mortality: Option<MortalityModel>,
     probe_interval: SimDuration,
+    fault_plan: FaultPlan,
 }
 
 impl DeploymentBuilder {
@@ -63,6 +69,7 @@ impl DeploymentBuilder {
             probes: 0,
             mortality: None,
             probe_interval: SimDuration::from_hours(1),
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -108,6 +115,22 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Installs a deterministic fault schedule: every entry activates and
+    /// clears as a normal world event, so identical seeds + plans replay
+    /// the exact same chaos.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid (see
+    /// [`FaultPlan::validate`](glacsweb_faults::FaultPlan::validate)).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        self.fault_plan = plan;
+        self
+    }
+
     /// Builds the deployment.
     ///
     /// # Panics
@@ -143,7 +166,10 @@ impl DeploymentBuilder {
 
         let mut queue = EventQueue::new();
         if base.is_some() {
-            queue.push(self.start + SimDuration::from_mins(30), WorldEvent::Tick(StationId::Base));
+            queue.push(
+                self.start + SimDuration::from_mins(30),
+                WorldEvent::Tick(StationId::Base),
+            );
             queue.push(
                 self.start.next_time_of_day(12, 0, 0),
                 WorldEvent::Window(StationId::Base),
@@ -162,6 +188,9 @@ impl DeploymentBuilder {
         if !probes.is_empty() {
             queue.push(self.start + self.probe_interval, WorldEvent::ProbeSample);
         }
+        for (onset, spec) in self.fault_plan.first_onsets(self.start) {
+            queue.push(onset, WorldEvent::FaultOn(spec));
+        }
 
         Deployment {
             env,
@@ -176,6 +205,7 @@ impl DeploymentBuilder {
             start: self.start,
             now: self.start,
             metrics: Metrics::new(),
+            fault_plan: self.fault_plan,
         }
     }
 }
@@ -207,6 +237,7 @@ pub struct Deployment {
     start: SimTime,
     now: SimTime,
     metrics: Metrics,
+    fault_plan: FaultPlan,
 }
 
 impl Deployment {
@@ -278,6 +309,8 @@ impl Deployment {
                 WorldEvent::Tick(id) => self.handle_tick(id, t),
                 WorldEvent::Window(id) => self.handle_window(id, t),
                 WorldEvent::ProbeSample => self.handle_probe_sample(t),
+                WorldEvent::FaultOn(spec) => self.handle_fault_on(spec, t),
+                WorldEvent::FaultOff(spec) => self.handle_fault_off(spec, t),
             }
         }
         // Advance everything to the horizon.
@@ -305,7 +338,10 @@ impl Deployment {
         let mut data_uploaded = glacsweb_sim::Bytes::ZERO;
         let mut gprs_cost = 0.0;
         let mut base_discharged = glacsweb_sim::WattHours::ZERO;
-        for station in [self.base.as_ref(), self.reference.as_ref()].into_iter().flatten() {
+        for station in [self.base.as_ref(), self.reference.as_ref()]
+            .into_iter()
+            .flatten()
+        {
             let (run, cut, rec) = station.stats();
             windows_run += run;
             windows_cut += cut;
@@ -323,6 +359,7 @@ impl Deployment {
             .iter()
             .map(|&p| warehouse.probe_series(p).len())
             .sum();
+        let faults = self.metrics.fault_summary();
         DeploymentSummary {
             days: (self.now.saturating_since(self.start)).as_days_f64(),
             windows_run,
@@ -337,7 +374,15 @@ impl Deployment {
             dgps_fixes: warehouse.differential_fixes().len(),
             dgps_pairing_yield: warehouse.pairing_yield(),
             base_energy_discharged: base_discharged,
+            faults_injected: faults.injected,
+            faults_recovered: faults.recovered,
+            mean_mttr_hours: faults.mean_mttr_hours,
         }
+    }
+
+    /// The installed fault schedule (empty when none was supplied).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     fn station_mut(&mut self, id: StationId) -> Option<&mut Station> {
@@ -345,6 +390,135 @@ impl Deployment {
             StationId::Base => self.base.as_mut(),
             StationId::Reference => self.reference.as_mut(),
         }
+    }
+
+    fn station_ref(&self, id: StationId) -> Option<&Station> {
+        match id {
+            StationId::Base => self.base.as_ref(),
+            StationId::Reference => self.reference.as_ref(),
+        }
+    }
+
+    /// The upload backlog a fault against `target` strands. A server
+    /// outage strands both stations' data; the base station's (the
+    /// data-heavy one) stands in for it.
+    fn backlog_of(&self, target: FaultTarget) -> Option<Bytes> {
+        let station = match target {
+            FaultTarget::Base | FaultTarget::Probe(_) | FaultTarget::Server => self.base.as_ref(),
+            FaultTarget::Reference => self.reference.as_ref(),
+        };
+        station.map(|s| s.store().backlog_bytes())
+    }
+
+    fn handle_fault_on(&mut self, spec: usize, t: SimTime) {
+        let Some(s) = self.fault_plan.specs().get(spec).copied() else {
+            return;
+        };
+        self.metrics
+            .record_fault_on(spec, s.fault.label(), s.target, t);
+        let env = &mut self.env;
+        let station = match s.target {
+            FaultTarget::Base | FaultTarget::Probe(_) => self.base.as_mut(),
+            FaultTarget::Reference => self.reference.as_mut(),
+            FaultTarget::Server => None,
+        };
+        match s.fault {
+            Fault::ServerUnreachable => self.server.set_unreachable(true),
+            Fault::GprsDegradation { severity } => {
+                if let Some(st) = station {
+                    st.set_gprs_degradation(severity);
+                }
+            }
+            Fault::Rs232Fault => {
+                if let Some(st) = station {
+                    st.inject_rs232_fault(true);
+                }
+            }
+            Fault::SdCorruption => {
+                if let Some(st) = station {
+                    st.inject_card_corruption();
+                }
+            }
+            Fault::PowerFailure => {
+                if let Some(st) = station {
+                    st.force_power_failure(env, t);
+                }
+            }
+            Fault::StuckTransfer => {
+                if let Some(st) = station {
+                    st.inject_stuck_transfer(true);
+                }
+            }
+            Fault::ProbeRadioBlackout => match s.target {
+                FaultTarget::Probe(id) => {
+                    if let Some(p) = self.probes.iter_mut().find(|p| p.id() == id) {
+                        p.set_radio_ok(false);
+                    }
+                }
+                _ => {
+                    if let Some(st) = station {
+                        st.set_wired_probe_ok(false);
+                    }
+                }
+            },
+        }
+        if s.fault.is_instantaneous() {
+            // Fires and is done: the fault condition does not persist,
+            // only its consequences (corruption to recover, a battery to
+            // recharge).
+            let backlog = self.backlog_of(s.target);
+            self.metrics.record_fault_off(spec, t, backlog);
+        } else {
+            self.queue.push(t + s.duration, WorldEvent::FaultOff(spec));
+        }
+        if let Some(every) = s.recurrence {
+            self.queue.push(t + every, WorldEvent::FaultOn(spec));
+        }
+    }
+
+    fn handle_fault_off(&mut self, spec: usize, t: SimTime) {
+        let Some(s) = self.fault_plan.specs().get(spec).copied() else {
+            return;
+        };
+        let station = match s.target {
+            FaultTarget::Base | FaultTarget::Probe(_) => self.base.as_mut(),
+            FaultTarget::Reference => self.reference.as_mut(),
+            FaultTarget::Server => None,
+        };
+        match s.fault {
+            Fault::ServerUnreachable => self.server.set_unreachable(false),
+            Fault::GprsDegradation { .. } => {
+                if let Some(st) = station {
+                    st.set_gprs_degradation(1.0);
+                }
+            }
+            Fault::Rs232Fault => {
+                if let Some(st) = station {
+                    st.inject_rs232_fault(false);
+                }
+            }
+            Fault::StuckTransfer => {
+                if let Some(st) = station {
+                    st.inject_stuck_transfer(false);
+                }
+            }
+            Fault::ProbeRadioBlackout => match s.target {
+                FaultTarget::Probe(id) => {
+                    if let Some(p) = self.probes.iter_mut().find(|p| p.id() == id) {
+                        p.set_radio_ok(true);
+                    }
+                }
+                _ => {
+                    if let Some(st) = station {
+                        st.set_wired_probe_ok(true);
+                    }
+                }
+            },
+            // Instantaneous faults never schedule a FaultOff.
+            Fault::SdCorruption | Fault::PowerFailure => {}
+        }
+        let backlog = self.backlog_of(s.target);
+        self.metrics.record_fault_off(spec, t, backlog);
     }
 
     fn handle_tick(&mut self, id: StationId, t: SimTime) {
@@ -369,7 +543,8 @@ impl Deployment {
                 }
             }
         }
-        self.queue.push(t + SimDuration::from_mins(30), WorldEvent::Tick(id));
+        self.queue
+            .push(t + SimDuration::from_mins(30), WorldEvent::Tick(id));
     }
 
     fn handle_window(&mut self, id: StationId, t: SimTime) {
@@ -378,7 +553,11 @@ impl Deployment {
         let probes = &mut self.probes;
         // Relay-architecture stations can only reach the internet while
         // their partner is alive (§II's failure coupling).
-        let reference_up = self.reference.as_ref().map(|r| r.is_powered()).unwrap_or(false);
+        let reference_up = self
+            .reference
+            .as_ref()
+            .map(|r| r.is_powered())
+            .unwrap_or(false);
         let report = match id {
             StationId::Base => self.base.as_mut().and_then(|s| {
                 s.set_wan_partner_up(reference_up);
@@ -389,8 +568,36 @@ impl Deployment {
                 .as_mut()
                 .and_then(|s| s.on_window(env, t, &mut [], server)),
         };
-        if let Some(report) = report {
-            self.metrics.record_window(report);
+        // Classify the window for the recovery tracker: healthy service,
+        // degraded (ran but cut/died/never attached), or lost outright
+        // (station unpowered at window time).
+        let target = match id {
+            StationId::Base => FaultTarget::Base,
+            StationId::Reference => FaultTarget::Reference,
+        };
+        match report {
+            Some(report) => {
+                let healthy =
+                    !report.cut_by_watchdog && !report.died_mid_window && report.gprs_connected;
+                let class = if healthy {
+                    WindowClass::Healthy
+                } else {
+                    WindowClass::Degraded
+                };
+                let backlog = self
+                    .station_ref(id)
+                    .map(|s| s.store().backlog_bytes())
+                    .unwrap_or(Bytes::ZERO);
+                self.metrics.record_fault_window(target, t, class, backlog);
+                self.metrics.record_window(report);
+            }
+            None => {
+                if let Some(s) = self.station_ref(id) {
+                    let backlog = s.store().backlog_bytes();
+                    self.metrics
+                        .record_fault_window(target, t, WindowClass::Lost, backlog);
+                }
+            }
         }
         // The next window comes from the (possibly rewritten) schedule; an
         // unpowered station still gets its ROM midday wake.
@@ -412,7 +619,8 @@ impl Deployment {
             }
             probe.sample(&self.env, t, &mut self.probe_rng);
         }
-        self.queue.push(t + self.probe_interval, WorldEvent::ProbeSample);
+        self.queue
+            .push(t + self.probe_interval, WorldEvent::ProbeSample);
     }
 }
 
@@ -442,7 +650,10 @@ mod tests {
         let summary = d.summary();
         assert_eq!(summary.windows_run, 10, "2 stations × 5 days");
         assert_eq!(summary.power_losses, 0);
-        assert!(summary.probe_readings_received > 0, "probe data reached the server");
+        assert!(
+            summary.probe_readings_received > 0,
+            "probe data reached the server"
+        );
     }
 
     #[test]
@@ -503,7 +714,11 @@ mod tests {
         let series = d.metrics().voltage_series(StationId::Base).expect("series");
         // 48 half-hourly samples plus 12 mid-dGPS-session dip samples per
         // day in state 3, for 2 days (±boundary effects).
-        assert!((110..=125).contains(&series.len()), "{} samples", series.len());
+        assert!(
+            (110..=125).contains(&series.len()),
+            "{} samples",
+            series.len()
+        );
     }
 
     #[test]

@@ -137,8 +137,16 @@ pub fn run(seed: u64) -> Ablation {
     // 0.9 W → Wh/day / 0.9 W = h/day.
     let measured_gumstix_min_per_day = gumstix_wh / days / 0.9 * 60.0;
 
-    let fixed_s3 = outcome(&winter_run(pinned(PowerState::S3), PowerState::S3, seed + 1));
-    let fixed_s1 = outcome(&winter_run(pinned(PowerState::S1), PowerState::S1, seed + 2));
+    let fixed_s3 = outcome(&winter_run(
+        pinned(PowerState::S3),
+        PowerState::S3,
+        seed + 1,
+    ));
+    let fixed_s1 = outcome(&winter_run(
+        pinned(PowerState::S1),
+        PowerState::S1,
+        seed + 2,
+    ));
 
     // Study 1: survival arithmetic on the same 36 Ah bank, no charging.
     let bank_wh = 36.0 * 12.0;
@@ -204,7 +212,11 @@ mod tests {
     #[test]
     fn duty_cycling_extends_life_by_an_order_of_magnitude() {
         let a = run(11);
-        assert!(a.always_on_days < 25.0, "always-on dies in ~20 days: {}", a.always_on_days);
+        assert!(
+            a.always_on_days < 25.0,
+            "always-on dies in ~20 days: {}",
+            a.always_on_days
+        );
         assert!(
             a.duty_cycled_days > 10.0 * a.always_on_days,
             "duty cycling {}x",

@@ -61,7 +61,12 @@ fn simulate_dual_gprs(payload: Bytes, seed: u64) -> ArchResult {
         let attach_ok = !rng.bernoulli(0.07) || !rng.bernoulli(0.07); // one retry
         let setup = SimDuration::from_secs(45);
         let transfer = gprs.transfer_time(payload);
-        let on = setup + if attach_ok { transfer } else { SimDuration::ZERO };
+        let on = setup
+            + if attach_ok {
+                transfer
+            } else {
+                SimDuration::ZERO
+            };
         energy += gprs.power().over(on);
         airtime += on;
         if attach_ok {
@@ -75,8 +80,7 @@ fn simulate_dual_gprs(payload: Bytes, seed: u64) -> ArchResult {
         energy_per_day_wh: energy.value() / f64::from(DAYS),
         delivery_ratio: f64::from(delivered_days) / f64::from(DAYS),
         airtime_min_per_day: airtime.as_secs() as f64 / 60.0 / f64::from(DAYS),
-        loss_during_partner_outage: f64::from(lost_during_outage)
-            / f64::from(DAYS - OUTAGE_FROM),
+        loss_during_partner_outage: f64::from(lost_during_outage) / f64::from(DAYS - OUTAGE_FROM),
     }
 }
 
@@ -91,7 +95,8 @@ fn simulate_relay(payload: Bytes, seed: u64) -> ArchResult {
     let mut lost_during_outage = 0u32;
     let window = SimDuration::from_secs(table1::WATCHDOG_LIMIT_SECS);
     for day in 0..DAYS {
-        let noon = SimTime::from_ymd_hms(2008, 10, 1, 12, 0, 0) + SimDuration::from_days(u64::from(day));
+        let noon =
+            SimTime::from_ymd_hms(2008, 10, 1, 12, 0, 0) + SimDuration::from_days(u64::from(day));
         if day >= OUTAGE_FROM {
             // Reference station dead ⇒ the relay path is gone entirely.
             lost_during_outage += 1;
@@ -127,8 +132,7 @@ fn simulate_relay(payload: Bytes, seed: u64) -> ArchResult {
         energy_per_day_wh: energy.value() / f64::from(DAYS),
         delivery_ratio: f64::from(delivered_days) / f64::from(DAYS),
         airtime_min_per_day: airtime.as_secs() as f64 / 60.0 / f64::from(DAYS),
-        loss_during_partner_outage: f64::from(lost_during_outage)
-            / f64::from(DAYS - OUTAGE_FROM),
+        loss_during_partner_outage: f64::from(lost_during_outage) / f64::from(DAYS - OUTAGE_FROM),
     }
 }
 

@@ -93,7 +93,7 @@ pub fn run(seed: u64) -> Backlog {
         // Fill 300 readings so pending_bytes ≫ window, then ask about the
         // oldest single file (not stuck) versus a synthetic giant.
         pathological.take_reading(t0, 0.0, &mut rng2);
-        
+
         !pathological.stuck_file(window)
     };
 
@@ -134,8 +134,16 @@ mod tests {
     #[test]
     fn bounds_match_the_paper() {
         let b = run(1);
-        assert!((b.state3_overflow_days - 21.0).abs() < 1.5, "{}", b.state3_overflow_days);
-        assert!((b.state2_overflow_days - 259.0).abs() < 10.0, "{}", b.state2_overflow_days);
+        assert!(
+            (b.state3_overflow_days - 21.0).abs() < 1.5,
+            "{}",
+            b.state3_overflow_days
+        );
+        assert!(
+            (b.state2_overflow_days - 259.0).abs() < 10.0,
+            "{}",
+            b.state2_overflow_days
+        );
     }
 
     #[test]

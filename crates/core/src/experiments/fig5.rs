@@ -60,17 +60,27 @@ pub fn run(seed: u64) -> Fig5 {
         .reference(reference)
         .build();
     // Hold in state 2 from Southampton…
-    d.server_mut().states_mut().set_manual_cap(Some(PowerState::S2));
+    d.server_mut()
+        .states_mut()
+        .set_manual_cap(Some(PowerState::S2));
     d.run_until(release_at);
     // …then release the override.
     d.server_mut().states_mut().set_manual_cap(None);
     d.run_until(plot_end);
 
     let metrics = d.metrics();
-    let vs = metrics.voltage_series(StationId::Base).expect("voltage series");
+    let vs = metrics
+        .voltage_series(StationId::Base)
+        .expect("voltage series");
     let ss = metrics.state_series(StationId::Base).expect("state series");
-    let voltage: Vec<(u64, f64)> = vs.window(plot_start, plot_end).map(|(t, v)| (t.unix(), v)).collect();
-    let state: Vec<(u64, f64)> = ss.window(plot_start, plot_end).map(|(t, v)| (t.unix(), v)).collect();
+    let voltage: Vec<(u64, f64)> = vs
+        .window(plot_start, plot_end)
+        .map(|(t, v)| (t.unix(), v))
+        .collect();
+    let state: Vec<(u64, f64)> = ss
+        .window(plot_start, plot_end)
+        .map(|(t, v)| (t.unix(), v))
+        .collect();
 
     // Hour of the mean diurnal voltage maximum, averaged over the whole
     // run so wind gusts average out and the solar-charging signal shows —
@@ -115,7 +125,10 @@ pub fn run(seed: u64) -> Fig5 {
         }
     }
     let mean_dip_interval_hours = if dips.len() >= 2 {
-        let spans: Vec<f64> = dips.windows(2).map(|w| (w[1].0 - w[0].0) as f64 / 3600.0).collect();
+        let spans: Vec<f64> = dips
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0) as f64 / 3600.0)
+            .collect();
         spans.iter().sum::<f64>() / spans.len() as f64
     } else {
         0.0
@@ -135,7 +148,10 @@ pub fn run(seed: u64) -> Fig5 {
 
     let stats_window: Vec<f64> = voltage.iter().map(|&(_, v)| v).collect();
     let v_min = stats_window.iter().cloned().fold(f64::INFINITY, f64::min);
-    let v_max = stats_window.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let v_max = stats_window
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
 
     Fig5 {
         voltage,
@@ -204,7 +220,11 @@ mod tests {
             "dip interval {} h",
             f.mean_dip_interval_hours
         );
-        assert!(f.mean_dip_depth_v > 0.03, "visible dips: {}", f.mean_dip_depth_v);
+        assert!(
+            f.mean_dip_depth_v > 0.03,
+            "visible dips: {}",
+            f.mean_dip_depth_v
+        );
         // Override release moves the station into state 3 mid-plot.
         assert!(f.state3_entered_day.is_some());
         // Voltage stays in a plausible lead-acid band.

@@ -21,10 +21,12 @@
 //! | [`science`] | extension: stick-slip vs water-pressure analysis (§I goal) |
 //! | [`priority`] | extension: §VII priority-forced communication |
 //! | [`sites`] | extension: §II Norway vs Iceland winter comparison |
+//! | [`chaos`] | extension: §VI fault catalogue as chaos schedules |
 
 pub mod ablation;
 pub mod architecture;
 pub mod backlog;
+pub mod chaos;
 pub mod depletion;
 pub mod fig5;
 pub mod fig6;

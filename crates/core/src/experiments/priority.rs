@@ -153,7 +153,10 @@ mod tests {
             p.with_priority.max_conductivity_seen
         );
         let day = p.with_priority.first_data_day.expect("data arrived");
-        assert!(day >= 7, "the event takes days of melt to trigger: day {day}");
+        assert!(
+            day >= 7,
+            "the event takes days of melt to trigger: day {day}"
+        );
     }
 
     #[test]

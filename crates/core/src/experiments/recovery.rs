@@ -65,13 +65,15 @@ pub fn run(seed: u64) -> Recovery {
     // before the recovery one.
     let first_loss_day = first_recovery.map(|rec| {
         let last_alive = metrics
-            .reports_for(StationId::Base).rfind(|r| r.opened < rec && !r.recovered)
+            .reports_for(StationId::Base)
+            .rfind(|r| r.opened < rec && !r.recovered)
             .map(|r| r.opened)
             .unwrap_or(rec);
         last_alive.saturating_since(start).as_days_f64()
     });
     let state_by_summer = metrics
-        .reports_for(StationId::Base).rfind(|r| r.opened >= SimTime::from_ymd_hms(2009, 7, 1, 0, 0, 0))
+        .reports_for(StationId::Base)
+        .rfind(|r| r.opened >= SimTime::from_ymd_hms(2009, 7, 1, 0, 0, 0))
         .map(|r| r.applied_state.level());
     let (windows_run, _, recoveries) = station.stats();
     Recovery {

@@ -210,7 +210,10 @@ mod tests {
     fn deployed_code_aborts_but_recovers_in_subsequent_days() {
         let r = run(8);
         assert!(r.deployed.aborted, "the §V field failure reproduces");
-        assert_eq!(r.deployed.delivered, 3000, "everything still arrives eventually");
+        assert_eq!(
+            r.deployed.delivered, 3000,
+            "everything still arrives eventually"
+        );
         assert!(r.deployed.days_to_complete >= 2);
     }
 
@@ -246,7 +249,11 @@ mod tests {
         let r = run(12);
         assert_eq!(r.bursty.delivered, 3000);
         assert!(!r.bursty.aborted);
-        assert!(r.bursty.days_to_complete <= 10, "{}", r.bursty.days_to_complete);
+        assert!(
+            r.bursty.days_to_complete <= 10,
+            "{}",
+            r.bursty.days_to_complete
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ pub fn run(seed: u64) -> Science {
     // Ground truth ratio from the environment's slip counter is not
     // separable per-day retrospectively; approximate with total slip
     // activity scaled by melt (reported for context).
-    let true_slip_ratio = if low.abs() > 1e-9 { high / low } else { f64::INFINITY };
+    let true_slip_ratio = if low.abs() > 1e-9 {
+        high / low
+    } else {
+        f64::INFINITY
+    };
 
     Science {
         fixes_used: fixes.len(),
@@ -175,9 +179,14 @@ mod tests {
     fn velocity_recovered_within_ten_percent() {
         let s = run(2009);
         assert!(s.fixes_used > 200, "fixes {}", s.fixes_used);
-        let rel = (s.velocity_m_per_day - s.true_velocity_m_per_day).abs()
-            / s.true_velocity_m_per_day;
-        assert!(rel < 0.10, "velocity {} vs truth {}", s.velocity_m_per_day, s.true_velocity_m_per_day);
+        let rel =
+            (s.velocity_m_per_day - s.true_velocity_m_per_day).abs() / s.true_velocity_m_per_day;
+        assert!(
+            rel < 0.10,
+            "velocity {} vs truth {}",
+            s.velocity_m_per_day,
+            s.true_velocity_m_per_day
+        );
     }
 
     #[test]

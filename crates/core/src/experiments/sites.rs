@@ -140,7 +140,11 @@ mod tests {
     #[test]
     fn iceland_buries_norway_does_not() {
         let s = run(2008);
-        assert!(s.iceland.peak_snow_m > 1.2, "Iceland snow buries the panel: {}", s.iceland.peak_snow_m);
+        assert!(
+            s.iceland.peak_snow_m > 1.2,
+            "Iceland snow buries the panel: {}",
+            s.iceland.peak_snow_m
+        );
         assert!(
             s.norway.peak_snow_m < s.iceland.peak_snow_m / 2.0,
             "Norway snow {} vs Iceland {}",

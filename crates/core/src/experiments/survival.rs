@@ -108,19 +108,23 @@ mod tests {
     fn means_match_the_field_record() {
         let s = run(1, 2000);
         assert!((s.mean_alive_1y - 4.0).abs() < 0.15, "{}", s.mean_alive_1y);
-        assert!((s.mean_alive_18mo - 2.0).abs() < 0.15, "{}", s.mean_alive_18mo);
+        assert!(
+            (s.mean_alive_18mo - 2.0).abs() < 0.15,
+            "{}",
+            s.mean_alive_18mo
+        );
     }
 
     #[test]
     fn the_observed_outcome_is_likely() {
         // 4/7 should be the modal (or near-modal) cohort outcome.
         let s = run(2, 2000);
-        assert!(s.fraction_exactly_4_of_7 > 0.2, "{}", s.fraction_exactly_4_of_7);
-        let max = s
-            .distribution_1y
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        assert!(
+            s.fraction_exactly_4_of_7 > 0.2,
+            "{}",
+            s.fraction_exactly_4_of_7
+        );
+        let max = s.distribution_1y.iter().cloned().fold(0.0f64, f64::max);
         assert!(s.distribution_1y[4] >= max - 0.05, "4 is near-modal");
     }
 

@@ -138,7 +138,10 @@ mod tests {
             last = s;
             seen[s as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all four states appear in the sweep");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all four states appear in the sweep"
+        );
     }
 
     #[test]

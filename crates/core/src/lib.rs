@@ -36,3 +36,10 @@ mod scenario;
 pub use deployment::{Deployment, DeploymentBuilder};
 pub use metrics::{DeploymentSummary, Metrics};
 pub use scenario::Scenario;
+
+// Re-exported so experiment and test code can build chaos schedules
+// without naming the faults crate directly.
+pub use glacsweb_faults::{
+    Fault, FaultPlan, FaultRecord, FaultRecoverySummary, FaultSpec, FaultTarget, RetryPolicy,
+    WindowClass,
+};

@@ -2,6 +2,9 @@
 
 use std::collections::BTreeMap;
 
+use glacsweb_faults::{
+    FaultRecord, FaultRecoverySummary, FaultTarget, RecoveryTracker, WindowClass,
+};
 use glacsweb_sim::{Bytes, SimTime, TimeSeries, WattHours};
 use glacsweb_station::{StationId, WindowReport};
 use serde::{Deserialize, Serialize};
@@ -13,6 +16,7 @@ pub struct Metrics {
     state: BTreeMap<StationId, TimeSeries>,
     reports: Vec<WindowReport>,
     probe_deaths: Vec<(SimTime, u32)>,
+    faults: RecoveryTracker,
 }
 
 impl Metrics {
@@ -75,6 +79,41 @@ impl Metrics {
     pub fn probe_deaths(&self) -> &[(SimTime, u32)] {
         &self.probe_deaths
     }
+
+    /// Records a fault activation (called by the event loop when a
+    /// [`FaultPlan`](glacsweb_faults::FaultPlan) entry fires).
+    pub fn record_fault_on(&mut self, spec: usize, label: &str, target: FaultTarget, t: SimTime) {
+        self.faults.activate(spec, label, target, t);
+    }
+
+    /// Records a fault clearance, with the affected station's upload
+    /// backlog at that instant (drainage is tracked until it empties).
+    pub fn record_fault_off(&mut self, spec: usize, t: SimTime, backlog: Option<Bytes>) {
+        self.faults.clear(spec, t, backlog);
+    }
+
+    /// Classifies one station window for every fault that touches the
+    /// station — degraded/lost counting before clearance, restoration
+    /// (MTTR) after.
+    pub fn record_fault_window(
+        &mut self,
+        station: FaultTarget,
+        t: SimTime,
+        class: WindowClass,
+        backlog: Bytes,
+    ) {
+        self.faults.note_window(station, t, class, backlog);
+    }
+
+    /// Per-activation fault records, in activation order.
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        self.faults.records()
+    }
+
+    /// Aggregated fault-recovery statistics.
+    pub fn fault_summary(&self) -> FaultRecoverySummary {
+        self.faults.summary()
+    }
 }
 
 /// A one-page summary of a deployment run.
@@ -106,6 +145,12 @@ pub struct DeploymentSummary {
     pub dgps_pairing_yield: f64,
     /// Total energy drawn from the base-station battery.
     pub base_energy_discharged: WattHours,
+    /// Fault activations injected by the chaos schedule.
+    pub faults_injected: u64,
+    /// Faults whose target returned to a healthy window (MTTR known).
+    pub faults_recovered: u64,
+    /// Mean time-to-recovery over recovered faults, hours (0 when none).
+    pub mean_mttr_hours: f64,
 }
 
 impl std::fmt::Display for DeploymentSummary {
@@ -125,10 +170,15 @@ impl std::fmt::Display for DeploymentSummary {
             self.dgps_fixes,
             self.dgps_pairing_yield * 100.0
         )?;
-        write!(
+        writeln!(
             f,
             "  probes: {}/{} alive; base battery discharged {}",
             self.probes_alive, self.probes_deployed, self.base_energy_discharged
+        )?;
+        write!(
+            f,
+            "  faults: {} injected, {} recovered (mean MTTR {:.1} h)",
+            self.faults_injected, self.faults_recovered, self.mean_mttr_hours
         )
     }
 }
@@ -145,7 +195,10 @@ mod tests {
         m.record_state(StationId::Base, t, 3);
         m.record_voltage(StationId::Reference, t, 12.8);
         assert_eq!(m.voltage_series(StationId::Base).map(|s| s.len()), Some(1));
-        assert_eq!(m.voltage_series(StationId::Reference).map(|s| s.len()), Some(1));
+        assert_eq!(
+            m.voltage_series(StationId::Reference).map(|s| s.len()),
+            Some(1)
+        );
         assert_eq!(m.state_series(StationId::Reference), None);
     }
 
@@ -165,10 +218,41 @@ mod tests {
             dgps_fixes: 300,
             dgps_pairing_yield: 0.85,
             base_energy_discharged: WattHours(900.0),
+            faults_injected: 4,
+            faults_recovered: 3,
+            mean_mttr_hours: 26.5,
         };
         let text = s.to_string();
         assert!(text.contains("30.0 days"));
         assert!(text.contains("5/7 alive"));
         assert!(text.contains("85% paired"));
+        assert!(text.contains("4 injected, 3 recovered (mean MTTR 26.5 h)"));
+    }
+
+    #[test]
+    fn fault_records_flow_through_metrics() {
+        let mut m = Metrics::new();
+        let t0 = SimTime::from_ymd_hms(2009, 6, 1, 12, 0, 0);
+        m.record_fault_on(0, "rs232_fault", FaultTarget::Base, t0);
+        let day = glacsweb_sim::SimDuration::from_days(1);
+        m.record_fault_window(
+            FaultTarget::Base,
+            t0 + day,
+            WindowClass::Degraded,
+            Bytes(512),
+        );
+        m.record_fault_off(0, t0 + day * 2, Some(Bytes(512)));
+        m.record_fault_window(
+            FaultTarget::Base,
+            t0 + day * 3,
+            WindowClass::Healthy,
+            Bytes::ZERO,
+        );
+        let s = m.fault_summary();
+        assert_eq!(s.injected, 1);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.windows_degraded, 1);
+        assert_eq!(m.fault_records().len(), 1);
+        assert_eq!(s.backlogs_drained, 1);
     }
 }

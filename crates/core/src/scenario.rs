@@ -109,7 +109,11 @@ mod tests {
         let mut d = Scenario::iceland_2008().build();
         d.run_days(7);
         let s = d.summary();
-        assert!(s.windows_run >= 10, "two stations, most days: {}", s.windows_run);
+        assert!(
+            s.windows_run >= 10,
+            "two stations, most days: {}",
+            s.windows_run
+        );
         assert_eq!(s.probes_deployed, 7);
     }
 

@@ -1,6 +1,6 @@
 //! Environment configuration.
 
-use glacsweb_sim::SimDuration;
+use glacsweb_sim::{ConfigError, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the synthetic glacier environment.
@@ -131,12 +131,16 @@ impl EnvConfig {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(-90.0..=90.0).contains(&self.latitude_deg) {
-            return Err(format!("latitude {} out of range", self.latitude_deg));
+            return Err(ConfigError::new(
+                "env",
+                "latitude_deg",
+                format!("latitude {} out of range", self.latitude_deg),
+            ));
         }
         if self.tick.as_secs() == 0 {
-            return Err("tick must be non-zero".into());
+            return Err(ConfigError::new("env", "tick", "tick must be non-zero"));
         }
         for (name, p) in [
             ("cloud_clear_fraction", self.cloud_clear_fraction),
@@ -144,15 +148,27 @@ impl EnvConfig {
             ("probe_loss_wet", self.probe_loss_wet),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("{name} {p} not a probability"));
+                return Err(ConfigError::new(
+                    "env",
+                    name,
+                    format!("{p} not a probability"),
+                ));
             }
         }
         if self.probe_loss_wet < self.probe_loss_dry {
-            return Err("wet ice cannot be more radio-transparent than dry ice".into());
+            return Err(ConfigError::new(
+                "env",
+                "probe_loss_wet",
+                "wet ice cannot be more radio-transparent than dry ice",
+            ));
         }
         let (a, b) = self.cafe_season_months;
         if !(1..=12).contains(&a) || !(1..=12).contains(&b) || a > b {
-            return Err(format!("invalid café season {a}..={b}"));
+            return Err(ConfigError::new(
+                "env",
+                "cafe_season_months",
+                format!("invalid café season {a}..={b}"),
+            ));
         }
         Ok(())
     }

@@ -136,14 +136,17 @@ impl Environment {
             self.wind.step(dt_hours, &mut self.rng);
             self.snow.step(dt_days, temp, self.now, &mut self.rng);
             self.hydrology.step(dt_days, temp);
-            self.motion
-                .step(dt_days, self.hydrology.water_pressure(self.now), &mut self.rng);
+            self.motion.step(
+                dt_days,
+                self.hydrology.water_pressure(self.now),
+                &mut self.rng,
+            );
             // Cloud: mean-reverting around the configured clear fraction.
             let target = self.config.cloud_clear_fraction;
             let decay = (-dt_hours / 8.0).exp();
             let noise = self.rng.normal(0.0, 0.15 * (1.0 - decay * decay).sqrt());
-            self.cloud_factor = ((self.cloud_factor - target) * decay + target + noise)
-                .clamp(0.05, 1.0);
+            self.cloud_factor =
+                ((self.cloud_factor - target) * decay + target + noise).clamp(0.05, 1.0);
         }
     }
 
@@ -269,7 +272,11 @@ mod tests {
         e.advance_to(t0 + SimDuration::from_days(110));
         assert!(e.snow_depth_m() > 0.5, "snow {}", e.snow_depth_m());
         assert!(e.melt_index() < 0.1, "melt {}", e.melt_index());
-        assert!(e.probe_packet_loss() < 0.05, "winter loss {}", e.probe_packet_loss());
+        assert!(
+            e.probe_packet_loss() < 0.05,
+            "winter loss {}",
+            e.probe_packet_loss()
+        );
     }
 
     #[test]
@@ -279,7 +286,11 @@ mod tests {
         e.advance_to(t0);
         e.advance_to(SimTime::from_ymd_hms(2009, 7, 25, 0, 0, 0));
         assert!(e.melt_index() > 0.4, "melt {}", e.melt_index());
-        assert!(e.probe_packet_loss() > 0.08, "summer loss {}", e.probe_packet_loss());
+        assert!(
+            e.probe_packet_loss() > 0.08,
+            "summer loss {}",
+            e.probe_packet_loss()
+        );
         assert!(e.bed_conductivity_microsiemens() > 5.0);
     }
 
@@ -306,11 +317,26 @@ mod tests {
 
     #[test]
     fn season_classification() {
-        assert_eq!(Season::of(SimTime::from_ymd_hms(2009, 1, 5, 0, 0, 0)), Season::Winter);
-        assert_eq!(Season::of(SimTime::from_ymd_hms(2009, 12, 5, 0, 0, 0)), Season::Winter);
-        assert_eq!(Season::of(SimTime::from_ymd_hms(2009, 4, 5, 0, 0, 0)), Season::Spring);
-        assert_eq!(Season::of(SimTime::from_ymd_hms(2009, 8, 5, 0, 0, 0)), Season::Summer);
-        assert_eq!(Season::of(SimTime::from_ymd_hms(2009, 10, 5, 0, 0, 0)), Season::Autumn);
+        assert_eq!(
+            Season::of(SimTime::from_ymd_hms(2009, 1, 5, 0, 0, 0)),
+            Season::Winter
+        );
+        assert_eq!(
+            Season::of(SimTime::from_ymd_hms(2009, 12, 5, 0, 0, 0)),
+            Season::Winter
+        );
+        assert_eq!(
+            Season::of(SimTime::from_ymd_hms(2009, 4, 5, 0, 0, 0)),
+            Season::Spring
+        );
+        assert_eq!(
+            Season::of(SimTime::from_ymd_hms(2009, 8, 5, 0, 0, 0)),
+            Season::Summer
+        );
+        assert_eq!(
+            Season::of(SimTime::from_ymd_hms(2009, 10, 5, 0, 0, 0)),
+            Season::Autumn
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl Hydrology {
     ///
     /// Panics if `melt_index` is outside `[0, 1]`.
     pub fn with_index(melt_index: f64) -> Self {
-        assert!((0.0..=1.0).contains(&melt_index), "index {melt_index} out of range");
+        assert!(
+            (0.0..=1.0).contains(&melt_index),
+            "index {melt_index} out of range"
+        );
         Hydrology { melt_index }
     }
 
@@ -49,7 +52,11 @@ impl Hydrology {
     /// water drains slower than it arrives).
     pub fn step(&mut self, dt_days: f64, temp_c: f64) {
         let melt_drive = (temp_c / 4.0).clamp(0.0, 1.0);
-        let tau_days = if melt_drive > self.melt_index { 10.0 } else { 25.0 };
+        let tau_days = if melt_drive > self.melt_index {
+            10.0
+        } else {
+            25.0
+        };
         let alpha = 1.0 - (-dt_days / tau_days).exp();
         self.melt_index += alpha * (melt_drive - self.melt_index);
         self.melt_index = self.melt_index.clamp(0.0, 1.0);
@@ -155,7 +162,10 @@ mod tests {
         let morning = h.water_pressure(SimTime::from_ymd_hms(2009, 7, 1, 5, 0, 0));
         assert!(afternoon > morning, "{afternoon} vs {morning}");
         let dry = Hydrology::new();
-        assert_eq!(dry.water_pressure(SimTime::from_ymd_hms(2009, 1, 1, 17, 0, 0)), 0.0);
+        assert_eq!(
+            dry.water_pressure(SimTime::from_ymd_hms(2009, 1, 1, 17, 0, 0)),
+            0.0
+        );
     }
 
     #[test]

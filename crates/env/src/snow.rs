@@ -54,7 +54,11 @@ impl SnowPack {
         depth_m: f64,
     ) -> Self {
         assert!(depth_m >= 0.0, "depth must be non-negative");
-        let mut s = SnowPack::new(storm_rate_winter_per_day, snow_per_storm_m, melt_m_per_degree_day);
+        let mut s = SnowPack::new(
+            storm_rate_winter_per_day,
+            snow_per_storm_m,
+            melt_m_per_degree_day,
+        );
         s.depth_m = depth_m;
         s
     }

@@ -22,8 +22,7 @@ use serde::{Deserialize, Serialize};
 pub fn solar_elevation_deg(latitude_deg: f64, t: SimTime) -> f64 {
     let doy = f64::from(t.day_of_year());
     // Solar declination (Cooper's formula).
-    let decl = 23.44_f64.to_radians()
-        * (std::f64::consts::TAU * (284.0 + doy) / 365.0).sin();
+    let decl = 23.44_f64.to_radians() * (std::f64::consts::TAU * (284.0 + doy) / 365.0).sin();
     // Hour angle: 15° per hour from solar noon. The site is close enough to
     // the UTC meridian (Iceland is UTC year-round) that clock noon ≈ solar
     // noon.
@@ -109,7 +108,10 @@ mod tests {
             let f = m.clear_sky_fraction(day + SimDuration::from_hours(h));
             assert!(f <= noon + 1e-9, "hour {h}: {f} > noon {noon}");
         }
-        assert!(noon > 0.2, "equinox noon should have meaningful sun: {noon}");
+        assert!(
+            noon > 0.2,
+            "equinox noon should have meaningful sun: {noon}"
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ mod tests {
         let m = iceland();
         let noon = m.seasonal_c(SimTime::from_ymd_hms(2009, 4, 10, 15, 0, 0));
         let night = m.seasonal_c(SimTime::from_ymd_hms(2009, 4, 10, 3, 0, 0));
-        assert!((noon - night - 6.0).abs() < 0.1, "diurnal swing {}", noon - night);
+        assert!(
+            (noon - night - 6.0).abs() < 0.1,
+            "diurnal swing {}",
+            noon - night
+        );
     }
 
     #[test]

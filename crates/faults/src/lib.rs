@@ -1,0 +1,66 @@
+//! Deterministic fault injection for the Glacsweb reproduction.
+//!
+//! §VI of the paper is a catalogue of everything that went wrong on the
+//! glacier: GPRS attaches degrading with the weather, the intermittent
+//! RS-232 cable to the dGPS, CF-card filesystem corruption, the
+//! Southampton server going dark, total battery exhaustion resetting the
+//! RTC, the probe radio gateway dying, and SCP transfers hanging until
+//! the watchdog cut the power. The seed reproduction could inject each of
+//! these only by hand-toggling a mutator mid-run, which made chaos
+//! experiments ad-hoc and non-replayable.
+//!
+//! This crate unifies them:
+//!
+//! * [`Fault`] — one variant per §VI failure mode;
+//! * [`FaultSpec`] / [`FaultPlan`] — a declarative schedule (target,
+//!   onset, duration, optional recurrence) the deployment event loop
+//!   replays deterministically from its seed;
+//! * [`RetryPolicy`] — exponential backoff with jitter and a max-attempt
+//!   bound, adopted by the GPRS attach path and the server control
+//!   fetches (deadline-capped by the station watchdog at the call site);
+//! * [`RecoveryTracker`] — per-fault MTTR, windows degraded vs lost while
+//!   a fault was active, and backlog drainage after clearance.
+//!
+//! The crate deliberately depends only on `glacsweb-sim` so every other
+//! layer (link, station, server, core) can depend on it without cycles;
+//! *applying* a fault to a station or server stays in `glacsweb` core,
+//! which calls the same thin mutators (`inject_rs232_fault`,
+//! `inject_card_corruption`, `set_unreachable`, …) that used to be
+//! toggled by hand.
+//!
+//! # Example
+//!
+//! ```
+//! use glacsweb_faults::{Fault, FaultPlan, FaultSpec, FaultTarget};
+//! use glacsweb_sim::SimDuration;
+//!
+//! let plan = FaultPlan::new()
+//!     .with(FaultSpec::new(
+//!         Fault::ServerUnreachable,
+//!         FaultTarget::Server,
+//!         SimDuration::from_days(3),
+//!         SimDuration::from_days(7),
+//!     ))
+//!     .with(
+//!         FaultSpec::new(
+//!             Fault::Rs232Fault,
+//!             FaultTarget::Base,
+//!             SimDuration::from_days(1),
+//!             SimDuration::from_days(2),
+//!         )
+//!         .recurring(SimDuration::from_days(10)),
+//!     );
+//! plan.validate().expect("coherent schedule");
+//! assert_eq!(plan.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod retry;
+mod tracker;
+
+pub use fault::{Fault, FaultPlan, FaultSpec, FaultTarget};
+pub use retry::RetryPolicy;
+pub use tracker::{FaultRecord, FaultRecoverySummary, RecoveryTracker, WindowClass};

@@ -76,7 +76,10 @@ impl fmt::Display for BusError {
         match self {
             BusError::Truncated => write!(f, "frame truncated"),
             BusError::Checksum { expected, computed } => {
-                write!(f, "checksum mismatch: frame {expected:#06x}, computed {computed:#06x}")
+                write!(
+                    f,
+                    "checksum mismatch: frame {expected:#06x}, computed {computed:#06x}"
+                )
             }
             BusError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
             BusError::Malformed => write!(f, "malformed payload"),
@@ -147,7 +150,9 @@ impl BusRequest {
             0x02 if payload.is_empty() => Ok(BusRequest::ReadRtc),
             0x03 => {
                 let raw: [u8; 8] = payload.try_into().map_err(|_| BusError::Malformed)?;
-                Ok(BusRequest::SetRtc(SimTime::from_unix(u64::from_le_bytes(raw))))
+                Ok(BusRequest::SetRtc(SimTime::from_unix(u64::from_le_bytes(
+                    raw,
+                ))))
             }
             0x04 => match payload {
                 [window_hour, gps_per_day] => Ok(BusRequest::WriteSchedule {
@@ -212,7 +217,9 @@ impl BusResponse {
             }
             0x82 => {
                 let raw: [u8; 8] = payload.try_into().map_err(|_| BusError::Malformed)?;
-                Ok(BusResponse::Rtc(SimTime::from_unix(u64::from_le_bytes(raw))))
+                Ok(BusResponse::Rtc(SimTime::from_unix(u64::from_le_bytes(
+                    raw,
+                ))))
             }
             0x80 => Err(BusError::Malformed),
             other => Err(BusError::UnknownOpcode(other)),
@@ -226,7 +233,12 @@ impl BusResponse {
         BusResponse::VoltageLog(
             samples
                 .iter()
-                .map(|(t, v)| (t.unix(), (v.value() * 1000.0).round().clamp(0.0, 65_535.0) as u16))
+                .map(|(t, v)| {
+                    (
+                        t.unix(),
+                        (v.value() * 1000.0).round().clamp(0.0, 65_535.0) as u16,
+                    )
+                })
                 .collect(),
         )
     }
@@ -306,7 +318,10 @@ mod tests {
         assert_eq!(BusRequest::decode(&[]), Err(BusError::Truncated));
         assert_eq!(BusRequest::decode(&[0x01]), Err(BusError::Truncated));
         let bogus = frame(0x77, &[]);
-        assert_eq!(BusRequest::decode(&bogus), Err(BusError::UnknownOpcode(0x77)));
+        assert_eq!(
+            BusRequest::decode(&bogus),
+            Err(BusError::UnknownOpcode(0x77))
+        );
         // Valid checksum but wrong payload size for the opcode.
         let malformed = frame(0x03, &[1, 2, 3]);
         assert_eq!(BusRequest::decode(&malformed), Err(BusError::Malformed));

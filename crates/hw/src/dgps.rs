@@ -76,7 +76,7 @@ impl DGps {
     /// varies randomly.
     pub fn take_reading(&mut self, t: SimTime, true_position_m: f64, rng: &mut SimRng) -> GpsFile {
         let satellites = 5 + rng.below(8) as u8; // 5..=12
-        // Size scales mildly with satellite count around the nominal 165 KB.
+                                                 // Size scales mildly with satellite count around the nominal 165 KB.
         let size = Bytes(
             (table1::DGPS_READING_BYTES as f64 * (0.575 + 0.05 * f64::from(satellites))) as u64,
         );
@@ -85,8 +85,7 @@ impl DGps {
         // at the same instant — which is why differencing against a fixed
         // reference "dramatically improve[s] the accuracy" (§II). A small
         // independent residual (multipath, receiver noise) remains.
-        let observed =
-            true_position_m + common_mode_error_m(t) + rng.normal(0.0, 0.08);
+        let observed = true_position_m + common_mode_error_m(t) + rng.normal(0.0, 0.08);
         let file = GpsFile {
             taken_at: t,
             size,
@@ -149,8 +148,7 @@ impl DGps {
     /// amount of daily retries will ever move it (§VI).
     pub fn stuck_file(&self, window: SimDuration) -> bool {
         self.pending.first().is_some_and(|f| {
-            SimDuration::from_secs_f64(f.size.value() as f64 / table1::RS232_BYTES_PER_SEC)
-                > window
+            SimDuration::from_secs_f64(f.size.value() as f64 / table1::RS232_BYTES_PER_SEC) > window
         })
     }
 }
@@ -203,7 +201,10 @@ mod tests {
         let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
         assert!(min != max, "sizes vary with satellites");
         let nominal = table1::DGPS_READING_BYTES as f64;
-        assert!((mean / nominal - 1.0).abs() < 0.15, "mean {mean} vs nominal {nominal}");
+        assert!(
+            (mean / nominal - 1.0).abs() < 0.15,
+            "mean {mean} vs nominal {nominal}"
+        );
         assert_eq!(gps.readings_taken(), 200);
     }
 
@@ -216,7 +217,11 @@ mod tests {
         }
         // Budget for roughly three files: 3 × 165 KiB / 5 935 B/s ≈ 85 s.
         let (moved, spent) = gps.transfer_files(SimDuration::from_secs(90));
-        assert!(!moved.is_empty() && moved.len() < 10, "moved {}", moved.len());
+        assert!(
+            !moved.is_empty() && moved.len() < 10,
+            "moved {}",
+            moved.len()
+        );
         assert!(spent <= SimDuration::from_secs(90));
         assert_eq!(moved[0].taken_at, t0(), "oldest first");
         assert_eq!(gps.pending_files().len(), 10 - moved.len());
@@ -322,7 +327,9 @@ mod tests {
         for i in 0..200u64 {
             let t = t0() + SimDuration::from_mins(30 * i);
             let b = base.take_reading(t, 10.0, &mut rng_b).observed_position_m;
-            let r = reference.take_reading(t, 0.0, &mut rng_r).observed_position_m;
+            let r = reference
+                .take_reading(t, 0.0, &mut rng_r)
+                .observed_position_m;
             worst = worst.max(((b - r) - 10.0).abs());
         }
         assert!(worst < 0.5, "differential residual {worst} m");
@@ -330,6 +337,9 @@ mod tests {
         let spread: f64 = (0..200u64)
             .map(|i| common_mode_error_m(t0() + SimDuration::from_mins(30 * i)).abs())
             .fold(0.0, f64::max);
-        assert!(spread > 1.0, "raw common-mode error is metre-scale: {spread}");
+        assert!(
+            spread > 1.0,
+            "raw common-mode error is metre-scale: {spread}"
+        );
     }
 }

@@ -113,6 +113,9 @@ mod tests {
         let gprs = GprsModem::new();
         let dt = gprs.transfer_time(Bytes(table1::DGPS_READING_BYTES));
         let mins = dt.as_secs() as f64 / 60.0;
-        assert!((3.0..8.0).contains(&mins), "165 KB on 5 kbps takes {mins} min");
+        assert!(
+            (3.0..8.0).contains(&mins),
+            "165 KB on 5 kbps takes {mins} min"
+        );
     }
 }

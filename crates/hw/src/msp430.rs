@@ -189,7 +189,10 @@ mod tests {
         assert!(!msp.rtc_is_suspect(aug(11, 12), last_run), "healthy clock");
         msp.power_loss();
         msp.power_restored(aug(20, 0));
-        assert!(msp.rtc_is_suspect(aug(21, 0), last_run), "epoch clock is before last run");
+        assert!(
+            msp.rtc_is_suspect(aug(21, 0), last_run),
+            "epoch clock is before last run"
+        );
         // After a GPS fix the clock is trusted again.
         msp.set_rtc(aug(21, 1), aug(21, 1));
         assert!(!msp.rtc_is_suspect(aug(21, 2), last_run));

@@ -57,8 +57,7 @@ impl BaseSensors {
             air_temp_c: air + rng.normal(0.0, 0.2),
             snow_depth_m: (env.snow_depth_m() + rng.normal(0.0, 0.02)).max(0.0),
             internal_temp_c: air + 3.0 + rng.normal(0.0, 0.5),
-            humidity_pct: (70.0 + 20.0 * env.melt_index() + rng.normal(0.0, 3.0))
-                .clamp(0.0, 100.0),
+            humidity_pct: (70.0 + 20.0 * env.melt_index() + rng.normal(0.0, 3.0)).clamp(0.0, 100.0),
             pitch_deg: lean + rng.normal(0.0, 0.3),
             roll_deg: lean * 0.4 + rng.normal(0.0, 0.3),
         }
@@ -109,7 +108,10 @@ mod tests {
         let autumn = SimTime::from_ymd_hms(2009, 9, 15, 12, 0, 0);
         env.advance_to(autumn);
         let late = sensors.sample(&env, autumn, &mut rng).pitch_deg;
-        assert!(late > early + 1.0, "melt season lean: {early:.2} -> {late:.2} deg");
+        assert!(
+            late > early + 1.0,
+            "melt season lean: {early:.2} -> {late:.2} deg"
+        );
     }
 
     #[test]
@@ -136,7 +138,10 @@ mod tests {
         let mut s = BaseSensors::new();
         let mut rng = SimRng::seed_from(6);
         let mean = |env: &Environment, t, s: &mut BaseSensors, rng: &mut SimRng| {
-            (0..50).map(|_| s.sample(env, t, rng).humidity_pct).sum::<f64>() / 50.0
+            (0..50)
+                .map(|_| s.sample(env, t, rng).humidity_pct)
+                .sum::<f64>()
+                / 50.0
         };
         let winter = mean(&winter_env, jan, &mut s, &mut rng);
         let summer = mean(&summer_env, jul, &mut s, &mut rng);

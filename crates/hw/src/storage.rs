@@ -241,8 +241,11 @@ mod tests {
     #[test]
     fn card_fills_up() {
         let mut c = CfCard::new(Bytes::from_kib(300));
-        c.write("a", Bytes::from_kib(165), t0()).expect("first fits");
-        let err = c.write("b", Bytes::from_kib(165), t0()).expect_err("second does not");
+        c.write("a", Bytes::from_kib(165), t0())
+            .expect("first fits");
+        let err = c
+            .write("b", Bytes::from_kib(165), t0())
+            .expect_err("second does not");
         assert!(matches!(err, StorageError::Full { .. }));
         assert_eq!(c.free(), Bytes::from_kib(300) - Bytes::from_kib(165));
     }
@@ -251,26 +254,36 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut c = CfCard::new(Bytes::from_mib(1));
         c.write("a", Bytes(10), t0()).expect("write");
-        assert!(matches!(c.write("a", Bytes(10), t0()), Err(StorageError::Exists(_))));
+        assert!(matches!(
+            c.write("a", Bytes(10), t0()),
+            Err(StorageError::Exists(_))
+        ));
     }
 
     #[test]
     fn corruption_blocks_io_until_recovery() {
         let mut c = CfCard::new(Bytes::from_mib(10));
         for i in 0..50 {
-            c.write(&format!("f{i}"), Bytes::from_kib(10), t0()).expect("write");
+            c.write(&format!("f{i}"), Bytes::from_kib(10), t0())
+                .expect("write");
         }
         let mut rng = SimRng::seed_from(13);
         c.inject_corruption(&mut rng);
         assert!(c.is_corrupted());
         assert!(matches!(c.read("f0"), Err(StorageError::Corrupted)));
-        assert!(matches!(c.write("x", Bytes(1), t0()), Err(StorageError::Corrupted)));
+        assert!(matches!(
+            c.write("x", Bytes(1), t0()),
+            Err(StorageError::Corrupted)
+        ));
         assert!(c.list().is_empty());
 
         let (kept, lost) = c.recover();
         assert!(!c.is_corrupted());
         assert_eq!(kept + lost, 50);
-        assert!(kept > 30, "most data recovers, as in the field: kept {kept}");
+        assert!(
+            kept > 30,
+            "most data recovers, as in the field: kept {kept}"
+        );
         assert!(lost > 0, "recovery is lossy with this seed: lost {lost}");
         assert_eq!(c.corruption_events(), 1);
     }
@@ -282,9 +295,13 @@ mod tests {
             free: Bytes(0),
         };
         assert!(full.to_string().contains("card full"));
-        assert!(StorageError::NotFound("x".into()).to_string().contains("not found"));
+        assert!(StorageError::NotFound("x".into())
+            .to_string()
+            .contains("not found"));
         assert!(StorageError::Corrupted.to_string().contains("recovery"));
-        assert!(StorageError::Exists("x".into()).to_string().contains("exists"));
+        assert!(StorageError::Exists("x".into())
+            .to_string()
+            .contains("exists"));
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
             wd.remaining(noon() + SimDuration::from_mins(30)),
             SimDuration::from_mins(90)
         );
-        assert_eq!(wd.remaining(noon() + SimDuration::from_hours(5)), SimDuration::ZERO);
+        assert_eq!(
+            wd.remaining(noon() + SimDuration::from_hours(5)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The GPRS uplink: session establishment, dropouts, throughput and cost.
 
-use glacsweb_sim::{BitsPerSecond, Bytes, SimDuration, SimRng};
+use glacsweb_faults::RetryPolicy;
+use glacsweb_sim::{BitsPerSecond, Bytes, ConfigError, SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// GPRS behaviour parameters.
@@ -46,18 +47,37 @@ impl GprsConfig {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.rate.value() == 0 {
-            return Err("rate must be non-zero".into());
+            return Err(ConfigError::new("gprs", "rate", "rate must be non-zero"));
         }
         if !(0.0..=1.0).contains(&self.setup_failure_p) {
-            return Err(format!("setup failure {} not a probability", self.setup_failure_p));
+            return Err(ConfigError::new(
+                "gprs",
+                "setup_failure_p",
+                format!("setup failure {} not a probability", self.setup_failure_p),
+            ));
         }
         if self.mean_time_to_drop.as_secs() == 0 {
-            return Err("mean time to drop must be non-zero".into());
+            return Err(ConfigError::new(
+                "gprs",
+                "mean_time_to_drop",
+                "mean time to drop must be non-zero",
+            ));
         }
         Ok(())
     }
+}
+
+/// Outcome of a retried attach sequence ([`GprsLink::attach_with_retry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttachOutcome {
+    /// `true` if a session is up when the sequence ended.
+    pub connected: bool,
+    /// Attach attempts actually made (≥ 1 unless the budget was zero).
+    pub attempts: u32,
+    /// Wall time consumed by attaches and backoff waits.
+    pub elapsed: SimDuration,
 }
 
 /// Outcome of one transfer attempt over an established session.
@@ -191,6 +211,59 @@ impl GprsLink {
         Ok(self.config.setup_time)
     }
 
+    /// Runs attach attempts under a [`RetryPolicy`] until one succeeds,
+    /// the policy's attempt budget is spent, or the wall-time `budget`
+    /// runs out — the §VI recovery loop ("retry with backoff rather than
+    /// hammer the network") as a reusable primitive.
+    ///
+    /// Backoff waits are jittered from `rng` and capped so the sequence
+    /// never exceeds `budget`. The first attempt starts immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected, the multiplier is not positive, or
+    /// the policy is invalid.
+    pub fn attach_with_retry(
+        &mut self,
+        weather_multiplier: f64,
+        policy: &RetryPolicy,
+        budget: SimDuration,
+        rng: &mut SimRng,
+    ) -> AttachOutcome {
+        if let Err(e) = policy.validate() {
+            panic!("invalid retry policy: {e}");
+        }
+        let mut elapsed = SimDuration::ZERO;
+        let mut attempts = 0;
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                let wait = policy.backoff_jittered(attempt, rng);
+                let wait = wait.min(budget.saturating_sub(elapsed));
+                elapsed += wait;
+            }
+            if elapsed >= budget {
+                break;
+            }
+            attempts += 1;
+            match self.connect_weathered(weather_multiplier, rng) {
+                Ok(setup) => {
+                    elapsed += setup;
+                    return AttachOutcome {
+                        connected: true,
+                        attempts,
+                        elapsed,
+                    };
+                }
+                Err(wasted) => elapsed += wasted,
+            }
+        }
+        AttachOutcome {
+            connected: false,
+            attempts,
+            elapsed,
+        }
+    }
+
     /// Transfers up to `size` bytes within `budget` wall time.
     ///
     /// The session may drop mid-transfer; the outcome says how far it got.
@@ -199,7 +272,12 @@ impl GprsLink {
     /// # Panics
     ///
     /// Panics if not connected.
-    pub fn transfer(&mut self, size: Bytes, budget: SimDuration, rng: &mut SimRng) -> TransferOutcome {
+    pub fn transfer(
+        &mut self,
+        size: Bytes,
+        budget: SimDuration,
+        rng: &mut SimRng,
+    ) -> TransferOutcome {
         assert!(self.connected, "transfer on a down link");
         let _ = rng; // drop time was pre-drawn at connect
         let need = self.config.rate.transfer_time(size);
@@ -241,7 +319,11 @@ mod tests {
         assert!(out.complete(size));
         assert!(!out.dropped);
         // 500 KiB at 625 B/s ≈ 819 s.
-        assert!((out.elapsed.as_secs() as i64 - 819).abs() < 5, "{:?}", out.elapsed);
+        assert!(
+            (out.elapsed.as_secs() as i64 - 819).abs() < 5,
+            "{:?}",
+            out.elapsed
+        );
         link.disconnect();
         assert!(!link.is_connected());
     }
@@ -331,7 +413,11 @@ mod tests {
             }
             sessions += 1;
         }
-        assert_eq!(remaining, Bytes::ZERO, "resume finishes in {sessions} sessions");
+        assert_eq!(
+            remaining,
+            Bytes::ZERO,
+            "resume finishes in {sessions} sessions"
+        );
         assert!(sessions > 1, "needed more than one session");
         assert_eq!(link.total_sent(), total);
     }
@@ -354,7 +440,80 @@ mod tests {
         let dry = rate_at(1.0, &mut rng);
         let wet = rate_at(2.0, &mut rng);
         assert!((dry - 0.07).abs() < 0.02, "dry {dry}");
-        assert!((wet - 0.14).abs() < 0.03, "wet summer doubles failures: {wet}");
+        assert!(
+            (wet - 0.14).abs() < 0.03,
+            "wet summer doubles failures: {wet}"
+        );
+    }
+
+    #[test]
+    fn retry_attaches_on_an_ideal_network_first_try() {
+        let mut link = GprsLink::new(GprsConfig::ideal());
+        let mut rng = SimRng::seed_from(60);
+        let out = link.attach_with_retry(
+            1.0,
+            &RetryPolicy::gprs_attach(),
+            SimDuration::from_hours(1),
+            &mut rng,
+        );
+        assert!(out.connected);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.elapsed, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn retry_survives_flaky_attaches() {
+        // 60 % attach failure: a single attempt usually loses, three
+        // attempts with backoff almost always win.
+        let config = GprsConfig {
+            setup_failure_p: 0.6,
+            ..GprsConfig::field()
+        };
+        let mut rng = SimRng::seed_from(61);
+        let mut single = 0u32;
+        let mut retried = 0u32;
+        for _ in 0..300 {
+            let mut link = GprsLink::new(config.clone());
+            if link.connect(&mut rng).is_ok() {
+                single += 1;
+            }
+            let mut link = GprsLink::new(config.clone());
+            let out = link.attach_with_retry(
+                1.0,
+                &RetryPolicy::gprs_attach(),
+                SimDuration::from_hours(1),
+                &mut rng,
+            );
+            if out.connected {
+                retried += 1;
+                assert!(link.is_connected());
+            }
+        }
+        assert!(
+            retried > single,
+            "retry ({retried}) beats single ({single})"
+        );
+        assert!(
+            retried > 210,
+            "3 attempts at p=0.6 ≈ 78 % success: {retried}/300"
+        );
+    }
+
+    #[test]
+    fn retry_respects_the_wall_time_budget() {
+        let config = GprsConfig {
+            setup_failure_p: 1.0,
+            ..GprsConfig::field()
+        };
+        let mut link = GprsLink::new(config);
+        let mut rng = SimRng::seed_from(62);
+        let budget = SimDuration::from_secs(50);
+        let out = link.attach_with_retry(1.0, &RetryPolicy::gprs_attach(), budget, &mut rng);
+        assert!(!out.connected);
+        // 45 s wasted on attempt 1; backoff would overshoot the 50 s
+        // budget, so the sequence stops early.
+        assert_eq!(out.attempts, 1);
+        assert!(out.elapsed <= budget, "{:?} > {budget:?}", out.elapsed);
     }
 
     #[test]

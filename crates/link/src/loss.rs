@@ -39,7 +39,10 @@ impl LossModel {
     ///
     /// Panics if `p` is not a probability.
     pub fn bernoulli(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
         LossModel::Bernoulli { p }
     }
 
@@ -50,7 +53,10 @@ impl LossModel {
     ///
     /// Panics if `mean_loss` is not in `(0, 0.5]` or `burst_len < 1`.
     pub fn bursty(mean_loss: f64, burst_len: f64) -> Self {
-        assert!(mean_loss > 0.0 && mean_loss <= 0.5, "mean loss {mean_loss} unsupported");
+        assert!(
+            mean_loss > 0.0 && mean_loss <= 0.5,
+            "mean loss {mean_loss} unsupported"
+        );
         assert!(burst_len >= 1.0, "burst length must be >= 1");
         // Bad state loses everything; stationary P(bad) = mean_loss.
         let p_bg = 1.0 / burst_len;

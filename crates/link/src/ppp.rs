@@ -113,7 +113,10 @@ mod tests {
         let link = PppRadioLink::lab();
         let afternoon = link.drop_rate_per_hour(SimTime::from_ymd_hms(2008, 5, 1, 16, 0, 0));
         let night = link.drop_rate_per_hour(SimTime::from_ymd_hms(2008, 5, 1, 4, 0, 0));
-        assert!(afternoon > 3.0 * night, "afternoon {afternoon} vs night {night}");
+        assert!(
+            afternoon > 3.0 * night,
+            "afternoon {afternoon} vs night {night}"
+        );
     }
 
     #[test]
@@ -133,17 +136,22 @@ mod tests {
         let mut big_ok = 0;
         for _ in 0..200 {
             // 10 KiB at 250 B/s = 41 s: usually survives.
-            let (_, _, r) = link.transfer(Bytes::from_kib(10), t, SimDuration::from_hours(2), &mut rng);
+            let (_, _, r) =
+                link.transfer(Bytes::from_kib(10), t, SimDuration::from_hours(2), &mut rng);
             if r == DisconnectReason::Completed {
                 small_ok += 1;
             }
             // 2 MiB at 250 B/s ≈ 2.3 h: nearly always cut.
-            let (_, _, r) = link.transfer(Bytes::from_mib(2), t, SimDuration::from_hours(4), &mut rng);
+            let (_, _, r) =
+                link.transfer(Bytes::from_mib(2), t, SimDuration::from_hours(4), &mut rng);
             if r == DisconnectReason::Completed {
                 big_ok += 1;
             }
         }
-        assert!(small_ok > 150, "small transfers mostly complete: {small_ok}/200");
+        assert!(
+            small_ok > 150,
+            "small transfers mostly complete: {small_ok}/200"
+        );
         assert!(big_ok < 20, "large transfers mostly drop: {big_ok}/200");
         let (sessions, drops) = link.stats();
         assert_eq!(sessions, 400);

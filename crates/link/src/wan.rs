@@ -229,7 +229,8 @@ mod tests {
         assert_eq!(wan.label(), "gprs");
         assert_eq!(wan.rate().value(), 5000);
         let mut rng = SimRng::seed_from(1);
-        wan.connect_weathered(1.0, &mut rng).expect("ideal attaches");
+        wan.connect_weathered(1.0, &mut rng)
+            .expect("ideal attaches");
         let out = wan.transfer(Bytes::from_kib(10), SimDuration::from_mins(10), &mut rng);
         assert!(out.complete(Bytes::from_kib(10)));
         wan.disconnect();
@@ -248,7 +249,11 @@ mod tests {
             if !wan.is_connected() && wan.connect_weathered(1.0, &mut rng).is_err() {
                 continue;
             }
-            let out = wan.transfer(target.saturating_sub(delivered), SimDuration::from_mins(60), &mut rng);
+            let out = wan.transfer(
+                target.saturating_sub(delivered),
+                SimDuration::from_mins(60),
+                &mut rng,
+            );
             delivered += out.sent;
             if delivered >= target {
                 break;
@@ -264,7 +269,10 @@ mod tests {
         wan.set_partner_up(false);
         let mut rng = SimRng::seed_from(3);
         for _ in 0..20 {
-            assert!(wan.connect_weathered(1.0, &mut rng).is_err(), "no dial succeeds");
+            assert!(
+                wan.connect_weathered(1.0, &mut rng).is_err(),
+                "no dial succeeds"
+            );
         }
         let (sessions, failed) = wan.stats();
         assert_eq!(sessions, failed);

@@ -172,6 +172,13 @@ impl LeadAcidBattery {
     pub fn reset_full(&mut self) {
         self.soc = 1.0;
     }
+
+    /// Drains instantly to total exhaustion — the §IV "total exhaustion"
+    /// event as a fault-injection hook. The next controller wake sees an
+    /// RTC reset and a lost RAM schedule.
+    pub fn drain_empty(&mut self) {
+        self.soc = 0.0;
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +241,12 @@ mod tests {
         let b = LeadAcidBattery::with_state(AmpHours(36.0), 0.8);
         let rest = b.terminal_voltage(Amps(-0.01));
         let reading = b.terminal_voltage(Amps(-0.31));
-        assert!(rest.value() - reading.value() > 0.05, "dip {} -> {}", rest, reading);
+        assert!(
+            rest.value() - reading.value() > 0.05,
+            "dip {} -> {}",
+            rest,
+            reading
+        );
     }
 
     #[test]
@@ -252,7 +264,10 @@ mod tests {
     fn charge_is_truncated_at_full() {
         let mut b = LeadAcidBattery::new(AmpHours(10.0));
         let absorbed = b.step(SimDuration::from_hours(5), Amps(4.0), Celsius(25.0));
-        assert!(absorbed.value().abs() < 0.05, "full bank absorbs ~nothing: {absorbed}");
+        assert!(
+            absorbed.value().abs() < 0.05,
+            "full bank absorbs ~nothing: {absorbed}"
+        );
         assert_eq!(b.state_of_charge(), 1.0);
     }
 

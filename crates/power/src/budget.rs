@@ -79,7 +79,10 @@ pub fn backlog_days_to_overflow(
     bytes_per_reading: u64,
 ) -> f64 {
     assert!(link_bytes_per_sec > 0.0, "link rate must be positive");
-    assert!(readings_per_day > 0 && bytes_per_reading > 0, "workload must be non-zero");
+    assert!(
+        readings_per_day > 0 && bytes_per_reading > 0,
+        "workload must be non-zero"
+    );
     let window_capacity = link_bytes_per_sec * window.as_secs() as f64;
     let daily_bytes = f64::from(readings_per_day) * bytes_per_reading as f64;
     window_capacity / daily_bytes

@@ -106,11 +106,7 @@ impl LoadSet {
 
     /// Total instantaneous draw of all switched-on devices.
     pub fn total_power(&self) -> Watts {
-        self.loads
-            .values()
-            .filter(|l| l.on)
-            .map(|l| l.power)
-            .sum()
+        self.loads.values().filter(|l| l.on).map(|l| l.power).sum()
     }
 
     /// Accumulates per-device energy for a period during which the on/off

@@ -75,6 +75,11 @@ impl PowerRail {
         &self.battery
     }
 
+    /// Mutable battery access for fault injection (forced exhaustion).
+    pub fn battery_mut(&mut self) -> &mut LeadAcidBattery {
+        &mut self.battery
+    }
+
     /// The simulated instant the rail state reflects.
     pub fn now(&self) -> SimTime {
         self.now
@@ -154,7 +159,10 @@ impl PowerRail {
             let load = self.loads.total_power();
             let net = Amps((charge.value() - load.value()) / LeadAcidBattery::NOMINAL.value());
             let actual = self.battery.step(dt, net, temp);
-            if load.value() > 0.0 && self.battery.is_exhausted() && actual.value() >= net.value() + 1e-12 {
+            if load.value() > 0.0
+                && self.battery.is_exhausted()
+                && actual.value() >= net.value() + 1e-12
+            {
                 // Discharge was truncated: the loads browned out.
                 self.brownout_secs += dt.as_secs();
             }
@@ -270,7 +278,11 @@ mod tests {
     fn mains_charger_respects_cafe_season() {
         let (mut env, mut rail, t0) = setup(EnvConfig::vatnajokull(), 2009, 1, 15);
         rail.add_charger(Charger::Mains(MainsCharger::new(Watts(30.0))));
-        assert_eq!(rail.charge_power(&env, t0), Watts::ZERO, "no mains in January");
+        assert_eq!(
+            rail.charge_power(&env, t0),
+            Watts::ZERO,
+            "no mains in January"
+        );
         let summer = SimTime::from_ymd_hms(2009, 7, 15, 12, 0, 0);
         env.advance_to(summer);
         rail.advance(&env, summer);
@@ -286,7 +298,10 @@ mod tests {
         let v_rest = rail.measured_voltage(&env);
         rail.loads_mut().set_on("gps", true);
         let v_loaded = rail.measured_voltage(&env);
-        assert!(v_rest.value() - v_loaded.value() > 0.04, "{v_rest} -> {v_loaded}");
+        assert!(
+            v_rest.value() - v_loaded.value() > 0.04,
+            "{v_rest} -> {v_loaded}"
+        );
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub struct ProbeFirmware {
     dead_at: Option<SimTime>,
     buffer_capacity: usize,
     overwritten: u64,
+    /// Radio health: `false` while a fault-injected blackout silences the
+    /// probe (it keeps sampling, it just cannot answer the base).
+    radio_ok: bool,
 }
 
 impl ProbeFirmware {
@@ -62,6 +65,7 @@ impl ProbeFirmware {
             // ~8 months of hourly readings fit in the probe's flash.
             buffer_capacity: 6000,
             overwritten: 0,
+            radio_ok: true,
         }
     }
 
@@ -86,6 +90,19 @@ impl ProbeFirmware {
         if self.dead_at.is_none() {
             self.dead_at = Some(t);
         }
+    }
+
+    /// `true` while the radio can answer the base.
+    pub fn radio_ok(&self) -> bool {
+        self.radio_ok
+    }
+
+    /// Silences (or restores) the probe radio — the blackout fault. A
+    /// silenced probe keeps sampling into its buffer but never answers a
+    /// manifest query, so the base sees it exactly like a dead probe
+    /// until the fault clears.
+    pub fn set_radio_ok(&mut self, ok: bool) {
+        self.radio_ok = ok;
     }
 
     /// Number of readings currently buffered.
@@ -124,7 +141,7 @@ impl ProbeFirmware {
     /// currently held, or `None` if empty (or dead — a dead probe never
     /// answers).
     pub fn manifest(&self) -> Option<(u64, u64)> {
-        if self.is_dead() {
+        if self.is_dead() || !self.radio_ok {
             return None;
         }
         let first = *self.buffer.keys().next()?;
@@ -135,7 +152,7 @@ impl ProbeFirmware {
     /// Streams the requested sequence numbers (missing ones are silently
     /// skipped — they were overwritten). The radio decides which survive.
     pub fn stream(&self, seqs: impl IntoIterator<Item = u64>) -> Vec<ProbeReading> {
-        if self.is_dead() {
+        if self.is_dead() || !self.radio_ok {
             return Vec::new();
         }
         seqs.into_iter()
@@ -146,8 +163,7 @@ impl ProbeFirmware {
     /// The base confirms every reading up to and including `seq` is safely
     /// stored; the probe frees that storage (task complete).
     pub fn confirm_complete_up_to(&mut self, seq: u64) {
-        let keep: BTreeMap<u64, ProbeReading> =
-            self.buffer.split_off(&(seq + 1));
+        let keep: BTreeMap<u64, ProbeReading> = self.buffer.split_off(&(seq + 1));
         self.buffer = keep;
     }
 }
@@ -237,7 +253,11 @@ mod tests {
         // A fetch happens, readings stream out, but no confirmation
         // arrives…
         let _ = probe.stream(0..500);
-        assert_eq!(probe.stored_readings(), before, "nothing freed without confirm");
+        assert_eq!(
+            probe.stored_readings(),
+            before,
+            "nothing freed without confirm"
+        );
     }
 
     #[test]
@@ -255,6 +275,26 @@ mod tests {
         let count = probe.stored_readings();
         probe.sample(&env, t + SimDuration::from_hours(1), &mut rng);
         assert_eq!(probe.stored_readings(), count, "no sampling after death");
+    }
+
+    #[test]
+    fn radio_blackout_silences_but_keeps_sampling() {
+        let (mut env, mut probe, mut rng, mut t) = setup();
+        for _ in 0..5 {
+            t += SimDuration::from_hours(1);
+            env.advance_to(t);
+            probe.sample(&env, t, &mut rng);
+        }
+        probe.set_radio_ok(false);
+        assert_eq!(probe.manifest(), None, "blackout looks like death");
+        assert!(probe.stream(0..5).is_empty());
+        t += SimDuration::from_hours(1);
+        env.advance_to(t);
+        probe.sample(&env, t, &mut rng);
+        assert_eq!(probe.stored_readings(), 6, "sampling continues");
+        probe.set_radio_ok(true);
+        assert_eq!(probe.manifest(), Some((0, 5)), "back online with backlog");
+        assert!(!probe.is_dead());
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl MortalityModel {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn new(scale_days: f64, shape: f64) -> Self {
-        assert!(scale_days > 0.0 && shape > 0.0, "Weibull parameters must be positive");
+        assert!(
+            scale_days > 0.0 && shape > 0.0,
+            "Weibull parameters must be positive"
+        );
         MortalityModel { scale_days, shape }
     }
 
@@ -63,7 +66,10 @@ mod tests {
         let one_year = m.survival(SimDuration::from_days(365));
         let eighteen_months = m.survival(SimDuration::from_days(548));
         assert!((one_year - 4.0 / 7.0).abs() < 0.02, "S(1y) = {one_year}");
-        assert!((eighteen_months - 2.0 / 7.0).abs() < 0.03, "S(18mo) = {eighteen_months}");
+        assert!(
+            (eighteen_months - 2.0 / 7.0).abs() < 0.03,
+            "S(18mo) = {eighteen_months}"
+        );
     }
 
     #[test]
@@ -86,8 +92,14 @@ mod tests {
         }
         let mean_1y = f64::from(total_alive_1y) / f64::from(cohorts);
         let mean_18mo = f64::from(total_alive_18mo) / f64::from(cohorts);
-        assert!((mean_1y - 4.0).abs() < 0.15, "mean survivors at 1 y: {mean_1y}");
-        assert!((mean_18mo - 2.0).abs() < 0.15, "mean survivors at 18 mo: {mean_18mo}");
+        assert!(
+            (mean_1y - 4.0).abs() < 0.15,
+            "mean survivors at 1 y: {mean_1y}"
+        );
+        assert!(
+            (mean_18mo - 2.0).abs() < 0.15,
+            "mean survivors at 18 mo: {mean_18mo}"
+        );
     }
 
     #[test]
@@ -110,7 +122,10 @@ mod tests {
         let s1 = m.survival(SimDuration::from_days(365));
         let s2 = m.survival(SimDuration::from_days(730));
         let second_year_conditional = s2 / s1;
-        assert!(second_year_conditional < s1, "{second_year_conditional} vs {s1}");
+        assert!(
+            second_year_conditional < s1,
+            "{second_year_conditional} vs {s1}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::BTreeSet;
 
 use glacsweb_link::{LossModel, ProbeRadioLink};
-use glacsweb_sim::{SimDuration, SimRng};
+use glacsweb_sim::{ConfigError, SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
 use crate::firmware::{ProbeFirmware, ProbeId};
@@ -66,15 +66,20 @@ impl ProtocolConfig {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.rerequest_all_threshold) {
-            return Err(format!(
-                "threshold {} not a fraction",
-                self.rerequest_all_threshold
+            return Err(ConfigError::new(
+                "protocol",
+                "rerequest_all_threshold",
+                format!("threshold {} not a fraction", self.rerequest_all_threshold),
             ));
         }
         if self.max_rounds == 0 {
-            return Err("max_rounds must be non-zero".into());
+            return Err(ConfigError::new(
+                "protocol",
+                "max_rounds",
+                "max_rounds must be non-zero",
+            ));
         }
         Ok(())
     }
@@ -266,8 +271,8 @@ impl FetchSession {
 
             if bulk_phase {
                 // Bulk stream without ACKs: probe sends every wanted seq.
-                let fit = (remaining_budget.as_secs() / link.packet_time().as_secs().max(1))
-                    as usize;
+                let fit =
+                    (remaining_budget.as_secs() / link.packet_time().as_secs().max(1)) as usize;
                 let n = want.len().min(fit.max(1));
                 let slice: Vec<u64> = want[..n].to_vec();
                 let readings = probe.stream(slice.iter().copied());
@@ -294,12 +299,20 @@ impl FetchSession {
                 if let Some(limit) = self.config.individual_fetch_limit {
                     if want.len() > limit {
                         // The deployed code path fell over here (§V).
-                        return done(self, elapsed, packets, want.len(), missing_after_bulk, false, true, false);
+                        return done(
+                            self,
+                            elapsed,
+                            packets,
+                            want.len(),
+                            missing_after_bulk,
+                            false,
+                            true,
+                            false,
+                        );
                     }
                 }
                 let per_fetch = link.packet_time() * 2;
-                let fit =
-                    (remaining_budget.as_secs() / per_fetch.as_secs().max(1)) as usize;
+                let fit = (remaining_budget.as_secs() / per_fetch.as_secs().max(1)) as usize;
                 let chunk: Vec<u64> = want.iter().copied().take(fit.max(1)).collect();
                 for seq in chunk {
                     elapsed += per_fetch;
@@ -335,7 +348,16 @@ impl FetchSession {
                 probe.confirm_complete_up_to(last);
             }
         }
-        done(self, elapsed, packets, want.len(), missing_after_bulk, complete, false, false)
+        done(
+            self,
+            elapsed,
+            packets,
+            want.len(),
+            missing_after_bulk,
+            complete,
+            false,
+            false,
+        )
     }
 }
 
@@ -534,7 +556,11 @@ mod tests {
         assert!(complete, "recovered after {days} days");
         assert!(days >= 1);
         let all = session.drain_delivered();
-        assert_eq!(all.len(), 3000, "every reading eventually arrives exactly once");
+        assert_eq!(
+            all.len(),
+            3000,
+            "every reading eventually arrives exactly once"
+        );
         let mut seqs: Vec<u64> = all.iter().map(|r| r.seq).collect();
         seqs.sort_unstable();
         seqs.dedup();
@@ -551,7 +577,10 @@ mod tests {
         let link = ProbeRadioLink::new();
         let mut session = FetchSession::new(21, ProtocolConfig::deployed_2008());
         let out = session.run(&mut probe, &link, 0.134, generous_budget(), &mut rng);
-        assert!(out.aborted, "deployed code aborts on ~400 individual fetches");
+        assert!(
+            out.aborted,
+            "deployed code aborts on ~400 individual fetches"
+        );
         assert!(!out.complete);
         // The save: nothing was confirmed, so the probe still holds all
         // 3000 readings for subsequent days.
@@ -593,7 +622,10 @@ mod tests {
         let mut delivered = 0usize;
         for _ in 0..30 {
             let out = session.run(&mut probe, &link, 0.6, generous_budget(), &mut rng);
-            assert!(!out.aborted, "bulk re-request avoids the individual-fetch bug");
+            assert!(
+                !out.aborted,
+                "bulk re-request avoids the individual-fetch bug"
+            );
             delivered += out.new_readings;
             if out.complete {
                 break;
@@ -608,7 +640,13 @@ mod tests {
         let link = ProbeRadioLink::new();
         let mut session = FetchSession::new(21, ProtocolConfig::fixed());
         // A tight 10-minute budget cannot move 3000 × 1 s packets.
-        let out = session.run(&mut probe, &link, 0.02, SimDuration::from_mins(10), &mut rng);
+        let out = session.run(
+            &mut probe,
+            &link,
+            0.02,
+            SimDuration::from_mins(10),
+            &mut rng,
+        );
         assert!(!out.complete);
         assert!(out.new_readings > 100, "got {}", out.new_readings);
         assert!(out.elapsed <= SimDuration::from_mins(11));
@@ -665,7 +703,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(ack.drain_delivered().len(), n as usize, "baseline is also correct");
+        assert_eq!(
+            ack.drain_delivered().len(),
+            n as usize,
+            "baseline is also correct"
+        );
         assert!(
             ack_packets as f64 > 2.0 * nack_packets as f64,
             "stop-and-wait costs far more airtime: {ack_packets} vs {nack_packets}"

@@ -45,17 +45,21 @@ impl ProbeSensing {
     }
 
     /// Takes one sample of every channel.
-    pub fn sample(&self, env: &Environment, t: SimTime, seq: u64, rng: &mut SimRng) -> ProbeReading {
+    pub fn sample(
+        &self,
+        env: &Environment,
+        t: SimTime,
+        seq: u64,
+        rng: &mut SimRng,
+    ) -> ProbeReading {
         let cond = (env.bed_conductivity_microsiemens() * self.conductivity_gain
             + self.conductivity_offset_us
             + rng.normal(0.0, self.noise_sd))
         .max(0.0);
         // Hydrostatic head of ~70 m of ice plus the water-pressure signal.
-        let pressure =
-            9.0 * self.depth_m + 150.0 * env.water_pressure(t) + rng.normal(0.0, 2.0);
+        let pressure = 9.0 * self.depth_m + 150.0 * env.water_pressure(t) + rng.normal(0.0, 2.0);
         // Till deformation slowly tilts the case; more so when sliding.
-        let tilt = (seq as f64 * 0.001 * (1.0 + env.melt_index())) % 45.0
-            + rng.normal(0.0, 0.1);
+        let tilt = (seq as f64 * 0.001 * (1.0 + env.melt_index())) % 45.0 + rng.normal(0.0, 0.1);
         ProbeReading {
             probe_id: self.probe_id,
             seq,
@@ -103,7 +107,9 @@ mod tests {
         spring_env.advance_to(SimTime::from_ymd_hms(2009, 2, 1, 0, 0, 0));
         let apr = SimTime::from_ymd_hms(2009, 4, 25, 12, 0, 0);
         spring_env.advance_to(apr);
-        let spring = probe.sample(&spring_env, apr, 100, &mut rng).conductivity_us;
+        let spring = probe
+            .sample(&spring_env, apr, 100, &mut rng)
+            .conductivity_us;
         assert!(
             spring > winter + 1.0,
             "Fig 6 shape: winter {winter:.2} µS → late April {spring:.2} µS"

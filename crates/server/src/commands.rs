@@ -38,12 +38,15 @@ impl CommandDesk {
     ) -> u64 {
         self.next_special_id += 1;
         let id = self.next_special_id;
-        self.specials.entry(station).or_default().push_back(SpecialCommand {
-            id,
-            size,
-            runtime,
-            output_size,
-        });
+        self.specials
+            .entry(station)
+            .or_default()
+            .push_back(SpecialCommand {
+                id,
+                size,
+                runtime,
+                output_size,
+            });
         id
     }
 
@@ -53,11 +56,14 @@ impl CommandDesk {
     pub fn stage_update(&mut self, station: StationId, name: &str, payload: Vec<u8>) {
         let digest = md5(&payload);
         self.staged_md5.insert(name.to_string(), to_hex(&digest));
-        self.updates.entry(station).or_default().push_back(CodeUpdate {
-            name: name.to_string(),
-            payload,
-            expected_md5: digest,
-        });
+        self.updates
+            .entry(station)
+            .or_default()
+            .push_back(CodeUpdate {
+                name: name.to_string(),
+                payload,
+                expected_md5: digest,
+            });
     }
 
     /// A station polls for its next special command.
@@ -101,7 +107,12 @@ impl CommandDesk {
     /// result visible at the server only once the next day's log arrives —
     /// the §VI "48 hours delay between the code being sent and the results
     /// from it being acted upon".
-    pub fn result_latency(&self, id: u64, staged_at: SimTime, arrived_at: SimTime) -> Option<glacsweb_sim::SimDuration> {
+    pub fn result_latency(
+        &self,
+        id: u64,
+        staged_at: SimTime,
+        arrived_at: SimTime,
+    ) -> Option<glacsweb_sim::SimDuration> {
         self.special_results
             .iter()
             .find(|(_, r)| r.id == id)
@@ -117,13 +128,31 @@ mod tests {
     #[test]
     fn specials_queue_in_order_per_station() {
         let mut desk = CommandDesk::new();
-        let a = desk.stage_special(StationId::Base, Bytes(100), SimDuration::from_mins(1), Bytes(50));
-        let b = desk.stage_special(StationId::Base, Bytes(100), SimDuration::from_mins(1), Bytes(50));
-        let c = desk.stage_special(StationId::Reference, Bytes(10), SimDuration::from_secs(5), Bytes(5));
+        let a = desk.stage_special(
+            StationId::Base,
+            Bytes(100),
+            SimDuration::from_mins(1),
+            Bytes(50),
+        );
+        let b = desk.stage_special(
+            StationId::Base,
+            Bytes(100),
+            SimDuration::from_mins(1),
+            Bytes(50),
+        );
+        let c = desk.stage_special(
+            StationId::Reference,
+            Bytes(10),
+            SimDuration::from_secs(5),
+            Bytes(5),
+        );
         assert_eq!(desk.next_special(StationId::Base).map(|s| s.id), Some(a));
         assert_eq!(desk.next_special(StationId::Base).map(|s| s.id), Some(b));
         assert_eq!(desk.next_special(StationId::Base), None);
-        assert_eq!(desk.next_special(StationId::Reference).map(|s| s.id), Some(c));
+        assert_eq!(
+            desk.next_special(StationId::Reference).map(|s| s.id),
+            Some(c)
+        );
     }
 
     #[test]
@@ -150,7 +179,12 @@ mod tests {
     #[test]
     fn special_results_are_collected() {
         let mut desk = CommandDesk::new();
-        let id = desk.stage_special(StationId::Base, Bytes(1), SimDuration::from_secs(1), Bytes(1));
+        let id = desk.stage_special(
+            StationId::Base,
+            Bytes(1),
+            SimDuration::from_secs(1),
+            Bytes(1),
+        );
         desk.receive_special_results(
             StationId::Base,
             &[SpecialResult {
@@ -162,7 +196,12 @@ mod tests {
         assert_eq!(desk.special_results().len(), 1);
         let staged = glacsweb_sim::SimTime::from_ymd_hms(2009, 9, 22, 9, 0, 0);
         let arrived = glacsweb_sim::SimTime::from_ymd_hms(2009, 9, 24, 12, 30, 0);
-        let latency = desk.result_latency(id, staged, arrived).expect("result exists");
-        assert!(latency > SimDuration::from_hours(48), "the §VI ~48 h round trip");
+        let latency = desk
+            .result_latency(id, staged, arrived)
+            .expect("result exists");
+        assert!(
+            latency > SimDuration::from_hours(48),
+            "the §VI ~48 h round trip"
+        );
     }
 }

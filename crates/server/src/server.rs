@@ -112,13 +112,20 @@ impl SouthamptonServer {
         let receipts = self.desk.checksum_reports();
         if !receipts.is_empty() {
             let ok = receipts.iter().filter(|r| r.3).count();
-            out.push_str(&format!("update receipts: {ok}/{} verified\n", receipts.len()));
+            out.push_str(&format!(
+                "update receipts: {ok}/{} verified\n",
+                receipts.len()
+            ));
         }
         out
     }
 }
 
 impl Uplink for SouthamptonServer {
+    fn is_reachable(&self) -> bool {
+        !self.unreachable
+    }
+
     fn upload_power_state(&mut self, from: StationId, date: CivilDate, state: PowerState) {
         if self.unreachable {
             return;
@@ -189,9 +196,12 @@ mod tests {
     #[test]
     fn log_uploads_surface_special_results() {
         let mut s = SouthamptonServer::new();
-        let id = s
-            .desk_mut()
-            .stage_special(StationId::Base, Bytes(100), SimDuration::from_mins(1), Bytes(10));
+        let id = s.desk_mut().stage_special(
+            StationId::Base,
+            Bytes(100),
+            SimDuration::from_mins(1),
+            Bytes(10),
+        );
         // Station fetches, runs, and ships the result in tomorrow's log.
         let cmd = s.fetch_special(StationId::Base).expect("staged");
         assert_eq!(cmd.id, id);

@@ -174,7 +174,12 @@ impl Warehouse {
 
     /// Totals: (upload items, sensor samples, logs, log bytes).
     pub fn totals(&self) -> (u64, u64, u64, Bytes) {
-        (self.total_items, self.sensor_samples, self.logs_received, self.log_bytes)
+        (
+            self.total_items,
+            self.sensor_samples,
+            self.logs_received,
+            self.log_bytes,
+        )
     }
 }
 
@@ -233,8 +238,14 @@ mod tests {
             tilt_deg: 1.0,
             temp_c: -0.4,
         };
-        w.ingest(StationId::Base, &UploadItem::ProbeData(vec![mk(21, 1, 2.0), mk(24, 1, 3.0)]));
-        w.ingest(StationId::Base, &UploadItem::ProbeData(vec![mk(21, 2, 2.5)]));
+        w.ingest(
+            StationId::Base,
+            &UploadItem::ProbeData(vec![mk(21, 1, 2.0), mk(24, 1, 3.0)]),
+        );
+        w.ingest(
+            StationId::Base,
+            &UploadItem::ProbeData(vec![mk(21, 2, 2.5)]),
+        );
         assert_eq!(w.probes_reporting(), vec![21, 24]);
         let series = w.conductivity_series(21);
         assert_eq!(series.len(), 2);

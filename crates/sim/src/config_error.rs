@@ -1,0 +1,101 @@
+//! Typed configuration-validation errors shared by every crate's
+//! `validate()` method.
+//!
+//! Replaces the original `Result<(), String>` convention so callers can
+//! match on *which* component and field failed instead of string-matching
+//! the message.
+
+use std::fmt;
+
+/// A rejected configuration field.
+///
+/// # Example
+///
+/// ```
+/// use glacsweb_sim::ConfigError;
+///
+/// fn validate(p: f64) -> Result<(), ConfigError> {
+///     if !(0.0..=1.0).contains(&p) {
+///         return Err(ConfigError::new("gprs", "setup_failure_p", format!("{p} not a probability")));
+///     }
+///     Ok(())
+/// }
+///
+/// let err = validate(2.0).unwrap_err();
+/// assert_eq!(err.field(), "setup_failure_p");
+/// assert_eq!(err.component(), "gprs");
+/// assert!(err.to_string().contains("not a probability"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    component: &'static str,
+    field: &'static str,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `component.field` with a human-readable reason.
+    pub fn new(component: &'static str, field: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            component,
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// The configuration struct that failed (e.g. `"gprs"`, `"recovery"`).
+    pub fn component(&self) -> &'static str {
+        self.component
+    }
+
+    /// The offending field's name — the typed hook callers match on.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+
+    /// Why the field was rejected.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}: {}", self.component, self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_component_field_and_reason() {
+        let e = ConfigError::new("recovery", "gps_fix_success_p", "1.5 not a probability");
+        assert_eq!(e.component(), "recovery");
+        assert_eq!(e.field(), "gps_fix_success_p");
+        assert_eq!(e.reason(), "1.5 not a probability");
+        assert_eq!(
+            e.to_string(),
+            "recovery.gps_fix_success_p: 1.5 not a probability"
+        );
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ConfigError::new("a", "b", "c"));
+    }
+
+    #[test]
+    fn callers_can_match_on_the_failing_field() {
+        let e = ConfigError::new("gprs", "rate", "must be non-zero");
+        let hint = match e.field() {
+            "rate" => "raise the modem rate",
+            _ => "check the config",
+        };
+        assert_eq!(hint, "raise the modem rate");
+    }
+}

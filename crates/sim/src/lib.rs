@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config_error;
 mod event;
 pub mod plot;
 mod rng;
@@ -44,6 +45,7 @@ mod time;
 mod trace;
 pub mod units;
 
+pub use config_error::ConfigError;
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use series::{SeriesStats, TimeSeries};

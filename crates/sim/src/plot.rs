@@ -29,7 +29,11 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
         let start = i as usize;
         let end = ((i + bucket) as usize).min(values.len()).max(start + 1);
         let mean = values[start..end].iter().sum::<f64>() / (end - start) as f64;
-        let x = if hi > lo { (mean - lo) / (hi - lo) } else { 0.5 };
+        let x = if hi > lo {
+            (mean - lo) / (hi - lo)
+        } else {
+            0.5
+        };
         out.push(GLYPHS[((x * 7.0).round() as usize).min(7)]);
         i += bucket;
     }
@@ -100,14 +104,15 @@ pub fn line_chart(values: &[f64], width: usize, height: usize) -> String {
 /// ```
 pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
     let max = rows.iter().map(|&(_, v)| v).fold(f64::EPSILON, f64::max);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for &(label, v) in rows {
         let n = ((v / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:>label_w$} │{} {v:.2}\n",
-            "█".repeat(n)
-        ));
+        out.push_str(&format!("{label:>label_w$} │{} {v:.2}\n", "█".repeat(n)));
     }
     out
 }
@@ -159,7 +164,10 @@ mod tests {
     fn line_chart_peak_is_on_top_row() {
         let chart = line_chart(&[0.0, 0.0, 10.0, 0.0, 0.0], 5, 3);
         let top = chart.lines().next().expect("rows");
-        assert!(top.chars().any(|c| GLYPHS.contains(&c)), "peak reaches top: {chart}");
+        assert!(
+            top.chars().any(|c| GLYPHS.contains(&c)),
+            "peak reaches top: {chart}"
+        );
         let bottom = chart.lines().nth(2).expect("rows");
         assert!(
             bottom.chars().filter(|c| GLYPHS.contains(c)).count() >= 1,

@@ -83,7 +83,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.f64()
     }
 
@@ -140,7 +143,10 @@ impl SimRng {
     ///
     /// Panics if `scale` or `shape` is not strictly positive.
     pub fn weibull(&mut self, scale: f64, shape: f64) -> f64 {
-        assert!(scale > 0.0 && shape > 0.0, "weibull parameters must be positive");
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "weibull parameters must be positive"
+        );
         let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
         scale * (-u.ln()).powf(1.0 / shape)
     }

@@ -58,7 +58,10 @@ impl TimeSeries {
     /// must arrive in simulation order.
     pub fn push(&mut self, time: SimTime, value: f64) {
         if let Some(&(last, _)) = self.points.last() {
-            assert!(time >= last, "samples must be time-ordered: {time} < {last}");
+            assert!(
+                time >= last,
+                "samples must be time-ordered: {time} < {last}"
+            );
         }
         self.points.push((time, value));
     }
@@ -103,7 +106,11 @@ impl TimeSeries {
     }
 
     /// Samples whose time lies in `[start, end)`.
-    pub fn window(&self, start: SimTime, end: SimTime) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+    pub fn window(
+        &self,
+        start: SimTime,
+        end: SimTime,
+    ) -> impl Iterator<Item = (SimTime, f64)> + '_ {
         self.points
             .iter()
             .copied()
@@ -129,7 +136,9 @@ impl TimeSeries {
                 _ => out.push((date, v, 1)),
             }
         }
-        out.into_iter().map(|(d, sum, n)| (d, sum / n as f64)).collect()
+        out.into_iter()
+            .map(|(d, sum, n)| (d, sum / n as f64))
+            .collect()
     }
 
     /// Mean values over fixed-size buckets starting at the first sample.
@@ -154,7 +163,9 @@ impl TimeSeries {
                 _ => out.push((bucket_start, v, 1)),
             }
         }
-        out.into_iter().map(|(t, sum, n)| (t, sum / n as f64)).collect()
+        out.into_iter()
+            .map(|(t, sum, n)| (t, sum / n as f64))
+            .collect()
     }
 
     /// Ordinary least-squares slope of value against time (per second).
@@ -185,7 +196,10 @@ impl TimeSeries {
     ///
     /// Panics if the slices differ in length or are empty.
     pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
-        assert!(!xs.is_empty() && xs.len() == ys.len(), "need aligned non-empty slices");
+        assert!(
+            !xs.is_empty() && xs.len() == ys.len(),
+            "need aligned non-empty slices"
+        );
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;

@@ -78,7 +78,11 @@ impl SimTime {
     /// The `(hour, minute, second)` of the day, UTC.
     pub const fn time_of_day(self) -> (u32, u32, u32) {
         let s = self.0 % DAY;
-        ((s / HOUR) as u32, ((s % HOUR) / MIN) as u32, (s % MIN) as u32)
+        (
+            (s / HOUR) as u32,
+            ((s % HOUR) / MIN) as u32,
+            (s % MIN) as u32,
+        )
     }
 
     /// Seconds elapsed since the most recent midnight UTC.
@@ -404,10 +408,19 @@ mod tests {
     #[test]
     fn day_of_year_boundaries() {
         assert_eq!(SimTime::from_ymd_hms(2009, 1, 1, 0, 0, 0).day_of_year(), 1);
-        assert_eq!(SimTime::from_ymd_hms(2009, 12, 31, 12, 0, 0).day_of_year(), 365);
-        assert_eq!(SimTime::from_ymd_hms(2008, 12, 31, 0, 0, 0).day_of_year(), 366);
+        assert_eq!(
+            SimTime::from_ymd_hms(2009, 12, 31, 12, 0, 0).day_of_year(),
+            365
+        );
+        assert_eq!(
+            SimTime::from_ymd_hms(2008, 12, 31, 0, 0, 0).day_of_year(),
+            366
+        );
         // 2009-09-22 is day 265 of a non-leap year.
-        assert_eq!(SimTime::from_ymd_hms(2009, 9, 22, 0, 0, 0).day_of_year(), 265);
+        assert_eq!(
+            SimTime::from_ymd_hms(2009, 9, 22, 0, 0, 0).day_of_year(),
+            265
+        );
     }
 
     #[test]

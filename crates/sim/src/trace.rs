@@ -14,9 +14,7 @@ use crate::time::SimTime;
 use crate::units::Bytes;
 
 /// Severity of a trace event.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TraceLevel {
     /// Routine progress suitable for remote debugging.
     Debug,
@@ -55,7 +53,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] {}: {}", self.time, self.level, self.source, self.message)
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.time, self.level, self.source, self.message
+        )
     }
 }
 

@@ -1,7 +1,8 @@
 //! Controller configuration and the daily window report.
 
+use glacsweb_faults::RetryPolicy;
 use glacsweb_probe::ProtocolConfig;
-use glacsweb_sim::{SimDuration, SimTime, TraceLevel};
+use glacsweb_sim::{ConfigError, SimDuration, SimTime, TraceLevel};
 use serde::{Deserialize, Serialize};
 
 use crate::data::UploadReport;
@@ -22,8 +23,12 @@ pub struct ControllerConfig {
     pub protocol: ProtocolConfig,
     /// Time budget per probe per window.
     pub probe_budget: SimDuration,
-    /// GPRS attach attempts per window before giving up.
-    pub gprs_connect_attempts: u32,
+    /// GPRS attach retry policy per window: attempt budget plus
+    /// exponential backoff between attempts (§VI recovery discipline).
+    pub attach_retry: RetryPolicy,
+    /// Retry policy for server-side fetches (override, special, update)
+    /// when the server is unreachable.
+    pub fetch_retry: RetryPolicy,
     /// Log verbosity left in the deployed binaries (§VI: too much output
     /// "takes time/power/money to transfer but is of little use").
     pub log_min_level: TraceLevel,
@@ -47,7 +52,8 @@ impl ControllerConfig {
             special_before_upload: false,
             protocol: ProtocolConfig::deployed_2008(),
             probe_budget: SimDuration::from_mins(25),
-            gprs_connect_attempts: 3,
+            attach_retry: RetryPolicy::gprs_attach(),
+            fetch_retry: RetryPolicy::server_fetch(),
             log_min_level: TraceLevel::Debug,
             priority_data: false,
             priority_conductivity_jump_us: 3.0,
@@ -79,18 +85,25 @@ impl ControllerConfig {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.watchdog_limit.as_secs() == 0 {
-            return Err("watchdog limit must be non-zero".into());
-        }
-        if self.gprs_connect_attempts == 0 {
-            return Err("need at least one GPRS attempt".into());
+            return Err(ConfigError::new(
+                "controller",
+                "watchdog_limit",
+                "watchdog limit must be non-zero",
+            ));
         }
         if !self.priority_conductivity_jump_us.is_finite()
             || self.priority_conductivity_jump_us <= 0.0
         {
-            return Err("priority jump threshold must be positive".into());
+            return Err(ConfigError::new(
+                "controller",
+                "priority_conductivity_jump_us",
+                "priority jump threshold must be positive",
+            ));
         }
+        self.attach_retry.validate()?;
+        self.fetch_retry.validate()?;
         self.protocol.validate()
     }
 }
@@ -170,7 +183,10 @@ mod tests {
     #[test]
     fn deployed_config_has_the_documented_pitfalls() {
         let c = ControllerConfig::deployed_2008();
-        assert!(!c.special_before_upload, "special runs after upload as deployed");
+        assert!(
+            !c.special_before_upload,
+            "special runs after upload as deployed"
+        );
         assert!(c.protocol.individual_fetch_limit.is_some());
         assert_eq!(c.watchdog_limit, SimDuration::from_hours(2));
         c.validate().expect("valid");
@@ -193,10 +209,15 @@ mod tests {
         };
         assert!(c.validate().is_err());
         let c = ControllerConfig {
-            gprs_connect_attempts: 0,
+            attach_retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::gprs_attach()
+            },
             ..ControllerConfig::default()
         };
-        assert!(c.validate().is_err());
+        let err = c.validate().expect_err("zero attach attempts");
+        assert_eq!(err.component(), "retry");
+        assert_eq!(err.field(), "max_attempts");
         let c = ControllerConfig {
             priority_conductivity_jump_us: -1.0,
             ..ControllerConfig::default()

@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// probes is better in the winter due to the drier ice conditions so probe
 /// communications should always be attempted", and MSP430 sensing "has
 /// negligible cost" (§III).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PowerState {
     /// Survival: sensing and probe jobs only; no GPS, no GPRS.
     S0,
@@ -34,7 +32,12 @@ pub enum PowerState {
 
 impl PowerState {
     /// All states, lowest first.
-    pub const ALL: [PowerState; 4] = [PowerState::S0, PowerState::S1, PowerState::S2, PowerState::S3];
+    pub const ALL: [PowerState; 4] = [
+        PowerState::S0,
+        PowerState::S1,
+        PowerState::S2,
+        PowerState::S3,
+    ];
 
     /// The numeric label used in the paper (0–3).
     pub fn level(self) -> u8 {
@@ -190,7 +193,11 @@ mod tests {
     fn thresholds_select_states() {
         let p = PolicyTable::paper();
         assert_eq!(p.state_for(Volts(13.2)), PowerState::S3);
-        assert_eq!(p.state_for(Volts(12.5)), PowerState::S3, "inclusive boundary");
+        assert_eq!(
+            p.state_for(Volts(12.5)),
+            PowerState::S3,
+            "inclusive boundary"
+        );
         assert_eq!(p.state_for(Volts(12.49)), PowerState::S2);
         assert_eq!(p.state_for(Volts(12.0)), PowerState::S2);
         assert_eq!(p.state_for(Volts(11.7)), PowerState::S1);
@@ -201,8 +208,14 @@ mod tests {
 
     #[test]
     fn state3_reads_every_two_hours() {
-        assert_eq!(PowerState::S3.gps_interval(), Some(SimDuration::from_hours(2)));
-        assert_eq!(PowerState::S2.gps_interval(), Some(SimDuration::from_hours(24)));
+        assert_eq!(
+            PowerState::S3.gps_interval(),
+            Some(SimDuration::from_hours(2))
+        );
+        assert_eq!(
+            PowerState::S2.gps_interval(),
+            Some(SimDuration::from_hours(24))
+        );
         assert_eq!(PowerState::S1.gps_interval(), None);
     }
 

@@ -13,7 +13,7 @@
 //! future extension). Once the clock is fixed, the schedule is rebuilt in
 //! state 0.
 
-use glacsweb_sim::SimDuration;
+use glacsweb_sim::{ConfigError, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Recovery tunables.
@@ -55,17 +55,25 @@ impl RecoveryConfig {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         for (name, p) in [
             ("gps_fix_success_p", self.gps_fix_success_p),
             ("ntp_success_p", self.ntp_success_p),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("{name} {p} not a probability"));
+                return Err(ConfigError::new(
+                    "recovery",
+                    name,
+                    format!("{p} not a probability"),
+                ));
             }
         }
         if self.gps_fix_duration.as_secs() == 0 {
-            return Err("gps fix duration must be non-zero".into());
+            return Err(ConfigError::new(
+                "recovery",
+                "gps_fix_duration",
+                "gps fix duration must be non-zero",
+            ));
         }
         Ok(())
     }

@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(s.next_sample(at(10, 30)), at(11, 0));
         // Midnight wrap.
         let last = SimTime::from_ymd_hms(2009, 9, 22, 23, 45, 0);
-        assert_eq!(s.next_sample(last), SimTime::from_ymd_hms(2009, 9, 23, 0, 0, 0));
+        assert_eq!(
+            s.next_sample(last),
+            SimTime::from_ymd_hms(2009, 9, 23, 0, 0, 0)
+        );
     }
 
     #[test]
@@ -159,8 +162,14 @@ mod tests {
 
     #[test]
     fn low_states_take_no_gps() {
-        assert_eq!(Schedule::standard(PowerState::S1).next_gps_reading(at(0, 0)), None);
-        assert_eq!(Schedule::standard(PowerState::S0).next_gps_reading(at(0, 0)), None);
+        assert_eq!(
+            Schedule::standard(PowerState::S1).next_gps_reading(at(0, 0)),
+            None
+        );
+        assert_eq!(
+            Schedule::standard(PowerState::S0).next_gps_reading(at(0, 0)),
+            None
+        );
     }
 
     #[test]

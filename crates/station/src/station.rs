@@ -8,7 +8,7 @@ use glacsweb_link::{DataCostMeter, GprsConfig, GprsLink, RelayWanLink, WanLink};
 use glacsweb_power::{Charger, LeadAcidBattery, MainsCharger, PowerRail, SolarPanel, WindTurbine};
 use glacsweb_probe::{FetchSession, ProbeFirmware, ProbeId};
 use glacsweb_sim::{
-    AmpHours, Bytes, SimDuration, SimRng, SimTime, TraceLevel, TraceLog, Volts, Watts,
+    AmpHours, Bytes, ConfigError, SimDuration, SimRng, SimTime, TraceLevel, TraceLog, Volts, Watts,
 };
 use serde::{Deserialize, Serialize};
 
@@ -110,15 +110,27 @@ impl StationConfig {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.battery.value() <= 0.0 {
-            return Err("battery capacity must be positive".into());
+            return Err(ConfigError::new(
+                "station",
+                "battery",
+                "battery capacity must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&self.initial_soc) {
-            return Err(format!("initial soc {} out of range", self.initial_soc));
+            return Err(ConfigError::new(
+                "station",
+                "initial_soc",
+                format!("initial soc {} out of range", self.initial_soc),
+            ));
         }
         if self.tariff_per_mib < 0.0 {
-            return Err("tariff must be non-negative".into());
+            return Err(ConfigError::new(
+                "station",
+                "tariff_per_mib",
+                "tariff must be non-negative",
+            ));
         }
         self.controller.validate()?;
         self.recovery.validate()?;
@@ -234,6 +246,12 @@ pub struct Station {
     /// wired probes has been considered … ruled out because of the lack
     /// of serial ports"). When it is down, no probe can be queried.
     wired_probe_ok: bool,
+    /// Fault-injected GPRS degradation multiplier on the weather factor
+    /// (1.0 = healthy network).
+    gprs_degradation: f64,
+    /// Fault-injected §VI stuck-transfer hang: the next upload stalls
+    /// until the watchdog cuts the window.
+    stuck_transfer: bool,
     /// Accumulated RTC error, seconds (positive = clock fast). Drifts a
     /// few seconds per day; zeroed whenever a GPS time fix happens.
     clock_error_secs: f64,
@@ -286,9 +304,7 @@ impl Station {
         log.set_min_level(config.controller.log_min_level);
         let (wan, wan_load): (Box<dyn WanLink>, &'static str) = match config.comms {
             CommsPath::DualGprs => (Box::new(GprsLink::new(config.gprs.clone())), loads::GPRS),
-            CommsPath::RelayViaReference => {
-                (Box::new(RelayWanLink::new()), loads::RADIO_MODEM)
-            }
+            CommsPath::RelayViaReference => (Box::new(RelayWanLink::new()), loads::RADIO_MODEM),
         };
         let cost = DataCostMeter::per_megabyte(config.tariff_per_mib);
         let is_base = config.id == StationId::Base;
@@ -314,6 +330,8 @@ impl Station {
             priority_event: false,
             conductivity_baselines: BTreeMap::new(),
             wired_probe_ok: true,
+            gprs_degradation: 1.0,
+            stuck_transfer: false,
             clock_error_secs: 0.0,
             drift_sign: if is_base { 1.0 } else { -0.7 },
             powered: true,
@@ -496,7 +514,11 @@ impl Station {
         // time, which doubles as a free RTC fix.
         let skew = SimDuration::from_secs_f64(self.clock_error_secs.abs());
         // A fast clock fires the slot early; a slow one fires late.
-        let actual = if self.clock_error_secs >= 0.0 { t - skew } else { t + skew };
+        let actual = if self.clock_error_secs >= 0.0 {
+            t - skew
+        } else {
+            t + skew
+        };
         let file = self.dgps.take_reading(actual, true_position, &mut self.rng);
         self.clock_error_secs = 0.0;
         self.msp.set_rtc(t, t);
@@ -504,7 +526,10 @@ impl Station {
             t,
             TraceLevel::Debug,
             "dgps",
-            format!("reading {} ({} sats, {})", file.taken_at, file.satellites, file.size),
+            format!(
+                "reading {} ({} sats, {})",
+                file.taken_at, file.satellites, file.size
+            ),
         );
         Some(dip)
     }
@@ -588,22 +613,22 @@ impl Station {
             report.steps.push("msp_readings".into());
             let raw = self.msp.drain_voltage_log();
             let wire = glacsweb_hw::bus::BusResponse::from_voltage_samples(&raw).encode();
-            let samples: Vec<(SimTime, Volts)> =
-                match glacsweb_hw::bus::BusResponse::decode(&wire) {
-                    Ok(glacsweb_hw::bus::BusResponse::VoltageLog(log)) => log
-                        .into_iter()
-                        .map(|(t, mv)| (SimTime::from_unix(t), Volts(f64::from(mv) / 1000.0)))
-                        .collect(),
-                    _ => {
-                        self.log.record(
-                            now,
-                            TraceLevel::Error,
-                            "bus",
-                            "voltage log transfer failed checksum; using live reading",
-                        );
-                        Vec::new()
-                    }
-                };
+            let samples: Vec<(SimTime, Volts)> = match glacsweb_hw::bus::BusResponse::decode(&wire)
+            {
+                Ok(glacsweb_hw::bus::BusResponse::VoltageLog(log)) => log
+                    .into_iter()
+                    .map(|(t, mv)| (SimTime::from_unix(t), Volts(f64::from(mv) / 1000.0)))
+                    .collect(),
+                _ => {
+                    self.log.record(
+                        now,
+                        TraceLevel::Error,
+                        "bus",
+                        "voltage log transfer failed checksum; using live reading",
+                    );
+                    Vec::new()
+                }
+            };
             let daily_avg = if samples.is_empty() {
                 self.rail.measured_voltage(env)
             } else {
@@ -706,7 +731,9 @@ impl Station {
 
                 // 8. Fetch override state.
                 report.steps.push("get_override_state".into());
-                if self.ensure_connected(env, &mut now, &wd) {
+                if self.ensure_connected(env, &mut now, &wd)
+                    && self.server_fetch_ready(env, &mut now, &wd, &*uplink)
+                {
                     self.advance(env, now + CONTROL_EXCHANGE);
                     now += CONTROL_EXCHANGE;
                     report.override_state = uplink.fetch_override(self.config.id);
@@ -752,6 +779,50 @@ impl Station {
     /// Injects the §VII CF-card filesystem corruption fault.
     pub fn inject_card_corruption(&mut self) {
         self.card.inject_corruption(&mut self.rng);
+    }
+
+    /// Scales GPRS attach failures beyond the weather — the fault
+    /// injector's knob for network degradation. `1.0` is a healthy
+    /// network; large severities saturate at the 95 % failure cap, which
+    /// approximates a total blackout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is not a finite value ≥ 1.
+    pub fn set_gprs_degradation(&mut self, severity: f64) {
+        assert!(
+            severity.is_finite() && severity >= 1.0,
+            "degradation severity must be >= 1"
+        );
+        self.gprs_degradation = severity;
+    }
+
+    /// The current fault-injected GPRS degradation multiplier.
+    pub fn gprs_degradation(&self) -> f64 {
+        self.gprs_degradation
+    }
+
+    /// Arms (or clears) the §VI stuck-transfer hang: while armed, the
+    /// upload step stalls until the watchdog cuts the window — "a
+    /// watchdog was added … to reboot the system if the software hangs".
+    pub fn inject_stuck_transfer(&mut self, stuck: bool) {
+        self.stuck_transfer = stuck;
+    }
+
+    /// `true` while a stuck-transfer fault is armed.
+    pub fn stuck_transfer(&self) -> bool {
+        self.stuck_transfer
+    }
+
+    /// Forces total battery exhaustion at `t` — the §IV power-failure
+    /// fault. The exhaustion is processed immediately: the MSP430 loses
+    /// its RTC and RAM schedule, and the station stays dark until
+    /// external charging lifts the battery back over the restart
+    /// threshold.
+    pub fn force_power_failure(&mut self, env: &mut Environment, t: SimTime) {
+        self.advance(env, t);
+        self.rail.battery_mut().drain_empty();
+        self.advance(env, t);
     }
 
     /// Fails or repairs the wired probe — the §V single point of failure
@@ -856,8 +927,12 @@ impl Station {
             self.msp.write_schedule(Schedule::recovery_default());
             self.last_run = Some(*now);
             self.recoveries += 1;
-            self.log
-                .record(*now, TraceLevel::Warn, "recovery", "RTC reset detected; re-synced from GPS; schedule -> state 0");
+            self.log.record(
+                *now,
+                TraceLevel::Warn,
+                "recovery",
+                "RTC reset detected; re-synced from GPS; schedule -> state 0",
+            );
             return RecoveryOutcome::RecoveredViaGps;
         }
         if rc.ntp_fallback {
@@ -873,14 +948,22 @@ impl Station {
                     self.msp.write_schedule(Schedule::recovery_default());
                     self.last_run = Some(*now);
                     self.recoveries += 1;
-                    self.log
-                        .record(*now, TraceLevel::Warn, "recovery", "re-synced via NTP fallback");
+                    self.log.record(
+                        *now,
+                        TraceLevel::Warn,
+                        "recovery",
+                        "re-synced via NTP fallback",
+                    );
                     return RecoveryOutcome::RecoveredViaNtp;
                 }
             }
         }
-        self.log
-            .record(*now, TraceLevel::Error, "recovery", "no time fix; sleeping a day");
+        self.log.record(
+            *now,
+            TraceLevel::Error,
+            "recovery",
+            "no time fix; sleeping a day",
+        );
         RecoveryOutcome::SleepAndRetry
     }
 
@@ -933,7 +1016,11 @@ impl Station {
                     *now,
                     TraceLevel::Error,
                     "probe",
-                    format!("probe {}: individual fetch of {} readings failed", probe.id(), out.missing_after),
+                    format!(
+                        "probe {}: individual fetch of {} readings failed",
+                        probe.id(),
+                        out.missing_after
+                    ),
                 );
             }
             if out.new_readings > 0 {
@@ -1063,9 +1150,20 @@ impl Station {
     }
 
     fn step_connect(&mut self, env: &mut Environment, now: &mut SimTime, wd: &Watchdog) -> bool {
-        // §I: the wetter the summer environment, the flakier the GPRS.
-        let weather = 1.0 + env.melt_index();
-        for _ in 0..self.config.controller.gprs_connect_attempts {
+        // §I: the wetter the summer environment, the flakier the GPRS —
+        // and a fault-injected degradation multiplies on top.
+        let weather = (1.0 + env.melt_index()) * self.gprs_degradation;
+        let policy = self.config.controller.attach_retry;
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                // Back off (modem powered down) before retrying, never
+                // past the watchdog deadline.
+                let wait = wd.cap(*now, policy.backoff_jittered(attempt, &mut self.rng));
+                if wait > SimDuration::ZERO {
+                    self.advance(env, *now + wait);
+                    *now += wait;
+                }
+            }
             if wd.expired(*now) {
                 return false;
             }
@@ -1089,11 +1187,52 @@ impl Station {
     }
 
     /// Re-attaches if a drop killed the session; returns whether connected.
-    fn ensure_connected(&mut self, env: &mut Environment, now: &mut SimTime, wd: &Watchdog) -> bool {
+    fn ensure_connected(
+        &mut self,
+        env: &mut Environment,
+        now: &mut SimTime,
+        wd: &Watchdog,
+    ) -> bool {
         if self.wan.is_connected() {
             return true;
         }
         self.step_connect(env, now, wd)
+    }
+
+    /// Probes the server end-to-end before a control fetch, backing off
+    /// and retrying while it is unreachable (a fault-injected outage).
+    /// Waits are capped by the watchdog; a reachable server costs no
+    /// time and no randomness. Returns `true` once the server answers.
+    fn server_fetch_ready(
+        &mut self,
+        env: &mut Environment,
+        now: &mut SimTime,
+        wd: &Watchdog,
+        uplink: &dyn Uplink,
+    ) -> bool {
+        let policy = self.config.controller.fetch_retry;
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                let wait = wd.cap(*now, policy.backoff_jittered(attempt, &mut self.rng));
+                if wait > SimDuration::ZERO {
+                    self.advance(env, *now + wait);
+                    *now += wait;
+                }
+            }
+            if wd.expired(*now) {
+                return false;
+            }
+            if uplink.is_reachable() {
+                return true;
+            }
+            self.log.record(
+                *now,
+                TraceLevel::Warn,
+                "server",
+                "server unreachable; backing off",
+            );
+        }
+        false
     }
 
     fn step_upload(
@@ -1104,6 +1243,20 @@ impl Station {
         uplink: &mut dyn Uplink,
         report: &mut WindowReport,
     ) -> bool {
+        if self.stuck_transfer {
+            // §VI: the transfer hangs and never completes; only the
+            // watchdog's forced power-off ends the window.
+            let stall = wd.remaining(*now);
+            self.advance(env, *now + stall);
+            *now += stall;
+            self.log.record(
+                *now,
+                TraceLevel::Error,
+                "upload",
+                "transfer hung; waiting on watchdog",
+            );
+            return true;
+        }
         loop {
             if wd.expired(*now) {
                 return true;
@@ -1166,8 +1319,12 @@ impl Station {
         self.advance(env, *now + run);
         *now += run;
         if run < cmd.runtime {
-            self.log
-                .record(*now, TraceLevel::Error, "special", "watchdog cut special execution");
+            self.log.record(
+                *now,
+                TraceLevel::Error,
+                "special",
+                "watchdog cut special execution",
+            );
             return true;
         }
         // Output goes into the normal log (§VI) → ships tomorrow.
@@ -1197,6 +1354,9 @@ impl Station {
         if !self.ensure_connected(env, now, wd) {
             return wd.expired(*now);
         }
+        if !self.server_fetch_ready(env, now, wd, &*uplink) {
+            return wd.expired(*now);
+        }
         self.advance(env, *now + CONTROL_EXCHANGE);
         *now += CONTROL_EXCHANGE;
         let Some(update) = uplink.fetch_update(self.config.id) else {
@@ -1223,8 +1383,12 @@ impl Station {
         uplink.report_checksum(self.config.id, &update.name, &hex);
         if digest == update.expected_md5 {
             report.update_applied = Some(update.name.clone());
-            self.log
-                .record(*now, TraceLevel::Info, "update", format!("{} verified and installed", update.name));
+            self.log.record(
+                *now,
+                TraceLevel::Info,
+                "update",
+                format!("{} verified and installed", update.name),
+            );
         } else {
             report.update_rejected = Some(update.name.clone());
             self.log.record(
@@ -1256,8 +1420,12 @@ impl Station {
         report.cut_by_watchdog = cut;
         if cut {
             self.windows_cut += 1;
-            self.log
-                .record(now, TraceLevel::Error, "watchdog", "2-hour limit reached; forcing power-off");
+            self.log.record(
+                now,
+                TraceLevel::Error,
+                "watchdog",
+                "2-hour limit reached; forcing power-off",
+            );
         }
         report.closed = now;
         if self.wan.is_connected() {
@@ -1338,7 +1506,8 @@ mod tests {
             t += SimDuration::from_mins(30);
             station.on_sample(env, t);
         }
-        let report = station.on_window(env, day_start + SimDuration::from_hours(12), probes, server);
+        let report =
+            station.on_window(env, day_start + SimDuration::from_hours(12), probes, server);
         // Rest of the day's samples.
         let mut t = day_start + SimDuration::from_hours(12) + SimDuration::from_mins(30);
         while t < day_start + SimDuration::from_days(1) {
@@ -1389,7 +1558,12 @@ mod tests {
         // The window then drains them over RS-232.
         let mut server = FakeServer::default();
         let report = station
-            .on_window(&mut env, start.next_time_of_day(12, 0, 0), &mut [], &mut server)
+            .on_window(
+                &mut env,
+                start.next_time_of_day(12, 0, 0),
+                &mut [],
+                &mut server,
+            )
             .expect("runs");
         assert_eq!(report.gps_files_fetched, 12);
     }
@@ -1409,7 +1583,12 @@ mod tests {
         let mut server = FakeServer::default();
         let window_at = t.next_time_of_day(12, 0, 0);
         let report = station
-            .on_window(&mut env, window_at, std::slice::from_mut(&mut probe), &mut server)
+            .on_window(
+                &mut env,
+                window_at,
+                std::slice::from_mut(&mut probe),
+                &mut server,
+            )
             .expect("runs");
         assert_eq!(report.probes_contacted, 1);
         assert_eq!(report.probe_readings, 200);
@@ -1432,12 +1611,15 @@ mod tests {
             override_state: Some(PowerState::S2),
             ..FakeServer::default()
         };
-        let report = run_day(&mut env, &mut station, &mut [], &mut server, start)
-            .expect("runs");
+        let report = run_day(&mut env, &mut station, &mut [], &mut server, start).expect("runs");
         assert_eq!(report.local_state, PowerState::S3);
         assert_eq!(report.override_state, Some(PowerState::S2));
         assert_eq!(report.applied_state, PowerState::S2);
-        assert_eq!(station.current_state(), PowerState::S2, "schedule rewritten");
+        assert_eq!(
+            station.current_state(),
+            PowerState::S2,
+            "schedule rewritten"
+        );
     }
 
     #[test]
@@ -1465,8 +1647,7 @@ mod tests {
                     expected_md5: digest,
                 });
             }
-            let report = run_day(&mut env, &mut station, &mut [], &mut server, day)
-                .expect("runs");
+            let report = run_day(&mut env, &mut station, &mut [], &mut server, day).expect("runs");
             if report.update_applied.is_some() {
                 applied = true;
                 break;
@@ -1491,8 +1672,7 @@ mod tests {
             }),
             ..FakeServer::default()
         };
-        let report = run_day(&mut env, &mut station, &mut [], &mut server, start)
-            .expect("runs");
+        let report = run_day(&mut env, &mut station, &mut [], &mut server, start).expect("runs");
         assert_eq!(report.update_rejected.as_deref(), Some("control.py"));
         assert_eq!(report.update_applied, None);
         assert!(!server.checksums.is_empty(), "mismatch still reported");
@@ -1511,8 +1691,7 @@ mod tests {
             }),
             ..FakeServer::default()
         };
-        let day1 = run_day(&mut env, &mut station, &mut [], &mut server, start)
-            .expect("runs");
+        let day1 = run_day(&mut env, &mut station, &mut [], &mut server, start).expect("runs");
         assert_eq!(day1.special_executed, Some(7));
         // The §VI lesson: the output only reaches Southampton in the NEXT
         // day's log upload.
@@ -1520,18 +1699,28 @@ mod tests {
             .items
             .iter()
             .filter_map(|i| match i {
-                UploadItem::SystemLog { special_results, .. } => Some(special_results.len()),
+                UploadItem::SystemLog {
+                    special_results, ..
+                } => Some(special_results.len()),
                 _ => None,
             })
             .sum();
         assert_eq!(results_day1, 0, "no results on day one");
-        run_day(&mut env, &mut station, &mut [], &mut server, start + SimDuration::from_days(1))
-            .expect("runs");
+        run_day(
+            &mut env,
+            &mut station,
+            &mut [],
+            &mut server,
+            start + SimDuration::from_days(1),
+        )
+        .expect("runs");
         let results_total: usize = server
             .items
             .iter()
             .filter_map(|i| match i {
-                UploadItem::SystemLog { special_results, .. } => Some(special_results.len()),
+                UploadItem::SystemLog {
+                    special_results, ..
+                } => Some(special_results.len()),
                 _ => None,
             })
             .sum();
@@ -1573,10 +1762,7 @@ mod tests {
         station.rail.loads_mut().set_on(loads::GPS, false);
         // Manually recharge (scenario hook).
         station.rail = {
-            let mut rail = PowerRail::new(
-                LeadAcidBattery::with_state(AmpHours(36.0), 0.9),
-                t,
-            );
+            let mut rail = PowerRail::new(LeadAcidBattery::with_state(AmpHours(36.0), 0.9), t);
             {
                 let l = rail.loads_mut();
                 l.add(loads::MSP430, glacsweb_hw::table1::MSP430_POWER);
@@ -1633,7 +1819,8 @@ mod tests {
         assert_eq!(station.stats().1, 1, "cut counted");
         let d = report.duration();
         assert!(
-            d >= SimDuration::from_hours(2) && d < SimDuration::from_hours(2) + SimDuration::from_mins(5),
+            d >= SimDuration::from_hours(2)
+                && d < SimDuration::from_hours(2) + SimDuration::from_mins(5),
             "window bounded at ~2 h: {d}"
         );
     }
@@ -1689,7 +1876,13 @@ mod tests {
         let mut station = Station::new(config, start, 4242);
         let mut server = FakeServer::default();
         for d in 0..3 {
-            run_day(&mut env, &mut station, &mut [], &mut server, start + SimDuration::from_days(d));
+            run_day(
+                &mut env,
+                &mut station,
+                &mut [],
+                &mut server,
+                start + SimDuration::from_days(d),
+            );
         }
         assert_eq!(
             station.card().list().len(),
@@ -1705,10 +1898,13 @@ mod tests {
         let start = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
         let (mut env, mut station) = lab_station(start);
         let mut server = FakeServer::default();
-        let report = run_day(&mut env, &mut station, &mut [], &mut server, start)
-            .expect("runs");
+        let report = run_day(&mut env, &mut station, &mut [], &mut server, start).expect("runs");
         assert!(report.upload.drained);
-        assert_eq!(station.card().list().len(), 0, "everything uploaded and freed");
+        assert_eq!(
+            station.card().list().len(),
+            0,
+            "everything uploaded and freed"
+        );
     }
 
     #[test]
@@ -1725,14 +1921,26 @@ mod tests {
         let mut station = Station::new(config, start, 4242);
         let mut server = FakeServer::default();
         for d in 0..4 {
-            run_day(&mut env, &mut station, &mut [], &mut server, start + SimDuration::from_days(d));
+            run_day(
+                &mut env,
+                &mut station,
+                &mut [],
+                &mut server,
+                start + SimDuration::from_days(d),
+            );
         }
         let files_before = station.card().list().len();
         assert!(files_before > 0);
         station.inject_card_corruption();
         assert!(station.card().is_corrupted());
-        let report = run_day(&mut env, &mut station, &mut [], &mut server, start + SimDuration::from_days(4))
-            .expect("runs");
+        let report = run_day(
+            &mut env,
+            &mut station,
+            &mut [],
+            &mut server,
+            start + SimDuration::from_days(4),
+        )
+        .expect("runs");
         let (kept, lost) = report.card_recovered.expect("recovery ran");
         assert_eq!(kept + lost, files_before, "every file accounted for");
         assert!(!station.card().is_corrupted());
@@ -1763,7 +1971,12 @@ mod tests {
             probe.sample(&env, t, &mut rng);
         }
         let r1 = station
-            .on_window(&mut env, start + SimDuration::from_hours(12), std::slice::from_mut(&mut probe), &mut server)
+            .on_window(
+                &mut env,
+                start + SimDuration::from_hours(12),
+                std::slice::from_mut(&mut probe),
+                &mut server,
+            )
             .expect("runs");
         assert_eq!(r1.local_state, PowerState::S0);
         assert!(!r1.priority_forced, "no event yet");
@@ -1785,7 +1998,12 @@ mod tests {
             probe.sample(&env, t, &mut rng);
         }
         let r2 = station
-            .on_window(&mut env, t.next_time_of_day(12, 0, 0), std::slice::from_mut(&mut probe), &mut server)
+            .on_window(
+                &mut env,
+                t.next_time_of_day(12, 0, 0),
+                std::slice::from_mut(&mut probe),
+                &mut server,
+            )
             .expect("runs");
         assert_eq!(r2.local_state, PowerState::S0, "battery still flat");
         assert!(r2.priority_forced, "summer conductivity jump forces comms");
@@ -1825,9 +2043,16 @@ mod tests {
         station.on_gps_slot(&mut env, slot);
         assert_eq!(station.clock_error_secs(), 0.0, "GPS time zeroes the error");
         // And the reading's timestamp reflects the pre-fix skew.
-        let file = station.dgps().pending_files().last().expect("reading taken");
+        let file = station
+            .dgps()
+            .pending_files()
+            .last()
+            .expect("reading taken");
         let offset = slot.saturating_since(file.taken_at).as_secs();
-        assert!((115..=125).contains(&offset), "slot fired ~2 min early: {offset}s");
+        assert!(
+            (115..=125).contains(&offset),
+            "slot fired ~2 min early: {offset}s"
+        );
     }
 
     #[test]

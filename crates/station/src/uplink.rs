@@ -108,6 +108,13 @@ pub enum UploadItem {
 /// calls. `report_checksum` exists as a separate tiny GET because the
 /// deployed `wget` could not POST (§VI).
 pub trait Uplink {
+    /// `true` while the server answers at all — `false` during a server
+    /// outage (§VI: "the server was unreachable for a week"). Stations
+    /// probe this before control fetches and back off while it is down.
+    fn is_reachable(&self) -> bool {
+        true
+    }
+
     /// Uploads today's locally computed power state.
     fn upload_power_state(&mut self, from: StationId, date: CivilDate, state: PowerState);
 

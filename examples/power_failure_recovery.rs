@@ -40,7 +40,10 @@ fn main() {
             if let Some(gap_start) = last_alive {
                 let silent_days = r.opened.saturating_since(gap_start).as_days_f64();
                 if !announced_death {
-                    println!("{}: last successful window before the lights went out", gap_start.date());
+                    println!(
+                        "{}: last successful window before the lights went out",
+                        gap_start.date()
+                    );
                     println!("…{silent_days:.0} days of silence (battery flat, RTC lost)…");
                     announced_death = true;
                 }
@@ -67,6 +70,12 @@ fn main() {
     }
 
     let s = d.summary();
-    println!("\ntotals: {} power losses, {} recoveries, {} windows", s.power_losses, s.recoveries, s.windows_run);
-    assert!(s.power_losses >= 1 && s.recoveries >= 1, "the demo scenario must die and recover");
+    println!(
+        "\ntotals: {} power losses, {} recoveries, {} windows",
+        s.power_losses, s.recoveries, s.windows_run
+    );
+    assert!(
+        s.power_losses >= 1 && s.recoveries >= 1,
+        "the demo scenario must die and recover"
+    );
 }

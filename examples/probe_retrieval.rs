@@ -42,10 +42,19 @@ fn main() {
     let mut deployed = FetchSession::new(21, ProtocolConfig::deployed_2008());
     let day1 = deployed.run(&mut probe, &link, loss, budget, &mut rng);
     println!("day 1 (deployed 2008 firmware):");
-    println!("  bulk stream missed {} packets  [paper: ~400]", day1.missing_after_bulk);
+    println!(
+        "  bulk stream missed {} packets  [paper: ~400]",
+        day1.missing_after_bulk
+    );
     if day1.aborted {
-        println!("  -> individual fetch of {} readings FAILED (§V: 'the process could fail')", day1.missing_after);
-        println!("  -> but the task was not marked complete: probe still holds {} readings", probe.stored_readings());
+        println!(
+            "  -> individual fetch of {} readings FAILED (§V: 'the process could fail')",
+            day1.missing_after
+        );
+        println!(
+            "  -> but the task was not marked complete: probe still holds {} readings",
+            probe.stored_readings()
+        );
     }
 
     // Subsequent days with the lessons-learnt firmware, resuming from the
@@ -67,5 +76,8 @@ fn main() {
         assert!(day < 15, "should complete within days");
     }
     let total: usize = fixed.drain_delivered().len();
-    println!("\nall {total} readings retrieved; probe buffer now holds {} (freed after confirm)", probe.stored_readings());
+    println!(
+        "\nall {total} readings retrieved; probe buffer now holds {} (freed after confirm)",
+        probe.stored_readings()
+    );
 }

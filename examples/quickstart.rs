@@ -34,11 +34,17 @@ fn main() {
     }
 
     let warehouse = deployment.server().warehouse();
-    println!("\ndifferential dGPS fixes produced: {}", warehouse.differential_fixes().len());
+    println!(
+        "\ndifferential dGPS fixes produced: {}",
+        warehouse.differential_fixes().len()
+    );
     for probe in warehouse.probes_reporting() {
         let series = warehouse.conductivity_series(probe);
         if let Some((t, v)) = series.last() {
-            println!("probe {probe}: {} readings, latest conductivity {v:.2} µS at {t}", series.len());
+            println!(
+                "probe {probe}: {} readings, latest conductivity {v:.2} µS at {t}",
+                series.len()
+            );
         }
     }
 }

@@ -63,7 +63,11 @@ fn main() {
     for (station, file, hex, matches) in deployment.server().desk().checksum_reports() {
         println!(
             "  {station:?} {file}: {hex} {}",
-            if *matches { "== staged (OK)" } else { "!= staged (transfer corrupted)" }
+            if *matches {
+                "== staged (OK)"
+            } else {
+                "!= staged (transfer corrupted)"
+            }
         );
     }
 

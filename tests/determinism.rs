@@ -24,8 +24,18 @@ fn iceland_replays_bit_identically() {
 
     // Voltage traces match sample for sample.
     for id in [StationId::Base, StationId::Reference] {
-        let va: Vec<_> = a.metrics().voltage_series(id).expect("series").iter().collect();
-        let vb: Vec<_> = b.metrics().voltage_series(id).expect("series").iter().collect();
+        let va: Vec<_> = a
+            .metrics()
+            .voltage_series(id)
+            .expect("series")
+            .iter()
+            .collect();
+        let vb: Vec<_> = b
+            .metrics()
+            .voltage_series(id)
+            .expect("series")
+            .iter()
+            .collect();
         assert_eq!(va, vb, "{id:?} voltage trace");
     }
 

@@ -1,13 +1,18 @@
-//! Fault-injection integration tests: every §VI lesson as a failure mode.
+//! Fault-injection integration tests: every §VI lesson as a failure mode,
+//! driven by declarative [`FaultPlan`] chaos schedules.
 
-use glacsweb::{DeploymentBuilder, Scenario};
+use glacsweb::{DeploymentBuilder, Fault, FaultPlan, FaultSpec, FaultTarget, Scenario};
 use glacsweb_env::EnvConfig;
 use glacsweb_link::GprsConfig;
 use glacsweb_probe::MortalityModel;
 use glacsweb_sim::{Bytes, SimDuration, SimTime};
 use glacsweb_station::{PowerState, StationConfig, StationId};
 
-fn lab() -> glacsweb::Deployment {
+fn days(n: u64) -> SimDuration {
+    SimDuration::from_days(n)
+}
+
+fn lab_with(plan: FaultPlan) -> glacsweb::Deployment {
     let mut base = StationConfig::base_2008();
     base.gprs = GprsConfig::ideal();
     let mut reference = StationConfig::reference_2008();
@@ -18,18 +23,25 @@ fn lab() -> glacsweb::Deployment {
         .base(base)
         .reference(reference)
         .probes(2)
+        .fault_plan(plan)
         .build()
+}
+
+fn lab() -> glacsweb::Deployment {
+    lab_with(FaultPlan::new())
 }
 
 #[test]
 fn server_outage_falls_back_to_local_state() {
-    let mut d = lab();
-    d.run_days(3);
-    // Southampton goes dark for a week.
-    d.server_mut().set_unreachable(true);
-    d.run_days(7);
-    d.server_mut().set_unreachable(false);
-    d.run_days(3);
+    // Southampton goes dark for a week, on schedule.
+    let plan = FaultPlan::new().with(FaultSpec::new(
+        Fault::ServerUnreachable,
+        FaultTarget::Server,
+        days(3),
+        days(7),
+    ));
+    let mut d = lab_with(plan);
+    d.run_days(13);
 
     // During the outage every window fell back to the local state
     // ("the system will just rely on its local state").
@@ -46,13 +58,21 @@ fn server_outage_falls_back_to_local_state() {
     assert!(saw_outage_windows);
     // Stations kept operating throughout.
     assert!(d.summary().windows_run >= 24);
+    // The tracker saw the whole arc: activation, clearance, recovery.
+    let recs = d.metrics().fault_records();
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].label, "server_unreachable");
+    assert!(recs[0].cleared.is_some(), "outage cleared on schedule");
+    assert!(recs[0].mttr().is_some(), "healthy window after clearance");
 }
 
 #[test]
 fn manual_override_cannot_force_state_zero() {
     let mut d = lab();
     d.run_days(2);
-    d.server_mut().states_mut().set_manual_cap(Some(PowerState::S0));
+    d.server_mut()
+        .states_mut()
+        .set_manual_cap(Some(PowerState::S0));
     d.run_days(3);
     for r in d
         .metrics()
@@ -86,18 +106,26 @@ impl ReportExt for glacsweb_station::WindowReport {
 
 #[test]
 fn rs232_fault_then_recovery_clears_backlog() {
-    let mut d = lab();
-    d.base_mut().expect("base").inject_rs232_fault(true);
+    // The intermittent serial cable acts up for the first eight days.
+    let plan = FaultPlan::new().with(FaultSpec::new(
+        Fault::Rs232Fault,
+        FaultTarget::Base,
+        SimDuration::ZERO,
+        days(8),
+    ));
+    let mut d = lab_with(plan);
     d.run_days(8);
     let stranded = d.base().expect("base").dgps().pending_files().len();
     assert!(stranded >= 90, "8 days × 12 readings stranded: {stranded}");
-    d.base_mut().expect("base").inject_rs232_fault(false);
     d.run_days(8);
     assert!(
         d.base().expect("base").dgps().pending_files().len() < 15,
         "backlog drained file by file"
     );
-    assert!(d.summary().windows_cut > 0, "the watchdog fired along the way");
+    assert!(
+        d.summary().windows_cut > 0,
+        "the watchdog fired along the way"
+    );
 }
 
 #[test]
@@ -144,7 +172,10 @@ fn corrupted_code_update_is_never_installed() {
             .reports_for(StationId::Base)
             .any(|r| r.update_applied.as_deref() == Some(file.as_str()));
         if applied {
-            assert!(matches, "installed update must have a matching receipt: {file} {hex}");
+            assert!(
+                matches,
+                "installed update must have a matching receipt: {file} {hex}"
+            );
         }
     }
     // At least one receipt arrived (the §VI immediate GET).
@@ -167,7 +198,11 @@ fn gprs_outage_buffers_data_locally() {
         .build();
     d.run_days(6);
     let s = d.summary();
-    assert_eq!(s.data_uploaded, Bytes::ZERO, "nothing could leave the glacier");
+    assert_eq!(
+        s.data_uploaded,
+        Bytes::ZERO,
+        "nothing could leave the glacier"
+    );
     let backlog = d.base().expect("base").store().backlog_bytes();
     assert!(
         backlog > Bytes::from_mib(5),
@@ -190,5 +225,71 @@ fn iceland_with_everything_fixed_still_survives_probe_aborts() {
     let _ = aborted_sessions; // may be zero in a healthy august
     let s = d.summary();
     assert!(s.probe_readings_received > 1000);
-    let _ = SimDuration::ZERO;
+}
+
+/// The ISSUE acceptance plan: a week-long server outage, a GPRS blackout
+/// and a card corruption in one schedule.
+fn acceptance_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with(FaultSpec::new(
+            Fault::ServerUnreachable,
+            FaultTarget::Server,
+            days(4),
+            days(7),
+        ))
+        .with(FaultSpec::new(
+            Fault::GprsDegradation { severity: 60.0 },
+            FaultTarget::Base,
+            days(2),
+            days(3),
+        ))
+        .with(FaultSpec::new(
+            Fault::SdCorruption,
+            FaultTarget::Base,
+            days(13),
+            SimDuration::ZERO,
+        ))
+}
+
+fn acceptance_run() -> glacsweb::Deployment {
+    // Field GPRS so the blackout severity has a failure rate to amplify.
+    let mut base = StationConfig::base_2008();
+    base.gprs = GprsConfig::field();
+    let mut reference = StationConfig::reference_2008();
+    reference.gprs = GprsConfig::ideal();
+    let mut d = DeploymentBuilder::new(EnvConfig::lab())
+        .seed(5)
+        .start(SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+        .base(base)
+        .reference(reference)
+        .probes(2)
+        .fault_plan(acceptance_plan())
+        .build();
+    d.run_days(20);
+    d
+}
+
+#[test]
+fn the_acceptance_chaos_plan_completes_and_records_mttr() {
+    let d = acceptance_run();
+    let s = d.summary();
+    assert_eq!(s.faults_injected, 3, "{s}");
+    assert!(s.faults_recovered >= 1, "recoveries measured: {s}");
+    assert!(s.mean_mttr_hours > 0.0, "per-fault MTTR recorded: {s}");
+    let recs = d.metrics().fault_records();
+    assert_eq!(recs.len(), 3);
+    assert!(
+        recs.iter().all(|r| r.cleared.is_some()),
+        "every fault cleared on schedule: {recs:?}"
+    );
+    // The system rode it out: windows kept running, data kept flowing.
+    assert!(s.windows_run >= 38);
+    assert!(s.data_uploaded > Bytes::ZERO);
+}
+
+#[test]
+fn same_seed_chaos_runs_are_byte_identical() {
+    let a = serde_json::to_string(&acceptance_run().summary()).expect("serialize");
+    let b = serde_json::to_string(&acceptance_run().summary()).expect("serialize");
+    assert_eq!(a, b, "same seed + same plan -> byte-identical summaries");
 }

@@ -33,7 +33,9 @@ fn run_one_window(controller: ControllerConfig, role_base: bool, soc: f64) -> Ve
         config.wind = None;
         config.mains = None;
     }
-    let mut builder = DeploymentBuilder::new(EnvConfig::lab()).seed(3).start(start);
+    let mut builder = DeploymentBuilder::new(EnvConfig::lab())
+        .seed(3)
+        .start(start);
     let id = config.id;
     builder = if role_base {
         builder.base(config).probes(1)
@@ -64,10 +66,10 @@ fn deployed_base_station_follows_fig4_exactly() {
             "get_gps_files",         // Power state > 1 → Get GPS files
             "package_data",          // Package data to be sent
             "connect_gprs",
-            "upload_power_state",    // Upload power state
-            "upload_data",           // Upload data
-            "get_override_state",    // Get override power state
-            "get_special",           // Get special → execute
+            "upload_power_state", // Upload power state
+            "upload_data",        // Upload data
+            "get_override_state", // Get override power state
+            "get_special",        // Get special → execute
             "check_updates",
             "write_schedule",
         ]
@@ -108,7 +110,12 @@ fn state_zero_stops_after_the_power_state_diamond() {
     // Fig 4: "Power state = 0 → Stop" before any GPS or GPRS step.
     let steps = run_one_window(ControllerConfig::deployed_2008(), true, 0.05);
     assert!(steps.contains(&"calculate_power_state".to_string()));
-    for forbidden in ["get_gps_files", "connect_gprs", "upload_data", "get_special"] {
+    for forbidden in [
+        "get_gps_files",
+        "connect_gprs",
+        "upload_data",
+        "get_special",
+    ] {
         assert!(
             !steps.contains(&forbidden.to_string()),
             "state 0 must not reach {forbidden}: {steps:?}"

@@ -15,8 +15,16 @@ fn sixty_days_of_iceland_2008() {
     assert_eq!(s.power_losses, 0, "august deployment has plenty of power");
 
     // Data actually flowed end to end.
-    assert!(s.probe_readings_received > 5_000, "readings {}", s.probe_readings_received);
-    assert!(s.data_uploaded.as_mib_f64() > 50.0, "uploaded {}", s.data_uploaded);
+    assert!(
+        s.probe_readings_received > 5_000,
+        "readings {}",
+        s.probe_readings_received
+    );
+    assert!(
+        s.data_uploaded.as_mib_f64() > 50.0,
+        "uploaded {}",
+        s.data_uploaded
+    );
     assert!(s.gprs_cost > 0.0);
 
     // The §III synchronisation keeps dGPS readings pairable.
@@ -62,14 +70,22 @@ fn power_states_track_the_season() {
         .map(|r| r.applied_state.level())
         .collect();
     let mean = |v: &[u8]| v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len().max(1) as f64;
-    assert!(mean(&august_states) > 2.5, "summer runs high: {:?}", mean(&august_states));
+    assert!(
+        mean(&august_states) > 2.5,
+        "summer runs high: {:?}",
+        mean(&august_states)
+    );
     assert!(
         mean(&january_states) < mean(&august_states),
         "winter backs off: {} vs {}",
         mean(&january_states),
         mean(&august_states)
     );
-    assert_eq!(d.summary().power_losses, 0, "the policy's whole point: survival");
+    assert_eq!(
+        d.summary().power_losses,
+        0,
+        "the policy's whole point: survival"
+    );
 }
 
 #[test]

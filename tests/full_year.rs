@@ -58,7 +58,10 @@ fn one_year_on_vatnajokull() {
     let january = mean_state(2009, 1);
     let july = mean_state(2009, 7);
     assert!(september > 2.5, "autumn runs high: {september}");
-    assert!(january < september, "winter backs off: {january} < {september}");
+    assert!(
+        january < september,
+        "winter backs off: {january} < {september}"
+    );
     assert!(july > january, "summer recovers: {july} > {january}");
 
     // The GPRS bill for the year is substantial but finite — the §II cost

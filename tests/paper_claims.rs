@@ -29,7 +29,10 @@ fn fig5_voltage_and_state_trace() {
     // reached at approximately midday".
     let f = exp::fig5::run(2009);
     assert!((1.7..=2.3).contains(&f.mean_dip_interval_hours));
-    assert!(f.midday_night_delta_v > 0.02, "solar charging peaks in daytime");
+    assert!(
+        f.midday_night_delta_v > 0.02,
+        "solar charging peaks in daytime"
+    );
 }
 
 #[test]
@@ -65,7 +68,11 @@ fn four_hundred_missed_packets() {
     // "With 3000 readings being sent in the summer … 400 missed packets
     // were common."
     let r = exp::retrieval::run(2009);
-    assert!((300..=520).contains(&r.fixed.missed_day1), "{}", r.fixed.missed_day1);
+    assert!(
+        (300..=520).contains(&r.fixed.missed_day1),
+        "{}",
+        r.fixed.missed_day1
+    );
     // "the process could fail" — deployed firmware aborts…
     assert!(r.deployed.aborted);
     // "…so many missing readings were obtained in subsequent days."
@@ -110,7 +117,10 @@ fn special_command_ordering_lesson() {
     // §VI: upload-before-special plus the watchdog starves remote code
     // under a backlog; the proposed fix runs it promptly.
     let o = exp::ordering::run(2009);
-    let before = o.special_before_upload.days_until_executed.expect("fix runs");
+    let before = o
+        .special_before_upload
+        .days_until_executed
+        .expect("fix runs");
     assert!(before <= 2);
     match o.special_after_upload.days_until_executed {
         None => {}

@@ -21,14 +21,22 @@ fn relay_architecture_delivers_data_while_the_partner_lives() {
     let s = d.summary();
     // Data still gets home over the relay — slower link, more drops, but
     // the file-by-file machinery is identical.
-    assert!(s.probe_readings_received > 1_000, "readings {}", s.probe_readings_received);
+    assert!(
+        s.probe_readings_received > 1_000,
+        "readings {}",
+        s.probe_readings_received
+    );
     assert!(s.data_uploaded.value() > 0);
     // The radio modem, not the GPRS modem, carries the base's bytes.
     let base = d.base().expect("base");
     let radio_wh = base.rail().loads().energy("radio_modem").expect("metered");
     let gprs_wh = base.rail().loads().energy("gprs").expect("metered");
     assert!(radio_wh.value() > 0.5, "radio modem worked: {radio_wh}");
-    assert_eq!(gprs_wh.value(), 0.0, "the base has no GPRS in this architecture");
+    assert_eq!(
+        gprs_wh.value(),
+        0.0,
+        "the base has no GPRS in this architecture"
+    );
 }
 
 #[test]
@@ -52,7 +60,7 @@ fn reference_failure_silences_a_relay_base_but_not_a_gprs_base() {
             .reference(reference)
             .probes(1)
             .build();
-        d.run_days(30);
+        d.run_days(45);
         d
     };
 
@@ -65,7 +73,10 @@ fn reference_failure_silences_a_relay_base_but_not_a_gprs_base() {
 
     // Dual GPRS: the base barely notices.
     let gprs_delivered = gprs.summary().probe_readings_received;
-    assert!(gprs_delivered > 500, "independent base keeps delivering: {gprs_delivered}");
+    assert!(
+        gprs_delivered > 500,
+        "independent base keeps delivering: {gprs_delivered}"
+    );
 
     // Relay: deliveries stop when the partner dies; the data waits on the
     // glacier.

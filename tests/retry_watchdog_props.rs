@@ -1,0 +1,109 @@
+//! Property tests for the two pieces of machinery every fault-recovery
+//! path leans on: the §VI two-hour watchdog (`cap`/`remaining`) and the
+//! retry policy's exponential backoff bounds.
+
+use proptest::prelude::*;
+
+use glacsweb_faults::RetryPolicy;
+use glacsweb_hw::Watchdog;
+use glacsweb_sim::{SimDuration, SimRng, SimTime};
+
+fn armed(limit_secs: u64) -> Watchdog {
+    let start = SimTime::from_ymd_hms(2009, 6, 1, 12, 0, 0);
+    Watchdog::start(start, SimDuration::from_secs(limit_secs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `cap` never hands out more than the caller asked for, never more
+    /// than is left before the deadline, and never pushes past it.
+    #[test]
+    fn watchdog_cap_never_exceeds_want_or_remaining(
+        limit_secs in 1u64..14_400,
+        offset_secs in 0u64..20_000,
+        want_secs in 0u64..20_000,
+    ) {
+        let wd = armed(limit_secs);
+        let now = wd.started() + SimDuration::from_secs(offset_secs);
+        let want = SimDuration::from_secs(want_secs);
+        let capped = wd.cap(now, want);
+        prop_assert!(capped <= want);
+        prop_assert!(capped <= wd.remaining(now));
+        prop_assert!(now + capped <= wd.deadline().max(now));
+    }
+
+    /// `remaining` only counts down as time advances, and hits zero
+    /// exactly when the watchdog reports expiry.
+    #[test]
+    fn watchdog_remaining_is_monotone_and_agrees_with_expiry(
+        limit_secs in 1u64..14_400,
+        a_secs in 0u64..20_000,
+        b_secs in 0u64..20_000,
+    ) {
+        let wd = armed(limit_secs);
+        let (early, late) = (a_secs.min(b_secs), a_secs.max(b_secs));
+        let t_early = wd.started() + SimDuration::from_secs(early);
+        let t_late = wd.started() + SimDuration::from_secs(late);
+        prop_assert!(wd.remaining(t_early) >= wd.remaining(t_late));
+        for t in [t_early, t_late] {
+            prop_assert_eq!(
+                wd.expired(t),
+                wd.remaining(t) == SimDuration::ZERO,
+                "expiry and zero-remaining must coincide at {}", t
+            );
+        }
+    }
+
+    /// The nominal backoff ladder: nothing before the first try, then
+    /// non-decreasing waits that never exceed the cap.
+    #[test]
+    fn backoff_is_zero_then_monotone_then_capped(
+        base_secs in 0u64..600,
+        extra_cap_secs in 0u64..3_600,
+        multiplier in 1.0f64..8.0,
+        attempt in 0u32..40,
+    ) {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimDuration::from_secs(base_secs),
+            multiplier,
+            max_backoff: SimDuration::from_secs(base_secs + extra_cap_secs),
+            jitter: 0.0,
+        };
+        p.validate().expect("generated policies are valid");
+        prop_assert_eq!(p.backoff(0), SimDuration::ZERO);
+        prop_assert!(p.backoff(attempt) <= p.max_backoff);
+        prop_assert!(p.backoff(attempt + 1) >= p.backoff(attempt));
+    }
+
+    /// Jitter spreads a wait around its nominal value but can neither
+    /// escape the ±jitter band nor exceed the policy cap.
+    #[test]
+    fn jittered_backoff_stays_in_band_and_under_the_cap(
+        base_secs in 1u64..600,
+        extra_cap_secs in 0u64..3_600,
+        multiplier in 1.0f64..8.0,
+        jitter in 0.0f64..1.0,
+        attempt in 1u32..20,
+        seed in 0u64..1_000,
+    ) {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimDuration::from_secs(base_secs),
+            multiplier,
+            max_backoff: SimDuration::from_secs(base_secs + extra_cap_secs),
+            jitter,
+        };
+        p.validate().expect("generated policies are valid");
+        let mut rng = SimRng::seed_from(seed);
+        let nominal = p.backoff(attempt).as_secs() as f64;
+        for _ in 0..8 {
+            let j = p.backoff_jittered(attempt, &mut rng).as_secs() as f64;
+            // ±1 s slack for the f64→whole-seconds rounding.
+            prop_assert!(j <= p.max_backoff.as_secs() as f64 + 1.0);
+            prop_assert!(j >= nominal * (1.0 - jitter) - 1.0, "{} below band {}", j, nominal);
+            prop_assert!(j <= nominal * (1.0 + jitter) + 1.0, "{} above band {}", j, nominal);
+        }
+    }
+}

@@ -50,14 +50,18 @@ fn wired_probe_failure_builds_the_backlog_and_summer_recovers_it() {
     // The field team repairs the wired probe in June — wet summer ice.
     d.base_mut().expect("base").set_wired_probe_ok(true);
     let wetness = d.env().probe_packet_loss();
-    assert!(wetness > 0.08, "summer water makes the weakest link: {wetness}");
+    assert!(
+        wetness > 0.08,
+        "summer water makes the weakest link: {wetness}"
+    );
 
     // The big fetch: the deployed firmware's individual-fetch path fails
     // at least once on ~400 misses…
     d.run_days(1);
     let first_fetch = d
         .metrics()
-        .reports_for(StationId::Base).rfind(|r| r.opened >= repair_day)
+        .reports_for(StationId::Base)
+        .rfind(|r| r.opened >= repair_day)
         .expect("a window ran")
         .clone();
     // The per-window probe budget (25 min ≈ 1500 packets) means the big
@@ -119,5 +123,8 @@ fn aborted_sessions_leave_probe_state_intact() {
     }
     // Either way, a week later the job is done.
     d.run_days(7);
-    assert!(d.probes()[0].stored_readings() < 200, "buffer confirmed and freed");
+    assert!(
+        d.probes()[0].stored_readings() < 200,
+        "buffer confirmed and freed"
+    );
 }

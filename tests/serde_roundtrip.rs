@@ -22,7 +22,11 @@ where
 
 #[test]
 fn env_configs_round_trip() {
-    for config in [EnvConfig::vatnajokull(), EnvConfig::briksdalsbreen(), EnvConfig::lab()] {
+    for config in [
+        EnvConfig::vatnajokull(),
+        EnvConfig::briksdalsbreen(),
+        EnvConfig::lab(),
+    ] {
         assert_eq!(round_trip(&config), config);
     }
 }

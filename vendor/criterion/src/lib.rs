@@ -1,0 +1,169 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Mirrors the `Criterion` / `BenchmarkGroup` / `Bencher` surface the
+//! workspace benches use, with a lightweight measurement loop instead of
+//! criterion's statistical machinery: each benchmark runs a handful of
+//! timed iterations and prints the mean. When invoked with `--test` (as
+//! `cargo test` does for `harness = false` bench targets) every benchmark
+//! body runs exactly once, as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (API parity with criterion 0.5).
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: u64 = 10;
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.test_mode, self.samples, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            criterion: self,
+        }
+    }
+
+    /// Prints the closing summary (no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.criterion.test_mode, self.samples, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortises setup cost (accepted for API parity; the
+/// vendored harness always runs setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Times a closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn run_one<F>(name: &str, test_mode: bool, samples: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    let rounds = if test_mode { 1 } else { samples };
+    for _ in 0..rounds {
+        f(&mut b);
+    }
+    if b.iters > 0 {
+        let mean = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+        println!("bench {name:<40} mean {mean:>12.3?} over {} iters", b.iters);
+    } else {
+        println!("bench {name:<40} (no iterations)");
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

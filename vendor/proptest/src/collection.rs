@@ -1,0 +1,25 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let len = self.size.start + (rng.next_u64() as usize) % span;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A vector of values drawn from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

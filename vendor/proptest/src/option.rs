@@ -1,0 +1,24 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Option`s (roughly 1-in-5 `None`).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64().is_multiple_of(5) {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+/// `Some` values drawn from `inner`, plus occasional `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

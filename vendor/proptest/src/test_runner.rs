@@ -1,0 +1,104 @@
+//! The deterministic test runner behind `proptest!`.
+
+use std::fmt;
+
+use crate::{Strategy, TestRng};
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of cases to draw per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (unused here, kept for API parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+/// A whole-property failure (which case and why).
+#[derive(Debug, Clone)]
+pub struct TestError {
+    msg: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Draws inputs from a strategy and checks the property on each.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a fixed deterministic seed.
+    pub fn new(config: Config) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::deterministic(0x5eed_cafe_f00d_0001),
+        }
+    }
+
+    /// Runs the property across `config.cases` sampled inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TestError`] describing the first failing case.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        S::Value: fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            let rendered = format!("{value:?}");
+            if let Err(e) = test(value) {
+                return Err(TestError {
+                    msg: format!("case {case} with input {rendered}: {e}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}

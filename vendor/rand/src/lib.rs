@@ -1,0 +1,80 @@
+//! Offline vendored subset of the `rand` crate API.
+//!
+//! The workspace builds in an air-gapped container, so the real crates.io
+//! `rand` cannot be fetched. This crate provides exactly the surface the
+//! workspace consumes — the [`RngCore`] trait and its [`Error`] type — with
+//! the same semantics as rand 0.8. Generators themselves (xoshiro256++ etc.)
+//! live in `glacsweb-sim`; this crate only defines the trait they implement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for RNG operations (rand 0.8 compatible surface).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Wraps a message as an RNG error.
+    pub fn new<E: fmt::Display>(err: E) -> Self {
+        Error {
+            msg: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as in rand 0.8.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure (never fails for
+    /// deterministic software generators).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}

@@ -1,0 +1,65 @@
+//! Deserialization half of the vendored serde surface.
+
+use std::fmt;
+
+use crate::Value;
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message (mirrors `serde::de::Error::custom`).
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can reconstruct itself from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Marker for types deserializable without borrowing from the input — with
+/// the value-tree model every [`Deserialize`] qualifies, matching how the
+/// workspace uses `serde::de::DeserializeOwned` purely as a bound.
+pub trait DeserializeOwned: Deserialize {}
+
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Extracts and deserializes the field `name` from a struct map.
+///
+/// Used by derive-generated `from_value` bodies.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if `v` is not a map, the field is missing, or the
+/// field value has the wrong shape.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| Error::custom(format!("expected map containing field `{name}`")))?;
+    let value = entries
+        .iter()
+        .find(|(k, _)| k.as_str() == Some(name))
+        .map(|(_, val)| val)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))?;
+    T::from_value(value).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}

@@ -1,0 +1,14 @@
+//! Serialization half of the vendored serde surface.
+
+use crate::Value;
+
+/// A type that can convert itself into the self-describing [`Value`] tree.
+///
+/// This replaces real serde's visitor-based `Serialize`; the derive macro
+/// generates `to_value` bodies that mirror serde_json's conventions (named
+/// structs become maps, newtypes are transparent, enums are externally
+/// tagged).
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}

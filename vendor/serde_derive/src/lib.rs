@@ -1,0 +1,460 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Generates impls of the vendored value-tree `serde` traits. The parser is
+//! hand-rolled over `proc_macro::TokenTree` (no syn/quote available offline)
+//! and supports the shapes this workspace actually derives: non-generic
+//! named structs, tuple structs, unit structs, and enums with unit, tuple,
+//! and struct variants. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Find the `struct` / `enum` keyword, skipping attributes + visibility.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => {}
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    // Skip generic parameters if present (none are derived in this
+    // workspace, but be tolerant of `<...>`).
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            let mut prev_dash = false;
+            for tt in iter.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                prev_dash = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
+            }
+        }
+    }
+    // Body: `{...}` (named/variants), `(...)` (tuple), or `;` (unit).
+    // A `where` clause may precede a brace body; just scan forward.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                if is_enum {
+                    break Body::Enum(parse_variants(g.stream()));
+                }
+                break Body::NamedStruct(parse_named_fields(g.stream()));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                break Body::TupleStruct(count_segments(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Body::UnitStruct,
+            Some(_) => {}
+            None => {
+                if is_enum {
+                    panic!("enum body not found");
+                }
+                break Body::UnitStruct;
+            }
+        }
+    };
+    Input { name, body }
+}
+
+/// Parses `name: Type, ...` returning the field names; types are skipped
+/// with angle-bracket awareness so commas inside `BTreeMap<K, V>` do not
+/// split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&mut iter);
+    }
+    fields
+}
+
+/// Consumes a type up to (and including) the next top-level `,`.
+fn skip_type<I: Iterator<Item = TokenTree>>(iter: &mut std::iter::Peekable<I>) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        prev_dash = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
+    }
+}
+
+/// Counts top-level comma-separated segments (tuple-struct / tuple-variant
+/// field count), ignoring a trailing comma.
+fn count_segments(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut seg_has_tokens = false;
+    let mut prev_dash = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => {
+                depth -= 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if seg_has_tokens {
+                    count += 1;
+                }
+                seg_has_tokens = false;
+            }
+            _ => seg_has_tokens = true,
+        }
+        prev_dash = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
+    }
+    if seg_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_segments(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator comma.
+        skip_type(&mut iter);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn str_value(s: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from(\"{s}\"))")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_value(&self.{f})),",
+                        str_value(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let tag = str_value(vname);
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vname} => {tag},")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![({tag}, \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![({tag}, \
+                                 ::serde::Value::Seq(::std::vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({}, ::serde::Serialize::to_value({f}),),",
+                                        str_value(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![({tag}, \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__v, \"{f}\")?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?,"))
+                .collect();
+            format!(
+                "{{ let __s = __v.as_seq().ok_or_else(|| ::serde::de::Error::custom(\
+                 \"expected sequence for tuple struct {name}\"))?; \
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"wrong tuple length for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({items})) }}"
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut out = String::new();
+            if !unit.is_empty() {
+                let arms: String = unit
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "if let ::serde::Value::Str(__s) = __v {{ \
+                     return match __s.as_str() {{ {arms} \
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))), }}; }} "
+                ));
+            }
+            if !data.is_empty() {
+                let arms: String = data
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.kind {
+                            VariantKind::Tuple(1) => format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),"
+                            ),
+                            VariantKind::Tuple(n) => {
+                                let items: String = (0..*n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&__s[{i}])?,")
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vn}\" => {{ let __s = __payload.as_seq().ok_or_else(|| \
+                                     ::serde::de::Error::custom(\"expected sequence for variant \
+                                     {name}::{vn}\"))?; if __s.len() != {n} {{ \
+                                     return ::std::result::Result::Err(::serde::de::Error::custom(\
+                                     \"wrong tuple length for {name}::{vn}\")); }} \
+                                     ::std::result::Result::Ok({name}::{vn}({items})) }}"
+                                )
+                            }
+                            VariantKind::Named(fields) => {
+                                let inits: String = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!("{f}: ::serde::de::field(__payload, \"{f}\")?,")
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                                )
+                            }
+                            VariantKind::Unit => unreachable!(),
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "if let ::serde::Value::Map(__m) = __v {{ if __m.len() == 1 {{ \
+                     if let ::serde::Value::Str(__k) = &__m[0].0 {{ let __payload = &__m[0].1; \
+                     return match __k.as_str() {{ {arms} \
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))), }}; }} }} }} "
+                ));
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"invalid value for enum {name}\"))"
+            ));
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> \
+         {{ {body} }} }}"
+    )
+}
