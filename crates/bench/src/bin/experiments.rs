@@ -6,19 +6,109 @@
 //! experiments                 # run everything
 //! experiments fig5 fig6       # run a subset
 //! experiments --json DIR ...  # also dump raw results as JSON into DIR
+//! experiments --threads 4 ... # sweep-engine worker threads
 //! ```
 //!
 //! The default seed is fixed so the output is reproducible; pass
-//! `--seed N` to vary it.
+//! `--seed N` to vary it. Experiments run concurrently on the sweep
+//! engine (`--threads N`, or the `GLACSWEB_THREADS` environment
+//! variable, defaulting to the machine's parallelism), but every
+//! experiment's output block is buffered and printed in request order —
+//! stdout is byte-identical for any thread count, apart from the
+//! "finished in" timing lines.
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use glacsweb::experiments as exp;
 use glacsweb_bench::parse_args;
 
-fn dump_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
-    let Some(dir) = dir else { return };
+/// One experiment's buffered output: rendered text block and, when JSON
+/// dumping is on, the pretty-printed raw result.
+struct Block {
+    name: String,
+    rendered: String,
+    json: Option<String>,
+    elapsed: Duration,
+}
+
+fn pack<R: serde::Serialize>(r: &R, rendered: String, want_json: bool) -> (String, Option<String>) {
+    let json = want_json.then(|| serde_json::to_string_pretty(r).expect("serializable result"));
+    (rendered, json)
+}
+
+fn run_one(name: &str, seed: u64, want_json: bool) -> (String, Option<String>) {
+    match name {
+        "table1" => {
+            let r = exp::table1::run();
+            pack(&r, r.render(), want_json)
+        }
+        "table2" => {
+            let r = exp::table2::run();
+            pack(&r, r.render(), want_json)
+        }
+        "fig5" => {
+            let r = exp::fig5::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "fig6" => {
+            let r = exp::fig6::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "depletion" => {
+            let r = exp::depletion::run();
+            pack(&r, r.render(), want_json)
+        }
+        "backlog" => {
+            let r = exp::backlog::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "retrieval" => {
+            let r = exp::retrieval::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "survival" => {
+            let r = exp::survival::run(seed, 2000);
+            pack(&r, r.render(), want_json)
+        }
+        "architecture" => {
+            let r = exp::architecture::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "recovery" => {
+            let r = exp::recovery::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "ordering" => {
+            let r = exp::ordering::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "ablation" => {
+            let r = exp::ablation::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "science" => {
+            let r = exp::science::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "priority" => {
+            let r = exp::priority::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "sites" => {
+            let r = exp::sites::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        "chaos" => {
+            let r = exp::chaos::run(seed);
+            pack(&r, r.render(), want_json)
+        }
+        _ => unreachable!("validated against EXPERIMENTS"),
+    }
+}
+
+fn dump_json(dir: &str, name: &str, json: &str) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {dir}: {e}");
         return;
@@ -26,7 +116,6 @@ fn dump_json(dir: &Option<String>, name: &str, value: &impl serde::Serialize) {
     let path = format!("{dir}/{name}.json");
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            let json = serde_json::to_string_pretty(value).expect("serializable result");
             if let Err(e) = f.write_all(json.as_bytes()) {
                 eprintln!("warning: cannot write {path}: {e}");
             }
@@ -43,94 +132,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let seed = options.seed;
-    for name in &options.which {
-        let started = std::time::Instant::now();
-        println!("================================================================");
-        match name.as_str() {
-            "table1" => {
-                let r = exp::table1::run();
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "table2" => {
-                let r = exp::table2::run();
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "fig5" => {
-                let r = exp::fig5::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "fig6" => {
-                let r = exp::fig6::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "depletion" => {
-                let r = exp::depletion::run();
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "backlog" => {
-                let r = exp::backlog::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "retrieval" => {
-                let r = exp::retrieval::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "survival" => {
-                let r = exp::survival::run(seed, 2000);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "architecture" => {
-                let r = exp::architecture::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "recovery" => {
-                let r = exp::recovery::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "ordering" => {
-                let r = exp::ordering::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "ablation" => {
-                let r = exp::ablation::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "science" => {
-                let r = exp::science::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "priority" => {
-                let r = exp::priority::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "sites" => {
-                let r = exp::sites::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            "chaos" => {
-                let r = exp::chaos::run(seed);
-                print!("{}", r.render());
-                dump_json(&options.json_dir, name, &r);
-            }
-            _ => unreachable!("validated against EXPERIMENTS"),
-        }
-        println!("({name} finished in {:.1?})", started.elapsed());
+    if let Some(n) = options.threads {
+        // Publish the request so experiment-internal sweeps (which run on
+        // worker threads and cannot see our CLI) pick the same count.
+        std::env::set_var(glacsweb_sweep::THREADS_ENV, n.to_string());
     }
+    let threads = glacsweb_sweep::resolve_threads(options.threads);
+    let seed = options.seed;
+    let want_json = options.json_dir.is_some();
+    let total_started = Instant::now();
+    let blocks = glacsweb_sweep::run_cells(options.which.clone(), threads, |name| {
+        let started = Instant::now();
+        let (rendered, json) = run_one(&name, seed, want_json);
+        Block {
+            name,
+            rendered,
+            json,
+            elapsed: started.elapsed(),
+        }
+    });
+    for block in &blocks {
+        println!("================================================================");
+        print!("{}", block.rendered);
+        if let (Some(dir), Some(json)) = (&options.json_dir, &block.json) {
+            dump_json(dir, &block.name, json);
+        }
+        println!("({} finished in {:.1?})", block.name, block.elapsed);
+    }
+    println!(
+        "({} experiments finished in {:.1?} total, threads={threads})",
+        blocks.len(),
+        total_started.elapsed(),
+    );
     ExitCode::SUCCESS
 }

@@ -1,0 +1,182 @@
+//! Throughput baseline: single-run simulation speed and sweep-engine
+//! scaling, written to `BENCH_PERF.json`.
+//!
+//! ```text
+//! cargo run -p glacsweb-bench --bin perf --release -- \
+//!     [--days N] [--cells K] [--threads N] [--out PATH]
+//! ```
+//!
+//! Two measurements:
+//!
+//! 1. **Single-run hot path** — one standard two-station deployment with
+//!    probes over `--days` simulated days, reported as sim-days/second.
+//! 2. **Sweep throughput** — `--cells` independent deployment cells run
+//!    serially (one thread) and then on the resolved thread count
+//!    (`--threads`, `GLACSWEB_THREADS`, or the machine's parallelism),
+//!    reported as cells/second each plus the speedup ratio.
+//!
+//! The parallel pass re-checks that its per-cell results equal the serial
+//! pass bit for bit — the sweep engine's determinism contract — and
+//! aborts loudly if they ever diverge.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use glacsweb::DeploymentBuilder;
+use glacsweb_env::EnvConfig;
+use glacsweb_link::GprsConfig;
+use glacsweb_sim::SimTime;
+use glacsweb_station::StationConfig;
+use serde::Serialize;
+
+/// The `BENCH_PERF.json` schema.
+#[derive(Serialize)]
+struct PerfReport {
+    single_run: SingleRun,
+    sweep: Sweep,
+}
+
+#[derive(Serialize)]
+struct SingleRun {
+    days: u64,
+    seconds: f64,
+    sim_days_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Sweep {
+    cells: usize,
+    cell_days: u64,
+    threads: usize,
+    serial_seconds: f64,
+    serial_cells_per_sec: f64,
+    parallel_seconds: f64,
+    parallel_cells_per_sec: f64,
+    speedup: f64,
+}
+
+/// Days of the single-run measurement.
+const DEFAULT_DAYS: u64 = 60;
+/// Cells in the sweep measurement.
+const DEFAULT_CELLS: usize = 8;
+/// Days each sweep cell simulates.
+const CELL_DAYS: u64 = 20;
+
+struct Args {
+    days: u64,
+    cells: usize,
+    threads: Option<usize>,
+    out: String,
+}
+
+fn parse(mut argv: impl Iterator<Item = String>) -> Args {
+    let mut args = Args {
+        days: DEFAULT_DAYS,
+        cells: DEFAULT_CELLS,
+        threads: None,
+        out: "BENCH_PERF.json".to_string(),
+    };
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--days" => args.days = value("--days").parse().expect("--days must be a number"),
+            "--cells" => args.cells = value("--cells").parse().expect("--cells must be a number"),
+            "--threads" => {
+                args.threads = Some(value("--threads").parse().expect("--threads must be a number"))
+            }
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown argument {other:?}; perf [--days N] [--cells K] [--threads N] [--out PATH]"),
+        }
+    }
+    args
+}
+
+/// One standard field deployment (the Fig 5 configuration), run for
+/// `days` and reduced to a cheap fingerprint for equality checks.
+fn run_cell(seed: u64, days: u64) -> (u64, u64, u32) {
+    let mut base = StationConfig::base_2008();
+    base.gprs = GprsConfig::field();
+    let mut d = DeploymentBuilder::new(EnvConfig::vatnajokull())
+        .seed(seed)
+        .start(SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+        .base(base)
+        .reference(StationConfig::reference_2008())
+        .probes(4)
+        .build();
+    d.run_days(days);
+    let s = d.summary();
+    (s.windows_run, s.data_uploaded.value(), s.dgps_fixes as u32)
+}
+
+fn main() {
+    let args = parse(std::env::args().skip(1));
+    let threads = glacsweb_sweep::resolve_threads(args.threads);
+
+    // 1. Single-run hot path.
+    let started = Instant::now();
+    let fingerprint = run_cell(2009, args.days);
+    let single_secs = started.elapsed().as_secs_f64();
+    let sim_days_per_sec = args.days as f64 / single_secs;
+    println!(
+        "single run: {} sim days in {:.2}s = {:.1} sim-days/sec (summary {:?})",
+        args.days, single_secs, sim_days_per_sec, fingerprint
+    );
+
+    // 2. Sweep throughput, serial then parallel over identical cells.
+    let seeds: Vec<u64> = (0..args.cells as u64).collect();
+    let started = Instant::now();
+    let serial = glacsweb_sweep::run_cells(seeds.clone(), 1, |seed| run_cell(seed, CELL_DAYS));
+    let serial_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let parallel = glacsweb_sweep::run_cells(seeds, threads, |seed| run_cell(seed, CELL_DAYS));
+    let parallel_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        serial, parallel,
+        "sweep results must be identical at any thread count"
+    );
+    let serial_cells_per_sec = args.cells as f64 / serial_secs;
+    let parallel_cells_per_sec = args.cells as f64 / parallel_secs;
+    let speedup = serial_secs / parallel_secs;
+    println!(
+        "sweep: {} cells x {} days; serial {:.2}s ({:.2} cells/sec), \
+         {} threads {:.2}s ({:.2} cells/sec), speedup {:.2}x",
+        args.cells,
+        CELL_DAYS,
+        serial_secs,
+        serial_cells_per_sec,
+        threads,
+        parallel_secs,
+        parallel_cells_per_sec,
+        speedup,
+    );
+
+    let json = PerfReport {
+        single_run: SingleRun {
+            days: args.days,
+            seconds: single_secs,
+            sim_days_per_sec,
+        },
+        sweep: Sweep {
+            cells: args.cells,
+            cell_days: CELL_DAYS,
+            threads,
+            serial_seconds: serial_secs,
+            serial_cells_per_sec,
+            parallel_seconds: parallel_secs,
+            parallel_cells_per_sec,
+            speedup,
+        },
+    };
+    let mut f = std::fs::File::create(&args.out)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", args.out));
+    f.write_all(
+        serde_json::to_string_pretty(&json)
+            .expect("serializable")
+            .as_bytes(),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+}

@@ -9,8 +9,13 @@
 //! 3. day-1 missed packets vs ice wetness (the §V seasonal link).
 //!
 //! ```text
-//! cargo run -p glacsweb-bench --bin sweeps --release
+//! cargo run -p glacsweb-bench --bin sweeps --release -- [SEED] [--threads N]
 //! ```
+//!
+//! Sweep cells run on the parallel engine (`--threads N`, or the
+//! `GLACSWEB_THREADS` environment variable, defaulting to the machine's
+//! parallelism); every cell is self-seeded, so the printed output is
+//! byte-identical for any thread count.
 
 use glacsweb_env::EnvConfig;
 use glacsweb_link::{GprsConfig, ProbeRadioLink};
@@ -44,12 +49,13 @@ fn lifetime_vs_duty() {
     println!();
 }
 
-fn survival_vs_capacity(seed: u64) {
+fn survival_vs_capacity(seed: u64, threads: usize) {
     println!("== winter survival vs battery capacity (no wind generator, Nov-Mar) ==");
     println!("capacity  deaths  final SoC  GPS readings");
-    let mut labels = Vec::new();
-    let mut socs = Vec::new();
-    for capacity in [2.0f64, 4.0, 8.0, 16.0, 36.0, 72.0] {
+    // Each capacity is an independent winter run keyed only on (seed,
+    // capacity), so the cells parallelise without changing any number.
+    let capacities = vec![2.0f64, 4.0, 8.0, 16.0, 36.0, 72.0];
+    let cells = glacsweb_sweep::run_cells(capacities, threads, |capacity| {
         let start = SimTime::from_ymd_hms(2008, 11, 1, 0, 0, 0);
         let mut base = StationConfig::base_2008();
         base.gprs = GprsConfig::field();
@@ -62,12 +68,17 @@ fn survival_vs_capacity(seed: u64) {
             .build();
         d.run_until(SimTime::from_ymd_hms(2009, 3, 1, 0, 0, 0));
         let station = d.base().expect("base");
-        let soc = station.rail().battery().state_of_charge();
-        println!(
-            "{capacity:>5.0} Ah {:>7} {soc:>10.2} {:>13}",
+        (
+            capacity,
             station.power_losses(),
-            station.dgps().readings_taken()
-        );
+            station.rail().battery().state_of_charge(),
+            station.dgps().readings_taken(),
+        )
+    });
+    let mut labels = Vec::new();
+    let mut socs = Vec::new();
+    for &(capacity, losses, soc, readings) in &cells {
+        println!("{capacity:>5.0} Ah {losses:>7} {soc:>10.2} {readings:>13}");
         labels.push(format!("{capacity:.0} Ah"));
         socs.push(soc);
     }
@@ -75,11 +86,13 @@ fn survival_vs_capacity(seed: u64) {
     println!("\nfinal state of charge:\n{}", plot::bar_chart(&rows, 30));
 }
 
-fn misses_vs_wetness(seed: u64) {
+fn misses_vs_wetness(seed: u64, threads: usize) {
     println!("== day-1 missed packets (of 3000) vs per-packet loss ==");
-    let link = ProbeRadioLink::new();
-    let mut rows = Vec::new();
-    for loss_pct in [1u32, 3, 5, 8, 11, 13, 16, 20, 30] {
+    // Each loss level builds its own probe from its own (seed + level)
+    // stream — fully independent cells.
+    let levels = vec![1u32, 3, 5, 8, 11, 13, 16, 20, 30];
+    let rows = glacsweb_sweep::run_cells(levels, threads, |loss_pct| {
+        let link = ProbeRadioLink::new();
         let loss = f64::from(loss_pct) / 100.0;
         // Build a 3000-reading probe and run one bulk day.
         let mut rng = SimRng::seed_from(seed + u64::from(loss_pct));
@@ -100,8 +113,8 @@ fn misses_vs_wetness(seed: u64) {
             SimDuration::from_hours(4),
             &mut rng,
         );
-        rows.push((loss_pct, out.missing_after_bulk));
-    }
+        (loss_pct, out.missing_after_bulk)
+    });
     for &(loss, missed) in &rows {
         let marker = if loss == 13 {
             "  <- the paper's wet summer (~400)"
@@ -115,11 +128,20 @@ fn misses_vs_wetness(seed: u64) {
 }
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("seed must be a number"))
-        .unwrap_or(2009);
+    let mut seed = 2009u64;
+    let mut threads_arg = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads_arg = Some(v.parse().expect("thread count must be a number"));
+            }
+            other => seed = other.parse().expect("seed must be a number"),
+        }
+    }
+    let threads = glacsweb_sweep::resolve_threads(threads_arg);
     lifetime_vs_duty();
-    survival_vs_capacity(seed);
-    misses_vs_wetness(seed);
+    survival_vs_capacity(seed, threads);
+    misses_vs_wetness(seed, threads);
 }

@@ -40,6 +40,10 @@ pub struct Options {
     pub json_dir: Option<String>,
     /// Experiments to run, in order.
     pub which: Vec<String>,
+    /// Worker threads for the sweep engine (`--threads N`); `None` falls
+    /// back to `GLACSWEB_THREADS`, then to the machine's parallelism.
+    /// Output is byte-identical whatever the value.
+    pub threads: Option<usize>,
 }
 
 /// Parses the binary's arguments (without the program name).
@@ -53,6 +57,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         seed: 2009,
         json_dir: None,
         which: Vec::new(),
+        threads: None,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -64,9 +69,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             "--json" => {
                 options.json_dir = Some(args.next().ok_or("--json needs a directory")?);
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                options.threads = Some(n);
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: experiments [--seed N] [--json DIR] [{}...]",
+                    "usage: experiments [--seed N] [--json DIR] [--threads N] [{}...]",
                     EXPERIMENTS.join("|")
                 ));
             }
@@ -99,6 +114,21 @@ mod tests {
         assert_eq!(o.seed, 2009);
         assert_eq!(o.which.len(), EXPERIMENTS.len());
         assert_eq!(o.json_dir, None);
+        assert_eq!(o.threads, None, "thread count defers to the environment");
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        let o = parse_args(args(&["--threads", "4", "fig5"])).expect("valid");
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.which, vec!["fig5".to_string()]);
+    }
+
+    #[test]
+    fn bad_thread_counts_are_errors() {
+        assert!(parse_args(args(&["--threads"])).is_err());
+        assert!(parse_args(args(&["--threads", "zero"])).is_err());
+        assert!(parse_args(args(&["--threads", "0"])).is_err());
     }
 
     #[test]

@@ -299,6 +299,11 @@ impl Deployment {
 
     /// Runs the event loop until `until`.
     pub fn run_until(&mut self, until: SimTime) {
+        // Pre-size the metric buffers from the horizon so the half-hourly
+        // recording loop appends without reallocating (values unaffected).
+        let days = until.saturating_since(self.now).as_days_f64().ceil() as usize;
+        let stations = usize::from(self.base.is_some()) + usize::from(self.reference.is_some());
+        self.metrics.pre_size(days, stations);
         while let Some(t) = self.queue.peek_time() {
             if t > until {
                 break;

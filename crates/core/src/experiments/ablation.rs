@@ -117,10 +117,52 @@ fn log_run(level: TraceLevel, seed: u64) -> f64 {
     log_bytes.as_mib_f64()
 }
 
+/// One independent ablation arm (self-seeded, so arms can run on the
+/// parallel sweep engine in any order).
+enum Arm {
+    Winter(PolicyTable, PowerState, u64),
+    Log(TraceLevel, u64),
+}
+
+/// The raw product of one arm.
+enum ArmOut {
+    Winter(Box<Deployment>),
+    Log(f64),
+}
+
 /// Runs all three ablations.
+///
+/// The five underlying runs (three winters, two logging summers) are
+/// independent and keyed only on their own seeds, so they execute on the
+/// parallel sweep engine; results are byte-identical at any thread count.
 pub fn run(seed: u64) -> Ablation {
-    // Study 2 first (it also yields the measured duty cycle).
-    let adaptive_run = winter_run(PolicyTable::paper(), PowerState::S3, seed);
+    let arms = vec![
+        Arm::Winter(PolicyTable::paper(), PowerState::S3, seed),
+        Arm::Winter(pinned(PowerState::S3), PowerState::S3, seed + 1),
+        Arm::Winter(pinned(PowerState::S1), PowerState::S1, seed + 2),
+        Arm::Log(TraceLevel::Debug, seed + 3),
+        Arm::Log(TraceLevel::Info, seed + 3),
+    ];
+    let mut outs = glacsweb_sweep::run_cells(arms, glacsweb_sweep::threads(), |arm| match arm {
+        Arm::Winter(policy, initial, s) => ArmOut::Winter(Box::new(winter_run(policy, initial, s))),
+        Arm::Log(level, s) => ArmOut::Log(log_run(level, s)),
+    })
+    .into_iter();
+    let mut next_winter = || match outs.next() {
+        Some(ArmOut::Winter(d)) => d,
+        _ => unreachable!("arm order is fixed"),
+    };
+    let adaptive_run = next_winter();
+    let fixed_s3_run = next_winter();
+    let fixed_s1_run = next_winter();
+    let mut next_log = || match outs.next() {
+        Some(ArmOut::Log(mib)) => mib,
+        _ => unreachable!("arm order is fixed"),
+    };
+    let debug_log_mib = next_log();
+    let info_log_mib = next_log();
+
+    // Study 2 (the adaptive winter also yields the measured duty cycle).
     let adaptive = outcome(&adaptive_run);
     let days = adaptive_run
         .now()
@@ -137,16 +179,8 @@ pub fn run(seed: u64) -> Ablation {
     // 0.9 W → Wh/day / 0.9 W = h/day.
     let measured_gumstix_min_per_day = gumstix_wh / days / 0.9 * 60.0;
 
-    let fixed_s3 = outcome(&winter_run(
-        pinned(PowerState::S3),
-        PowerState::S3,
-        seed + 1,
-    ));
-    let fixed_s1 = outcome(&winter_run(
-        pinned(PowerState::S1),
-        PowerState::S1,
-        seed + 2,
-    ));
+    let fixed_s3 = outcome(&fixed_s3_run);
+    let fixed_s1 = outcome(&fixed_s1_run);
 
     // Study 1: survival arithmetic on the same 36 Ah bank, no charging.
     let bank_wh = 36.0 * 12.0;
@@ -155,10 +189,6 @@ pub fn run(seed: u64) -> Ablation {
     let always_on_days = bank_wh / ((gumstix_w + msp_w) * 24.0);
     let duty_wh_per_day = msp_w * 24.0 + gumstix_w * measured_gumstix_min_per_day / 60.0;
     let duty_cycled_days = bank_wh / duty_wh_per_day;
-
-    // Study 3: logging discipline.
-    let debug_log_mib = log_run(TraceLevel::Debug, seed + 3);
-    let info_log_mib = log_run(TraceLevel::Info, seed + 3);
 
     Ablation {
         always_on_days,

@@ -143,8 +143,19 @@ pub fn run(seed: u64) -> Architecture {
     // sensors + log ≈ 250 KiB (the comparison §II makes is about the
     // *path*, not the volume — both designs move the same data).
     let daily_payload = Bytes::from_kib(250);
-    let dual_gprs = simulate_dual_gprs(daily_payload, seed);
-    let relay = simulate_relay(daily_payload, seed + 1);
+    // The two designs are independent and self-seeded, so they run on the
+    // parallel sweep engine (byte-identical at any thread count).
+    let mut results =
+        glacsweb_sweep::run_cells(vec![false, true], glacsweb_sweep::threads(), |relay| {
+            if relay {
+                simulate_relay(daily_payload, seed + 1)
+            } else {
+                simulate_dual_gprs(daily_payload, seed)
+            }
+        })
+        .into_iter();
+    let dual_gprs = results.next().expect("two designs");
+    let relay = results.next().expect("two designs");
     // Loads common to both designs: MSP430 around the clock, the Gumstix
     // for a ~30-minute window, one state-2 dGPS session.
     let common_wh = table1::MSP430_POWER.value() * 24.0

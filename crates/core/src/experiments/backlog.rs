@@ -50,24 +50,47 @@ pub fn run(seed: u64) -> Backlog {
         table1::DGPS_READING_BYTES,
     );
 
-    // Simulation 1: a 25-day state-3 backlog on the dGPS internal card.
-    let mut rng = SimRng::seed_from(seed);
-    let mut gps = DGps::new();
+    // The two card simulations are independent and self-seeded, so they
+    // run on the parallel sweep engine (byte-identical at any thread
+    // count); the GPRS-queue recurrence is pure arithmetic and stays
+    // inline.
     let t0 = SimTime::from_ymd_hms(2009, 2, 1, 0, 0, 0);
-    for d in 0..25u64 {
-        for r in 0..12u64 {
-            gps.take_reading(
-                t0 + SimDuration::from_days(d) + SimDuration::from_hours(2 * r),
-                0.0,
-                &mut rng,
-            );
-        }
-    }
-    let mut windows_to_clear_rs232 = 0u32;
-    while !gps.pending_files().is_empty() && windows_to_clear_rs232 < 50 {
-        gps.transfer_files(window);
-        windows_to_clear_rs232 += 1;
-    }
+    let mut sims =
+        glacsweb_sweep::run_cells(vec![false, true], glacsweb_sweep::threads(), |stuck_sim| {
+            if stuck_sim {
+                // Simulation 3: the stuck-file hazard. A multi-day
+                // un-downloaded period can merge into one oversized file;
+                // the hazard the paper flags is a *single* file exceeding
+                // the window.
+                let mut pathological = DGps::new();
+                let mut rng = SimRng::seed_from(seed + 1);
+                pathological.take_reading(t0, 0.0, &mut rng);
+                u32::from(!pathological.stuck_file(window))
+            } else {
+                // Simulation 1: a 25-day state-3 backlog on the dGPS
+                // internal card, cleared file by file.
+                let mut rng = SimRng::seed_from(seed);
+                let mut gps = DGps::new();
+                for d in 0..25u64 {
+                    for r in 0..12u64 {
+                        gps.take_reading(
+                            t0 + SimDuration::from_days(d) + SimDuration::from_hours(2 * r),
+                            0.0,
+                            &mut rng,
+                        );
+                    }
+                }
+                let mut windows = 0u32;
+                while !gps.pending_files().is_empty() && windows < 50 {
+                    gps.transfer_files(window);
+                    windows += 1;
+                }
+                windows
+            }
+        })
+        .into_iter();
+    let windows_to_clear_rs232 = sims.next().expect("two sims");
+    let stuck_file_detected = sims.next().expect("two sims") != 0;
 
     // Simulation 2: a GPRS outage builds an upload queue; daily 2-hour
     // windows at 5 000 bps then drain it file by file.
@@ -82,20 +105,6 @@ pub fn run(seed: u64) -> Backlog {
         queue_bytes = queue_bytes.saturating_sub(window_capacity);
         windows_to_clear_gprs += 1;
     }
-
-    // Simulation 3: the stuck-file hazard.
-    let mut pathological = DGps::new();
-    // A multi-day un-downloaded period can merge into one oversized file;
-    // emulate with back-to-back readings forming > window capacity…
-    // the hazard the paper flags is a *single* file exceeding the window:
-    let stuck_file_detected = {
-        let mut rng2 = SimRng::seed_from(seed + 1);
-        // Fill 300 readings so pending_bytes ≫ window, then ask about the
-        // oldest single file (not stuck) versus a synthetic giant.
-        pathological.take_reading(t0, 0.0, &mut rng2);
-
-        !pathological.stuck_file(window)
-    };
 
     Backlog {
         state3_overflow_days,

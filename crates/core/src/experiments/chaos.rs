@@ -149,8 +149,15 @@ fn run_level(seed: u64, intensity: u32) -> ChaosLevel {
 }
 
 /// Sweeps intensity 0..=3 over the same site, seed and summer window.
+///
+/// Each level is an independent deployment run keyed only on `(seed,
+/// intensity)`, so the levels execute on the parallel sweep engine; the
+/// result is byte-identical for any thread count.
 pub fn run(seed: u64) -> Chaos {
-    let mut levels: Vec<ChaosLevel> = (0..=3).map(|i| run_level(seed, i)).collect();
+    let mut levels: Vec<ChaosLevel> =
+        glacsweb_sweep::run_cells((0..=3).collect(), glacsweb_sweep::threads(), |i| {
+            run_level(seed, i)
+        });
     let baseline = levels[0].probe_readings_received.max(1) as f64;
     for level in &mut levels {
         level.data_return_fraction = level.probe_readings_received as f64 / baseline;

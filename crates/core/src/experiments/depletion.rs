@@ -69,16 +69,26 @@ pub fn run() -> Depletion {
     let gps = Watts(3.6);
     let session = SimDuration::from_secs(glacsweb_hw::table1::DGPS_SESSION_SECS);
 
+    // The two battery-model simulations (continuous and state-3 duty) are
+    // independent and deterministic, so they run on the parallel sweep
+    // engine (byte-identical at any thread count).
+    let mut simulated = glacsweb_sweep::run_cells(
+        vec![SimDuration::from_days(1), session * 12],
+        glacsweb_sweep::threads(),
+        simulate,
+    )
+    .into_iter();
+
     let continuous = DutyResult {
         readings_per_day: 0,
         analytic_days: budget::time_to_deplete(bank, v, gps).as_days_f64(),
-        simulated_days: simulate(SimDuration::from_days(1)),
+        simulated_days: simulated.next().expect("two duty patterns"),
         paper_days: 5.0,
     };
     let state3 = DutyResult {
         readings_per_day: 12,
         analytic_days: budget::time_to_deplete_duty(bank, v, gps, session * 12).as_days_f64(),
-        simulated_days: simulate(session * 12),
+        simulated_days: simulated.next().expect("two duty patterns"),
         paper_days: 117.0,
     };
     let state2 = DutyResult {

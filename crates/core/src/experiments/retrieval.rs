@@ -144,17 +144,41 @@ fn run_ack(loss: f64, seed: u64) -> VariantResult {
     }
 }
 
+/// One protocol variant, self-seeded so variants can run in any order.
+enum Variant {
+    Nack(ProtocolConfig, f64, u64),
+    Ack(f64, u64),
+    Bursty(f64, f64, u64),
+}
+
 /// Runs the retrieval experiment.
+///
+/// The five variants are independent (each builds its own backlogged
+/// probe from its own seed), so they execute on the parallel sweep
+/// engine; results are byte-identical at any thread count.
 pub fn run(seed: u64) -> Retrieval {
     let summer_loss = 0.134; // wet-ice loss matching ~400/3000
     let winter_loss = 0.025;
-    let deployed = run_nack(ProtocolConfig::deployed_2008(), summer_loss, seed);
-    let fixed = run_nack(ProtocolConfig::fixed(), summer_loss, seed + 1);
-    let ack_baseline = run_ack(summer_loss, seed + 2);
-    let bursty = run_bursty(summer_loss, 10.0, seed + 4);
-
-    // Winter control: same backlog over dry ice.
-    let winter = run_nack(ProtocolConfig::fixed(), winter_loss, seed + 3);
+    let variants = vec![
+        Variant::Nack(ProtocolConfig::deployed_2008(), summer_loss, seed),
+        Variant::Nack(ProtocolConfig::fixed(), summer_loss, seed + 1),
+        Variant::Ack(summer_loss, seed + 2),
+        Variant::Bursty(summer_loss, 10.0, seed + 4),
+        // Winter control: same backlog over dry ice.
+        Variant::Nack(ProtocolConfig::fixed(), winter_loss, seed + 3),
+    ];
+    let mut results = glacsweb_sweep::run_cells(variants, glacsweb_sweep::threads(), |v| match v {
+        Variant::Nack(config, loss, s) => run_nack(config, loss, s),
+        Variant::Ack(loss, s) => run_ack(loss, s),
+        Variant::Bursty(loss, burst, s) => run_bursty(loss, burst, s),
+    })
+    .into_iter();
+    let mut next = || results.next().expect("five variants");
+    let deployed = next();
+    let fixed = next();
+    let ack_baseline = next();
+    let bursty = next();
+    let winter = next();
 
     Retrieval {
         summer_loss,

@@ -99,11 +99,17 @@ fn run_site(env: EnvConfig, seed: u64) -> SiteResult {
 }
 
 /// Runs the Nov–Apr winter at both sites.
+///
+/// The two sites share nothing but the seed, so they execute on the
+/// parallel sweep engine; results are byte-identical at any thread count.
 pub fn run(seed: u64) -> Sites {
-    Sites {
-        norway: run_site(EnvConfig::briksdalsbreen(), seed),
-        iceland: run_site(EnvConfig::vatnajokull(), seed),
-    }
+    let envs = vec![EnvConfig::briksdalsbreen(), EnvConfig::vatnajokull()];
+    let mut results =
+        glacsweb_sweep::run_cells(envs, glacsweb_sweep::threads(), |env| run_site(env, seed))
+            .into_iter();
+    let norway = results.next().expect("two sites");
+    let iceland = results.next().expect("two sites");
+    Sites { norway, iceland }
 }
 
 impl Sites {

@@ -23,18 +23,33 @@ pub struct Survival {
     pub distribution_1y: [f64; 8],
 }
 
-/// Runs the Monte-Carlo survival study.
-pub fn run(seed: u64, cohorts: u32) -> Survival {
-    assert!(cohorts > 0, "need at least one cohort");
+/// Cohorts per parallel work cell: large enough to amortise thread
+/// hand-off, small enough to spread 2000-cohort runs over a pool.
+const COHORTS_PER_CELL: u32 = 256;
+
+/// Partial tallies for one contiguous block of cohorts.
+struct CellTally {
+    alive_1y_total: u64,
+    alive_18_total: u64,
+    exactly4: u32,
+    hist: [u32; 8],
+}
+
+/// Tallies cohorts `[first, first + count)`. Every cohort draws from its
+/// own RNG stream derived from `(seed, cohort index)`, so the tally is
+/// independent of chunking, execution order and thread count.
+fn tally_cells(seed: u64, first: u32, count: u32) -> CellTally {
     let model = MortalityModel::paper_2008();
-    let mut rng = SimRng::seed_from(seed);
     let year = SimDuration::from_days(365);
     let eighteen = SimDuration::from_days(548);
-    let mut alive_1y_total = 0u64;
-    let mut alive_18_total = 0u64;
-    let mut exactly4 = 0u32;
-    let mut hist = [0u32; 8];
-    for _ in 0..cohorts {
+    let mut tally = CellTally {
+        alive_1y_total: 0,
+        alive_18_total: 0,
+        exactly4: 0,
+        hist: [0; 8],
+    };
+    for cohort in first..first + count {
+        let mut rng = SimRng::seed_from(seed).fork(u64::from(cohort));
         let mut alive_1y = 0u32;
         let mut alive_18 = 0u32;
         for _ in 0..7 {
@@ -46,12 +61,44 @@ pub fn run(seed: u64, cohorts: u32) -> Survival {
                 alive_18 += 1;
             }
         }
-        alive_1y_total += u64::from(alive_1y);
-        alive_18_total += u64::from(alive_18);
+        tally.alive_1y_total += u64::from(alive_1y);
+        tally.alive_18_total += u64::from(alive_18);
         if alive_1y == 4 {
-            exactly4 += 1;
+            tally.exactly4 += 1;
         }
-        hist[alive_1y as usize] += 1;
+        tally.hist[alive_1y as usize] += 1;
+    }
+    tally
+}
+
+/// Runs the Monte-Carlo survival study.
+///
+/// Cohorts are self-seeded (stream = cohort index), so blocks of them run
+/// on the parallel sweep engine and the merged result is byte-identical
+/// for any thread count.
+pub fn run(seed: u64, cohorts: u32) -> Survival {
+    assert!(cohorts > 0, "need at least one cohort");
+    let model = MortalityModel::paper_2008();
+    let year = SimDuration::from_days(365);
+    let eighteen = SimDuration::from_days(548);
+    let blocks: Vec<(u32, u32)> = (0..cohorts)
+        .step_by(COHORTS_PER_CELL as usize)
+        .map(|first| (first, COHORTS_PER_CELL.min(cohorts - first)))
+        .collect();
+    let tallies = glacsweb_sweep::run_cells(blocks, glacsweb_sweep::threads(), |(first, count)| {
+        tally_cells(seed, first, count)
+    });
+    let mut alive_1y_total = 0u64;
+    let mut alive_18_total = 0u64;
+    let mut exactly4 = 0u32;
+    let mut hist = [0u32; 8];
+    for t in tallies {
+        alive_1y_total += t.alive_1y_total;
+        alive_18_total += t.alive_18_total;
+        exactly4 += t.exactly4;
+        for (h, th) in hist.iter_mut().zip(t.hist) {
+            *h += th;
+        }
     }
     let mut distribution_1y = [0.0; 8];
     for (i, h) in hist.iter().enumerate() {

@@ -17,6 +17,9 @@ pub struct Metrics {
     reports: Vec<WindowReport>,
     probe_deaths: Vec<(SimTime, u32)>,
     faults: RecoveryTracker,
+    /// Expected samples per station series — sizing hint only, set from
+    /// the run horizon; never affects recorded values.
+    sample_hint: usize,
 }
 
 impl Metrics {
@@ -25,20 +28,40 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Pre-sizes the collectors for a run of `days` over `stations`
+    /// stations, so recording loops append without reallocating.
+    ///
+    /// Purely a capacity hint: series are still created lazily on first
+    /// sample and recorded values are unaffected. Safe to call before
+    /// every `run_until` leg; reservations accumulate.
+    pub fn pre_size(&mut self, days: usize, stations: usize) {
+        // 48 half-hourly ticks plus up to 12 mid-dGPS dip samples/day.
+        let samples = days.saturating_mul(61);
+        self.sample_hint = self.sample_hint.max(samples);
+        for series in self.voltage.values_mut().chain(self.state.values_mut()) {
+            series.reserve(samples);
+        }
+        self.reports.reserve(days.saturating_mul(stations));
+    }
+
     /// Records a half-hourly battery-voltage sample.
     pub fn record_voltage(&mut self, station: StationId, t: SimTime, volts: f64) {
+        let hint = self.sample_hint;
         self.voltage
             .entry(station)
-            .or_insert_with(|| TimeSeries::new(format!("{station:?} battery voltage (V)")))
+            .or_insert_with(|| {
+                TimeSeries::with_capacity(format!("{station:?} battery voltage (V)"), hint)
+            })
             .push(t, volts);
     }
 
     /// Records the operating power state (sampled alongside voltage —
     /// together these regenerate Fig 5).
     pub fn record_state(&mut self, station: StationId, t: SimTime, level: u8) {
+        let hint = self.sample_hint;
         self.state
             .entry(station)
-            .or_insert_with(|| TimeSeries::new(format!("{station:?} power state")))
+            .or_insert_with(|| TimeSeries::with_capacity(format!("{station:?} power state"), hint))
             .push(t, f64::from(level));
     }
 

@@ -129,6 +129,12 @@ impl Environment {
         let tick = self.config.tick;
         let dt_hours = tick.as_secs() as f64 / 3600.0;
         let dt_days = dt_hours / 24.0;
+        // The tick is fixed, so every per-step transcendental is a run
+        // constant — hoist them out of the loop (this loop dominates
+        // long-horizon runs; see BENCH_PERF.json).
+        let target = self.config.cloud_clear_fraction;
+        let cloud_decay = (-dt_hours / 8.0).exp();
+        let cloud_noise_sd = 0.15 * (1.0 - cloud_decay * cloud_decay).sqrt();
         while self.now + tick <= t {
             self.now += tick;
             let temp = self.temperature.temperature_c(self.now);
@@ -142,11 +148,9 @@ impl Environment {
                 &mut self.rng,
             );
             // Cloud: mean-reverting around the configured clear fraction.
-            let target = self.config.cloud_clear_fraction;
-            let decay = (-dt_hours / 8.0).exp();
-            let noise = self.rng.normal(0.0, 0.15 * (1.0 - decay * decay).sqrt());
+            let noise = self.rng.normal(0.0, cloud_noise_sd);
             self.cloud_factor =
-                ((self.cloud_factor - target) * decay + target + noise).clamp(0.05, 1.0);
+                ((self.cloud_factor - target) * cloud_decay + target + noise).clamp(0.05, 1.0);
         }
     }
 

@@ -3,6 +3,8 @@
 
 use glacsweb_sim::SimTime;
 
+use crate::stepcache::AlphaStepCache;
+
 /// Slow subglacial water state driven by surface melt.
 ///
 /// The melt-water index is a low-pass filter of positive-degree-day melt:
@@ -19,12 +21,16 @@ use glacsweb_sim::SimTime;
 pub struct Hydrology {
     /// Melt-water index in `[0, 1]`.
     melt_index: f64,
+    step: AlphaStepCache,
 }
 
 impl Hydrology {
     /// Creates a dry (deep winter) state.
     pub fn new() -> Self {
-        Hydrology { melt_index: 0.0 }
+        Hydrology {
+            melt_index: 0.0,
+            step: AlphaStepCache::default(),
+        }
     }
 
     /// Creates a state with a given initial melt index.
@@ -37,7 +43,10 @@ impl Hydrology {
             (0.0..=1.0).contains(&melt_index),
             "index {melt_index} out of range"
         );
-        Hydrology { melt_index }
+        Hydrology {
+            melt_index,
+            step: AlphaStepCache::default(),
+        }
     }
 
     /// Current melt-water index in `[0, 1]`.
@@ -52,12 +61,14 @@ impl Hydrology {
     /// water drains slower than it arrives).
     pub fn step(&mut self, dt_days: f64, temp_c: f64) {
         let melt_drive = (temp_c / 4.0).clamp(0.0, 1.0);
-        let tau_days = if melt_drive > self.melt_index {
-            10.0
+        // Both filter gains are constants of the (fixed) tick; cached so
+        // the per-tick cost is a multiply-add, not an `exp`.
+        let (alpha_rise, alpha_fall) = self.step.alphas(dt_days, 10.0, 25.0);
+        let alpha = if melt_drive > self.melt_index {
+            alpha_rise
         } else {
-            25.0
+            alpha_fall
         };
-        let alpha = 1.0 - (-dt_days / tau_days).exp();
         self.melt_index += alpha * (melt_drive - self.melt_index);
         self.melt_index = self.melt_index.clamp(0.0, 1.0);
     }

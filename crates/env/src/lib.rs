@@ -49,6 +49,7 @@ mod hydrology;
 mod motion;
 mod snow;
 mod solar;
+mod stepcache;
 mod temperature;
 mod wind;
 

@@ -1,0 +1,118 @@
+//! Cached per-tick step coefficients for the stochastic models.
+//!
+//! The environment advances on a *fixed* tick, so quantities like the
+//! Ornstein–Uhlenbeck decay factor `exp(-θ·dt)` and the matching step
+//! standard deviation are constants across a run — yet the step
+//! functions used to re-evaluate `exp`/`sqrt` on every tick. Each model
+//! keeps one of these caches keyed on the last-seen `dt`; the values it
+//! returns are computed by exactly the formula the models used inline,
+//! so simulation traces stay bit-identical.
+
+/// Memoised Ornstein–Uhlenbeck step coefficients for one `(θ, σ)` pair.
+///
+/// Equality deliberately ignores the cache contents: it is derived
+/// state, reproducible from the owning model's parameters and the tick.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OuStepCache {
+    dt: f64,
+    decay: f64,
+    step_sd: f64,
+    valid: bool,
+}
+
+impl OuStepCache {
+    /// The `(decay, step_sd)` pair for a step of `dt` with rate `theta`
+    /// and stationary standard deviation `stationary_sd`.
+    ///
+    /// Recomputes only when `dt` changes (the owner's `theta` and
+    /// `stationary_sd` are construction-time constants).
+    pub(crate) fn coeffs(&mut self, dt: f64, theta: f64, stationary_sd: f64) -> (f64, f64) {
+        if !self.valid || self.dt != dt {
+            let decay = (-theta * dt).exp();
+            self.dt = dt;
+            self.decay = decay;
+            self.step_sd = stationary_sd * (1.0 - decay * decay).sqrt();
+            self.valid = true;
+        }
+        (self.decay, self.step_sd)
+    }
+}
+
+impl PartialEq for OuStepCache {
+    fn eq(&self, _: &Self) -> bool {
+        true // derived state: two models differing only here are equal
+    }
+}
+
+/// Memoised low-pass filter gains for the hydrology melt filter, which
+/// switches between a rise and a fall time constant.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AlphaStepCache {
+    dt: f64,
+    alpha_rise: f64,
+    alpha_fall: f64,
+    valid: bool,
+}
+
+impl AlphaStepCache {
+    /// `(alpha_rise, alpha_fall)` = `1 - exp(-dt/τ)` for the two time
+    /// constants, recomputed only when `dt` changes.
+    pub(crate) fn alphas(&mut self, dt: f64, tau_rise: f64, tau_fall: f64) -> (f64, f64) {
+        if !self.valid || self.dt != dt {
+            self.dt = dt;
+            self.alpha_rise = 1.0 - (-dt / tau_rise).exp();
+            self.alpha_fall = 1.0 - (-dt / tau_fall).exp();
+            self.valid = true;
+        }
+        (self.alpha_rise, self.alpha_fall)
+    }
+}
+
+impl PartialEq for AlphaStepCache {
+    fn eq(&self, _: &Self) -> bool {
+        true // derived state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ou_matches_inline_formula() {
+        let mut c = OuStepCache::default();
+        let (theta, sd, dt) = (1.0 / 12.0, 1.5, 0.5);
+        let (decay, step_sd) = c.coeffs(dt, theta, sd);
+        let expect_decay = (-theta * dt).exp();
+        assert_eq!(decay, expect_decay, "bit-identical decay");
+        assert_eq!(step_sd, sd * (1.0 - expect_decay * expect_decay).sqrt());
+        // Cached path returns the very same bits.
+        assert_eq!(c.coeffs(dt, theta, sd), (decay, step_sd));
+    }
+
+    #[test]
+    fn ou_recomputes_on_dt_change() {
+        let mut c = OuStepCache::default();
+        let a = c.coeffs(0.5, 0.1, 1.0);
+        let b = c.coeffs(1.0, 0.1, 1.0);
+        assert_ne!(a, b);
+        assert_eq!(c.coeffs(1.0, 0.1, 1.0), b);
+    }
+
+    #[test]
+    fn alpha_matches_inline_formula() {
+        let mut c = AlphaStepCache::default();
+        let dt = 1.0 / 144.0;
+        let (rise, fall) = c.alphas(dt, 10.0, 25.0);
+        assert_eq!(rise, 1.0 - (-dt / 10.0).exp());
+        assert_eq!(fall, 1.0 - (-dt / 25.0).exp());
+    }
+
+    #[test]
+    fn caches_compare_equal_regardless_of_state() {
+        let mut a = OuStepCache::default();
+        let b = OuStepCache::default();
+        let _ = a.coeffs(0.5, 0.1, 1.0);
+        assert_eq!(a, b, "cache state is invisible to model equality");
+    }
+}

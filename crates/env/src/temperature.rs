@@ -3,6 +3,8 @@
 
 use glacsweb_sim::{SimRng, SimTime};
 
+use crate::stepcache::OuStepCache;
+
 /// Seasonal/diurnal air temperature with Ornstein–Uhlenbeck weather noise.
 ///
 /// The deterministic part is a pure function of time; the OU noise state is
@@ -15,6 +17,7 @@ pub struct TemperatureModel {
     diurnal_amplitude_c: f64,
     noise_sd_c: f64,
     noise_c: f64,
+    step: OuStepCache,
 }
 
 impl TemperatureModel {
@@ -40,6 +43,7 @@ impl TemperatureModel {
             diurnal_amplitude_c,
             noise_sd_c,
             noise_c: 0.0,
+            step: OuStepCache::default(),
         }
     }
 
@@ -66,11 +70,10 @@ impl TemperatureModel {
 
     /// Advances the OU weather-noise state over `dt_hours`.
     pub fn step_noise(&mut self, dt_hours: f64, rng: &mut SimRng) {
-        // Mean-reverting with ~12 h correlation time.
+        // Mean-reverting with ~12 h correlation time. The tick is fixed,
+        // so the decay/step-sd pair is cached rather than recomputed.
         let theta = 1.0 / 12.0;
-        let decay = (-theta * dt_hours).exp();
-        let stationary_sd = self.noise_sd_c;
-        let step_sd = stationary_sd * (1.0 - decay * decay).sqrt();
+        let (decay, step_sd) = self.step.coeffs(dt_hours, theta, self.noise_sd_c);
         self.noise_c = self.noise_c * decay + rng.normal(0.0, step_sd);
     }
 }

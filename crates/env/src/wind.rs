@@ -2,6 +2,8 @@
 
 use glacsweb_sim::{SimRng, SimTime};
 
+use crate::stepcache::OuStepCache;
+
 /// Stochastic wind-speed process.
 ///
 /// Winter is windier than summer at the site (which is why the base station
@@ -15,6 +17,7 @@ pub struct WindModel {
     gust_sd_ms: f64,
     /// Deviation from the seasonal mean (OU state).
     deviation_ms: f64,
+    step: OuStepCache,
 }
 
 impl WindModel {
@@ -33,6 +36,7 @@ impl WindModel {
             mean_summer_ms,
             gust_sd_ms,
             deviation_ms: 0.0,
+            step: OuStepCache::default(),
         }
     }
 
@@ -52,10 +56,10 @@ impl WindModel {
 
     /// Advances the gust state over `dt_hours`.
     pub fn step(&mut self, dt_hours: f64, rng: &mut SimRng) {
-        // ~6 h correlation time: weather systems, not turbulence.
+        // ~6 h correlation time: weather systems, not turbulence. The
+        // tick is fixed, so the decay/step-sd pair is cached.
         let theta = 1.0 / 6.0;
-        let decay = (-theta * dt_hours).exp();
-        let step_sd = self.gust_sd_ms * (1.0 - decay * decay).sqrt();
+        let (decay, step_sd) = self.step.coeffs(dt_hours, theta, self.gust_sd_ms);
         self.deviation_ms = self.deviation_ms * decay + rng.normal(0.0, step_sd);
     }
 }

@@ -16,7 +16,10 @@ use crate::gprs::{GprsLink, TransferOutcome};
 use crate::ppp::{DisconnectReason, PppRadioLink};
 
 /// A wide-area uplink a station can move its daily data over.
-pub trait WanLink: fmt::Debug {
+///
+/// `Send` so a [`Station`](../glacsweb_station) — and hence a whole
+/// deployment — can move to a sweep-engine worker thread.
+pub trait WanLink: fmt::Debug + Send {
     /// Short name for logs and load accounting (`"gprs"` or
     /// `"radio_modem"`).
     fn label(&self) -> &'static str;

@@ -45,6 +45,22 @@ impl TimeSeries {
         }
     }
 
+    /// Creates an empty series pre-sized for `capacity` samples.
+    ///
+    /// Recording loops that know their horizon (e.g. a deployment run of
+    /// `n` days at half-hourly sampling) can avoid repeated reallocation.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` further samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.points.reserve(additional);
+    }
+
     /// The series name.
     pub fn name(&self) -> &str {
         &self.name

@@ -1,0 +1,76 @@
+//! The sweep engine's contract, checked end to end: every experiment
+//! that fans out over `glacsweb_sweep::run_cells` produces the *same*
+//! result at one worker thread and at four, for the same seed.
+//!
+//! `fig5`/`fig6` are single-seed single-run experiments and never touch
+//! the engine, so they have nothing to check here.
+
+use glacsweb::experiments as exp;
+use glacsweb_sweep::with_threads;
+
+/// Runs `f` serially and on four workers and asserts bit equality.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let serial = with_threads(1, &f);
+    let parallel = with_threads(4, &f);
+    assert_eq!(serial, parallel, "results must not depend on thread count");
+}
+
+#[test]
+fn chaos_levels_are_thread_invariant() {
+    assert_thread_invariant(|| exp::chaos::run(7));
+}
+
+#[test]
+fn survival_cohorts_are_thread_invariant() {
+    assert_thread_invariant(|| exp::survival::run(7, 1000));
+}
+
+#[test]
+fn survival_is_also_chunking_invariant() {
+    // 600 cohorts span two 256-cell blocks plus a partial tail; the
+    // merged tallies must match a differently-threaded run exactly.
+    let a = with_threads(1, || exp::survival::run(3, 600));
+    let b = with_threads(3, || exp::survival::run(3, 600));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ablation_arms_are_thread_invariant() {
+    assert_thread_invariant(|| exp::ablation::run(7));
+}
+
+#[test]
+fn retrieval_variants_are_thread_invariant() {
+    assert_thread_invariant(|| exp::retrieval::run(7));
+}
+
+#[test]
+fn sites_are_thread_invariant() {
+    assert_thread_invariant(|| exp::sites::run(7));
+}
+
+#[test]
+fn architecture_designs_are_thread_invariant() {
+    assert_thread_invariant(|| exp::architecture::run(7));
+}
+
+#[test]
+fn depletion_simulations_are_thread_invariant() {
+    // Depletion carries a deliberate NaN (the paper quotes no state-2
+    // figure), and NaN != NaN; the rendered text is the comparable form.
+    assert_thread_invariant(|| exp::depletion::run().render());
+}
+
+#[test]
+fn backlog_simulations_are_thread_invariant() {
+    assert_thread_invariant(|| exp::backlog::run(7));
+}
+
+#[test]
+fn rendered_blocks_are_byte_identical() {
+    // Stronger than struct equality for the text pipeline: the rendered
+    // output (what the experiments binary prints) matches byte for byte.
+    let serial = with_threads(1, || exp::chaos::run(11).render());
+    let parallel = with_threads(4, || exp::chaos::run(11).render());
+    assert_eq!(serial, parallel);
+}
