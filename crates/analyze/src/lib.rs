@@ -1,0 +1,126 @@
+//! `glacsweb-analyze`: the workspace's own lint engine.
+//!
+//! The paper's core field lesson (§IV–§V) is that the deployed system
+//! must never hang or die unrecoverably — the 2-hour hardware watchdog
+//! and RTC-reset recovery exist because code review alone did not keep
+//! the Gumsense nodes alive. This workspace has a second load-bearing
+//! invariant on top: the sweep engine promises byte-identical output at
+//! any thread count. Neither invariant is visible to `rustc`, so this
+//! crate enforces both statically, plus the unit-math and crate-hygiene
+//! rules that protect them at the edges. See [`rules`] for the rule
+//! table and [`suppress`] for the inline ledger that is the only way to
+//! silence a finding.
+//!
+//! The analyzer is deliberately dependency-free: it lexes Rust with its
+//! own comment/string-aware tokenizer ([`lexer`]) rather than `syn`, and
+//! writes `ANALYSIS.json` by hand ([`report`]), so it builds first and
+//! fastest in the air-gapped CI image.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use report::Report;
+pub use rules::{Finding, RuleId};
+pub use suppress::Suppression;
+
+/// Analyzes a single file's source text under its workspace-relative
+/// path (the path determines which rules are in scope). This is the unit
+/// the fixture tests drive.
+pub fn analyze_source(rel: &str, source: &str) -> (Vec<Finding>, Vec<Suppression>) {
+    let toks = lexer::lex(source);
+    let (mask, test_ranges) = rules::test_mask(&toks);
+    let mut findings = rules::check_tokens(rel, &toks, &mask);
+    let (mut sups, malformed) = suppress::scan(rel, source, &test_ranges);
+    findings.extend(malformed);
+    let unused = suppress::apply(&mut findings, &mut sups);
+    findings.extend(unused);
+    (findings, sups)
+}
+
+/// Walks `crates/`, `src/`, `tests/`, and `examples/` under `root` and
+/// analyzes every `.rs` file. `vendor/` and `target/` are never visited:
+/// vendored third-party subsets are not held to project rules.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    // Deterministic reporting order regardless of directory-entry order —
+    // the analyzer holds itself to its own determinism rule.
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut suppressions = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let source = fs::read_to_string(path)?;
+        let (f, s) = analyze_source(&rel, &source);
+        findings.extend(f);
+        suppressions.extend(s);
+    }
+    let mut report = Report {
+        root: root.display().to_string(),
+        files_scanned: files.len(),
+        findings,
+        suppressions,
+    };
+    report.normalize();
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// holding a `Cargo.toml` that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,311 @@
+//! Fixture tests: for every rule, at least one snippet that must fire
+//! and one that must not, plus the scoping and suppression mechanics.
+//!
+//! Each fixture is analyzed under a synthetic workspace-relative path,
+//! because the path is what places a file in (or out of) a rule's scope.
+
+use glacsweb_analyze::{analyze_source, RuleId};
+
+/// Findings of one rule in `src` analyzed under `rel`.
+fn fire(rel: &str, src: &str, rule: RuleId) -> usize {
+    analyze_source(rel, src)
+        .0
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .count()
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_fires_on_hashmap_in_sim_lib() {
+    let src =
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    assert!(fire("crates/sim/src/fake.rs", src, RuleId::Determinism) >= 1);
+}
+
+#[test]
+fn determinism_fires_on_wall_clock_and_env() {
+    let src = "fn f() { let t = std::time::Instant::now(); let v = std::env::var(\"X\"); }\n";
+    assert_eq!(
+        fire("crates/sweep/src/fake.rs", src, RuleId::Determinism),
+        2
+    );
+}
+
+#[test]
+fn determinism_ignores_btreemap_and_out_of_scope_crates() {
+    let ordered = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }\n";
+    assert_eq!(
+        fire("crates/env/src/fake.rs", ordered, RuleId::Determinism),
+        0
+    );
+    // station is not in the determinism scope (it is in the panic scope).
+    let hash = "use std::collections::HashMap;\n";
+    assert_eq!(
+        fire("crates/station/src/fake.rs", hash, RuleId::Determinism),
+        0
+    );
+}
+
+#[test]
+fn determinism_ignores_comments_strings_and_tests() {
+    let src = r#"
+// a HashMap would be wrong here
+fn f() { let s = "HashMap"; }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = std::time::Instant::now(); }
+}
+"#;
+    assert_eq!(fire("crates/sim/src/fake.rs", src, RuleId::Determinism), 0);
+}
+
+#[test]
+fn determinism_skips_test_and_example_files() {
+    let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(
+        fire("crates/sim/tests/fake.rs", src, RuleId::Determinism),
+        0
+    );
+    assert_eq!(fire("examples/fake.rs", src, RuleId::Determinism), 0);
+    assert_eq!(
+        fire("crates/bench/src/bin/perf.rs", src, RuleId::Determinism),
+        0
+    );
+}
+
+// --------------------------------------------------------------- panic-freedom
+
+#[test]
+fn panic_freedom_fires_on_unwrap_expect_and_macros() {
+    let src = "fn f(x: Option<u32>) -> u32 { let _ = x.expect(\"y\"); match x { Some(v) => v, None => panic!(\"no\") } }\n";
+    assert_eq!(
+        fire("crates/station/src/fake.rs", src, RuleId::PanicFreedom),
+        2
+    );
+    let src2 = "fn g(x: Option<u32>) -> u32 { x.unwrap() }\nfn h() { unreachable!() }\n";
+    assert_eq!(
+        fire("crates/link/src/fake.rs", src2, RuleId::PanicFreedom),
+        2
+    );
+}
+
+#[test]
+fn panic_freedom_does_not_fire_on_unwrap_or_variants() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default() }\n";
+    assert_eq!(
+        fire("crates/power/src/fake.rs", src, RuleId::PanicFreedom),
+        0
+    );
+}
+
+#[test]
+fn panic_freedom_fires_on_indexing_but_not_array_types() {
+    let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+    assert_eq!(
+        fire("crates/server/src/fake.rs", src, RuleId::PanicFreedom),
+        1
+    );
+    let benign = "fn f() -> [u8; 4] { let x: [u8; 4] = [0; 4]; x }\nstatic T: [u32; 2] = [1, 2];\n";
+    assert_eq!(
+        fire("crates/server/src/fake.rs", benign, RuleId::PanicFreedom),
+        0
+    );
+    // Range slicing panics too.
+    let slicing = "fn f(v: &[u32]) -> &[u32] { &v[1..] }\n";
+    assert_eq!(
+        fire("crates/faults/src/fake.rs", slicing, RuleId::PanicFreedom),
+        1
+    );
+}
+
+#[test]
+fn panic_freedom_exempts_tests_and_out_of_scope_crates() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); panic!(\"x\"); }\n}\n";
+    assert_eq!(
+        fire("crates/station/src/fake.rs", src, RuleId::PanicFreedom),
+        0
+    );
+    // sim is not in the panic scope.
+    let lib = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(fire("crates/sim/src/fake.rs", lib, RuleId::PanicFreedom), 0);
+}
+
+// -------------------------------------------------------------- numeric-safety
+
+#[test]
+fn numeric_safety_fires_on_int_casts_and_float_eq() {
+    let src = "fn f(x: f64) -> u32 { x as u32 }\nfn g(x: f64) -> bool { x == 0.0 }\n";
+    assert_eq!(
+        fire("crates/power/src/fake.rs", src, RuleId::NumericSafety),
+        2
+    );
+    assert_eq!(
+        fire(
+            "crates/station/src/power_state.rs",
+            src,
+            RuleId::NumericSafety
+        ),
+        2
+    );
+    assert_eq!(
+        fire("crates/station/src/schedule.rs", src, RuleId::NumericSafety),
+        2
+    );
+}
+
+#[test]
+fn numeric_safety_allows_float_casts_epsilon_compares_and_other_files() {
+    let benign = "fn f(x: u32) -> f64 { f64::from(x) }\nfn g(a: f64, b: f64) -> bool { (a - b).abs() < 1e-9 }\nfn h(x: u8) -> u64 { u64::from(x) }\n";
+    assert_eq!(
+        fire("crates/power/src/fake.rs", benign, RuleId::NumericSafety),
+        0
+    );
+    // Out of the numeric scope: the same cast is allowed elsewhere.
+    let cast = "fn f(x: f64) -> u32 { x as u32 }\n";
+    assert_eq!(
+        fire("crates/station/src/station.rs", cast, RuleId::NumericSafety),
+        0
+    );
+    assert_eq!(
+        fire("crates/sim/src/fake.rs", cast, RuleId::NumericSafety),
+        0
+    );
+}
+
+// --------------------------------------------------------------- crate-hygiene
+
+#[test]
+fn crate_hygiene_fires_on_missing_attributes() {
+    let bare = "//! A crate.\npub fn f() {}\n";
+    assert_eq!(
+        fire("crates/power/src/lib.rs", bare, RuleId::CrateHygiene),
+        2
+    );
+    let half = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert_eq!(
+        fire("crates/power/src/lib.rs", half, RuleId::CrateHygiene),
+        1
+    );
+}
+
+#[test]
+fn crate_hygiene_satisfied_by_both_attributes() {
+    let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+    assert_eq!(
+        fire("crates/power/src/lib.rs", good, RuleId::CrateHygiene),
+        0
+    );
+    // Only crate roots are checked.
+    let bare = "pub fn f() {}\n";
+    assert_eq!(
+        fire("crates/power/src/other.rs", bare, RuleId::CrateHygiene),
+        0
+    );
+}
+
+// ----------------------------------------------------------------- suppression
+
+#[test]
+fn suppression_on_same_line_silences_the_finding() {
+    let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] } // glacsweb: allow(panic-freedom, reason = \"i is clamped by the caller\")\n";
+    let (findings, sups) = analyze_source("crates/station/src/fake.rs", src);
+    assert!(findings
+        .iter()
+        .all(|f| f.suppressed || f.rule != RuleId::PanicFreedom));
+    assert_eq!(sups.len(), 1);
+    assert!(sups.iter().all(|s| s.used));
+    assert_eq!(
+        sups.first().map(|s| s.reason.as_str()),
+        Some("i is clamped by the caller")
+    );
+}
+
+#[test]
+fn suppression_on_line_above_silences_the_finding() {
+    let src = "fn f(v: &[u32], i: usize) -> u32 {\n    // glacsweb: allow(panic-freedom, reason = \"bounds proven above\")\n    v[i]\n}\n";
+    let (findings, _) = analyze_source("crates/station/src/fake.rs", src);
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == RuleId::PanicFreedom && !f.suppressed)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn suppression_of_wrong_rule_does_not_silence() {
+    let src = "fn f(v: &[u32], i: usize) -> u32 {\n    // glacsweb: allow(determinism, reason = \"wrong rule\")\n    v[i]\n}\n";
+    let (findings, _) = analyze_source("crates/station/src/fake.rs", src);
+    // The indexing finding survives, and the mismatched entry is stale.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == RuleId::PanicFreedom && !f.suppressed)
+            .count(),
+        1
+    );
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == RuleId::SuppressionHygiene)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn malformed_suppressions_are_their_own_findings() {
+    let unknown = "// glacsweb: allow(no-such-rule, reason = \"x\")\nfn f() {}\n";
+    assert_eq!(
+        fire(
+            "crates/station/src/fake.rs",
+            unknown,
+            RuleId::SuppressionHygiene
+        ),
+        1
+    );
+    let reasonless = "fn f(v: &[u32]) -> u32 { v[0] } // glacsweb: allow(panic-freedom)\n";
+    let (findings, _) = analyze_source("crates/station/src/fake.rs", reasonless);
+    // Missing reason: the entry is rejected AND the finding survives.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == RuleId::SuppressionHygiene)
+            .count(),
+        1
+    );
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == RuleId::PanicFreedom && !f.suppressed)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn unused_suppression_is_flagged_and_doc_examples_are_not_entries() {
+    let unused = "// glacsweb: allow(panic-freedom, reason = \"nothing here fires\")\nfn f() {}\n";
+    assert_eq!(
+        fire(
+            "crates/station/src/fake.rs",
+            unused,
+            RuleId::SuppressionHygiene
+        ),
+        1
+    );
+    let doc = "/// // glacsweb: allow(panic-freedom, reason = \"just documentation\")\nfn f() {}\n";
+    assert_eq!(
+        fire(
+            "crates/station/src/fake.rs",
+            doc,
+            RuleId::SuppressionHygiene
+        ),
+        0
+    );
+}

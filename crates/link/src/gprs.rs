@@ -128,16 +128,15 @@ pub struct GprsLink {
 }
 
 impl GprsLink {
-    /// Creates a link in the disconnected state.
+    /// Creates a link in the disconnected state, validating the
+    /// configuration first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid.
-    pub fn new(config: GprsConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid GPRS config: {e}");
-        }
-        GprsLink {
+    /// Returns a description of the first invalid configuration field.
+    pub fn try_new(config: GprsConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(GprsLink {
             config,
             connected: false,
             session_life: SimDuration::ZERO,
@@ -145,6 +144,20 @@ impl GprsLink {
             attach_attempts: 0,
             attach_failures: 0,
             drops: 0,
+        })
+    }
+
+    /// Creates a link in the disconnected state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; fallible callers should
+    /// use [`GprsLink::try_new`].
+    pub fn new(config: GprsConfig) -> Self {
+        match GprsLink::try_new(config) {
+            Ok(link) => link,
+            // glacsweb: allow(panic-freedom, reason = "construction-time wiring check; the fallible path is try_new, which Station::try_new uses")
+            Err(e) => panic!("invalid GPRS config: {e}"),
         }
     }
 
@@ -231,6 +244,7 @@ impl GprsLink {
         rng: &mut SimRng,
     ) -> AttachOutcome {
         if let Err(e) = policy.validate() {
+            // glacsweb: allow(panic-freedom, reason = "retry policies are static tables validated again at station construction; an invalid one here is a wiring bug, not a runtime condition")
             panic!("invalid retry policy: {e}");
         }
         let mut elapsed = SimDuration::ZERO;

@@ -175,9 +175,9 @@ impl PowerRail {
                     .map(|c| c.output(env, self.now).value())
                     .sum();
                 if raw > 0.0 {
-                    for (i, c) in self.chargers.iter().enumerate() {
+                    for (acc, c) in self.harvest_by.iter_mut().zip(self.chargers.iter()) {
                         let share = c.output(env, self.now).value() / raw;
-                        self.harvest_by[i] += charge.over(dt) * share;
+                        *acc += charge.over(dt) * share;
                     }
                 }
             }

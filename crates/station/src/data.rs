@@ -183,7 +183,10 @@ impl DataStore {
                 break; // caller decides whether to reconnect
             }
             if file.sent >= file.size {
-                let done = self.queue.pop_front().expect("front exists");
+                let Some(done) = self.queue.pop_front() else {
+                    // Unreachable: front_mut() above just yielded this entry.
+                    break;
+                };
                 self.total_uploaded += done.size;
                 self.total_files += 1;
                 report.files_completed += 1;

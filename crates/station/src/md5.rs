@@ -17,6 +17,9 @@ const S: [u32; 64] = [
 ];
 
 /// Sine-derived constants: `K[i] = floor(|sin(i + 1)| · 2³²)`.
+// The truncating cast *is* the RFC 1321 definition: take the integer
+// part of |sin(i+1)|·2³² modulo 2³².
+#[allow(clippy::cast_possible_truncation)]
 fn k_table() -> [u32; 64] {
     let mut k = [0u32; 64];
     for (i, slot) in k.iter_mut().enumerate() {
@@ -54,16 +57,14 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
 
     for chunk in msg.chunks_exact(64) {
         let mut m = [0u32; 16];
-        for (j, word) in m.iter_mut().enumerate() {
-            *word = u32::from_le_bytes([
-                chunk[4 * j],
-                chunk[4 * j + 1],
-                chunk[4 * j + 2],
-                chunk[4 * j + 3],
-            ]);
+        for (word, bytes) in m.iter_mut().zip(chunk.chunks_exact(4)) {
+            *word = bytes
+                .iter()
+                .rev()
+                .fold(0u32, |acc, &b| (acc << 8) | u32::from(b));
         }
         let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
-        for i in 0..64 {
+        for (i, (&ki, &si)) in k.iter().zip(S.iter()).enumerate() {
             let (f, g) = match i {
                 0..=15 => ((b & c) | (!b & d), i),
                 16..=31 => ((d & b) | (!d & c), (5 * i + 1) % 16),
@@ -73,8 +74,10 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
             let tmp = d;
             d = c;
             c = b;
-            let sum = a.wrapping_add(f).wrapping_add(k[i]).wrapping_add(m[g]);
-            b = b.wrapping_add(sum.rotate_left(S[i]));
+            #[allow(clippy::indexing_slicing)]
+            // glacsweb: allow(panic-freedom, reason = "g is produced by the match above, every arm of which reduces mod 16; m has exactly 16 words")
+            let sum = a.wrapping_add(f).wrapping_add(ki).wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(si));
             a = tmp;
         }
         a0 = a0.wrapping_add(a);
@@ -84,10 +87,9 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
     }
 
     let mut out = [0u8; 16];
-    out[0..4].copy_from_slice(&a0.to_le_bytes());
-    out[4..8].copy_from_slice(&b0.to_le_bytes());
-    out[8..12].copy_from_slice(&c0.to_le_bytes());
-    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    for (slot, word) in out.chunks_exact_mut(4).zip([a0, b0, c0, d0]) {
+        slot.copy_from_slice(&word.to_le_bytes());
+    }
     out
 }
 

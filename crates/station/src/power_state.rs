@@ -49,18 +49,28 @@ impl PowerState {
         }
     }
 
+    /// Inverse of [`PowerState::level`], for levels that exist.
+    pub fn try_from_level(level: u8) -> Option<PowerState> {
+        match level {
+            0 => Some(PowerState::S0),
+            1 => Some(PowerState::S1),
+            2 => Some(PowerState::S2),
+            3 => Some(PowerState::S3),
+            _ => None,
+        }
+    }
+
     /// Inverse of [`PowerState::level`].
     ///
     /// # Panics
     ///
-    /// Panics if `level > 3`.
+    /// Panics if `level > 3`; fallible callers (e.g. parsing a server
+    /// override byte) should use [`PowerState::try_from_level`].
     pub fn from_level(level: u8) -> PowerState {
-        match level {
-            0 => PowerState::S0,
-            1 => PowerState::S1,
-            2 => PowerState::S2,
-            3 => PowerState::S3,
-            _ => panic!("no power state {level}"),
+        match PowerState::try_from_level(level) {
+            Some(state) => state,
+            // glacsweb: allow(panic-freedom, reason = "Table II has exactly four states; a level > 3 from inside the workspace is a logic bug, and untrusted inputs go through try_from_level")
+            None => panic!("no power state {level}"),
         }
     }
 

@@ -270,11 +270,24 @@ impl Station {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; fallible callers should
+    /// use [`Station::try_new`].
     pub fn new(config: StationConfig, start: SimTime, seed: u64) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid station config: {e}");
+        match Station::try_new(config, start, seed) {
+            Ok(station) => station,
+            // glacsweb: allow(panic-freedom, reason = "construction-time wiring check kept for example/test ergonomics; the fallible path is try_new")
+            Err(e) => panic!("invalid station config: {e}"),
         }
+    }
+
+    /// Builds a station at `start` simulated time, validating the
+    /// configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid configuration field.
+    pub fn try_new(config: StationConfig, start: SimTime, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
         let mut rng = SimRng::seed_from(seed);
         let battery = LeadAcidBattery::with_state(config.battery, config.initial_soc);
         let mut rail = PowerRail::new(battery, start);
@@ -303,12 +316,15 @@ impl Station {
         let mut log = TraceLog::with_capacity(8192);
         log.set_min_level(config.controller.log_min_level);
         let (wan, wan_load): (Box<dyn WanLink>, &'static str) = match config.comms {
-            CommsPath::DualGprs => (Box::new(GprsLink::new(config.gprs.clone())), loads::GPRS),
+            CommsPath::DualGprs => (
+                Box::new(GprsLink::try_new(config.gprs.clone())?),
+                loads::GPRS,
+            ),
             CommsPath::RelayViaReference => (Box::new(RelayWanLink::new()), loads::RADIO_MODEM),
         };
         let cost = DataCostMeter::per_megabyte(config.tariff_per_mib);
         let is_base = config.id == StationId::Base;
-        Station {
+        Ok(Station {
             rng: rng.fork(u64::from(is_base)),
             config,
             rail,
@@ -339,7 +355,7 @@ impl Station {
             windows_cut: 0,
             recoveries: 0,
             file_seq: 0,
-        }
+        })
     }
 
     /// The station configuration.
@@ -1332,7 +1348,7 @@ impl Station {
             *now,
             TraceLevel::Info,
             "special",
-            "y".repeat(cmd.output_size.value() as usize),
+            "y".repeat(usize::try_from(cmd.output_size.value()).unwrap_or(usize::MAX)),
         );
         self.pending_special_results.push(SpecialResult {
             id: cmd.id,
@@ -1374,8 +1390,10 @@ impl Station {
         // In-flight corruption occasionally garbles the payload.
         let mut received = update.payload.clone();
         if !received.is_empty() && self.rng.bernoulli(0.03) {
-            let idx = self.rng.below(received.len() as u64) as usize;
-            received[idx] ^= 0xFF;
+            let idx = usize::try_from(self.rng.below(received.len() as u64)).unwrap_or(0);
+            if let Some(byte) = received.get_mut(idx) {
+                *byte ^= 0xFF;
+            }
         }
         let digest = md5(&received);
         let hex = to_hex(&digest);

@@ -119,6 +119,7 @@ pub fn threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
+    // glacsweb: allow(determinism, reason = "GLACSWEB_THREADS selects the worker-pool size only; index-ordered result slots make output byte-identical at any thread count (tests/parallel_determinism.rs)")
     if let Ok(v) = std::env::var(THREADS_ENV) {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -126,6 +127,7 @@ pub fn threads() -> usize {
             }
         }
     }
+    // glacsweb: allow(determinism, reason = "host core count sizes the worker pool only; results are independent of thread count by the engine's ordered-slot contract")
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

@@ -7,6 +7,7 @@
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use glacsweb as core;
 pub use glacsweb_env as env;
