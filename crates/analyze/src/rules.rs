@@ -6,11 +6,12 @@
 //! indexing a fixture vector is fine. The scoping mirrors the invariants
 //! the rules protect:
 //!
-//! * **determinism** (sim, env, core, sweep): the sweep engine promises
-//!   byte-identical output at any thread count, and every experiment
-//!   promises same-seed reproducibility. One `HashMap` iteration or one
-//!   wall-clock read silently breaks both.
-//! * **panic-freedom** (station, server, power, faults, link): the paper's
+//! * **determinism** (sim, env, core, sweep, obs): the sweep engine
+//!   promises byte-identical output at any thread count, and every
+//!   experiment promises same-seed reproducibility — including the
+//!   telemetry export. One `HashMap` iteration or one wall-clock read
+//!   silently breaks both.
+//! * **panic-freedom** (station, server, power, faults, link, obs): the paper's
 //!   field lesson is that the deployed system must never die
 //!   unrecoverably; the simulated control paths hold themselves to the
 //!   same bar so that fault-injection campaigns exercise recovery code,
@@ -134,10 +135,12 @@ pub fn classify(rel: &str) -> FileScope {
     }
 }
 
-/// Crates whose library code must be deterministic.
-pub const DETERMINISM_CRATES: &[&str] = &["sim", "env", "core", "sweep"];
+/// Crates whose library code must be deterministic. The obs crate is in
+/// scope because telemetry feeds byte-identity checks: a recorder that
+/// consulted wall time or hashed-by-address maps would break them.
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "env", "core", "sweep", "obs"];
 /// Crates whose library code must be panic-free.
-pub const PANIC_CRATES: &[&str] = &["station", "server", "power", "faults", "link"];
+pub const PANIC_CRATES: &[&str] = &["station", "server", "power", "faults", "link", "obs"];
 
 /// `true` if the numeric-safety rule applies to this file: all of the
 /// power crate's unit math, plus the station's schedule and power-state

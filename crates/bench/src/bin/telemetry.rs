@@ -1,0 +1,116 @@
+//! Telemetry export for the Iceland 2008 deployment.
+//!
+//! Runs the paper's deployment with in-memory recorders installed on the
+//! world and both stations, plus a small observed seed sweep on the
+//! parallel engine, and writes the merged telemetry to `TELEMETRY.json`
+//! (same hand-rolled JSON style as `ANALYSIS.json`).
+//!
+//! ```text
+//! cargo run -p glacsweb-bench --bin telemetry --release -- \
+//!     [--seed N] [--days N] [--threads N] [--out PATH]
+//! ```
+//!
+//! Determinism contract: recorders never consume simulation randomness,
+//! per-sweep-cell recorders are merged in input-index order, and the
+//! export contains no wall-clock times or host facts — so the emitted
+//! file is **byte-identical** for the same seed at any `--threads`
+//! value. CI runs this twice (`--threads 1` vs `--threads 8`) and
+//! `cmp`s the outputs.
+
+use glacsweb::Scenario;
+use glacsweb_obs::{merge_all, MemoryRecorder, Origin};
+
+/// Number of cells in the observed seed sweep.
+const SWEEP_CELLS: u64 = 4;
+
+/// Days each sweep cell simulates (shorter than the main run).
+const SWEEP_DAYS: u64 = 10;
+
+/// The main observed deployment: Iceland 2008, both stations, probes.
+fn run_deployment(seed: u64, days: u64) -> MemoryRecorder {
+    let mut d = Scenario::iceland_2008().seed(seed).observe().build();
+    d.run_days(days);
+    d.telemetry().unwrap_or_default()
+}
+
+/// An observed sweep over neighbouring seeds: each cell records into its
+/// own recorder; the engine merges them in cell order, so the result is
+/// independent of the thread count.
+fn run_sweep(seed: u64, threads: usize) -> (Vec<(u64, u64)>, MemoryRecorder) {
+    let seeds: Vec<u64> = (0..SWEEP_CELLS).map(|i| seed + 1 + i).collect();
+    glacsweb_sweep::run_cells_observed(seeds, threads, |cell_seed| {
+        let mut d = Scenario::iceland_2008().seed(cell_seed).observe().build();
+        d.run_days(SWEEP_DAYS);
+        let windows = d.summary().windows_run;
+        let telemetry = d.telemetry().unwrap_or_default();
+        ((cell_seed, windows), telemetry)
+    })
+}
+
+fn main() {
+    let mut seed = 2008u64;
+    let mut days = 30u64;
+    let mut threads_arg = None;
+    let mut out = String::from("TELEMETRY.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = v.parse().expect("seed must be a number");
+            }
+            "--days" => {
+                let v = args.next().expect("--days needs a value");
+                days = v.parse().expect("days must be a number");
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads_arg = Some(v.parse().expect("thread count must be a number"));
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let threads = glacsweb_sweep::resolve_threads(threads_arg);
+
+    println!("== glacsweb telemetry export (seed {seed}, {days} days) ==");
+    let deployment = run_deployment(seed, days);
+    let (cells, sweep) = run_sweep(seed, threads);
+    for &(cell_seed, windows) in &cells {
+        println!("sweep cell seed {cell_seed}: {windows} windows over {SWEEP_DAYS} days");
+    }
+    // Fixed merge order (main run, then cells in seed order) keeps the
+    // export identical however the cells were scheduled.
+    let merged = merge_all([deployment, sweep]);
+
+    let base = Origin::new("station", "base");
+    let reference = Origin::new("station", "reference");
+    println!(
+        "windows_run: base {} / reference {}",
+        merged.counter_value(base, "windows_run"),
+        merged.counter_value(reference, "windows_run"),
+    );
+    println!(
+        "gprs attach attempts {} (failures {})",
+        merged.counter_value(Origin::new("gprs", "base"), "attach_attempts")
+            + merged.counter_value(Origin::new("gprs", "reference"), "attach_attempts"),
+        merged.counter_value(Origin::new("gprs", "base"), "attach_failures")
+            + merged.counter_value(Origin::new("gprs", "reference"), "attach_failures"),
+    );
+    println!(
+        "probe fetch sessions {} / aborts {}",
+        merged.counter_value(Origin::new("protocol", "base"), "fetch_sessions"),
+        merged.counter_value(Origin::new("protocol", "base"), "fetch_aborts"),
+    );
+    println!(
+        "events kept {} (dropped {})",
+        merged.events().len(),
+        merged.events_dropped(),
+    );
+
+    let json = merged.to_json();
+    std::fs::write(&out, json.as_bytes()).expect("write telemetry JSON");
+    println!("wrote {out}");
+}

@@ -2,6 +2,7 @@
 
 use glacsweb_env::{EnvConfig, Environment};
 use glacsweb_faults::{Fault, FaultPlan, FaultTarget, WindowClass};
+use glacsweb_obs::{Event, MemoryRecorder, NullRecorder, Origin, Recorder};
 use glacsweb_probe::{MortalityModel, ProbeFirmware};
 use glacsweb_server::SouthamptonServer;
 use glacsweb_sim::{Bytes, EventQueue, SimDuration, SimRng, SimTime};
@@ -55,6 +56,7 @@ pub struct DeploymentBuilder {
     mortality: Option<MortalityModel>,
     probe_interval: SimDuration,
     fault_plan: FaultPlan,
+    observe: bool,
 }
 
 impl DeploymentBuilder {
@@ -70,6 +72,7 @@ impl DeploymentBuilder {
             mortality: None,
             probe_interval: SimDuration::from_hours(1),
             fault_plan: FaultPlan::new(),
+            observe: false,
         }
     }
 
@@ -115,6 +118,15 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Installs in-memory telemetry recorders on the world and on every
+    /// station. Recording never consumes simulation randomness, so an
+    /// observed run takes the exact same trajectory as an unobserved one;
+    /// collect the result with [`Deployment::telemetry`].
+    pub fn observe(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
     /// Installs a deterministic fault schedule: every entry activates and
     /// clears as a normal world event, so identical seeds + plans replay
     /// the exact same chaos.
@@ -157,12 +169,20 @@ impl DeploymentBuilder {
                 .map(|m| m.draw_death_time(self.start, &mut probe_rng));
             death_times.push(death);
         }
-        let base = self
+        let mut base = self
             .base
             .map(|c| Station::new(c, self.start, master.fork(0xBA5E).next_u64_raw()));
-        let reference = self
+        let mut reference = self
             .reference
             .map(|c| Station::new(c, self.start, master.fork(0x5EF).next_u64_raw()));
+        let world_obs: Box<dyn Recorder> = if self.observe {
+            for station in [base.as_mut(), reference.as_mut()].into_iter().flatten() {
+                station.set_recorder(Box::new(MemoryRecorder::default()));
+            }
+            Box::new(MemoryRecorder::default())
+        } else {
+            Box::new(NullRecorder)
+        };
 
         let mut queue = EventQueue::new();
         if base.is_some() {
@@ -206,6 +226,7 @@ impl DeploymentBuilder {
             now: self.start,
             metrics: Metrics::new(),
             fault_plan: self.fault_plan,
+            world_obs,
         }
     }
 }
@@ -238,6 +259,8 @@ pub struct Deployment {
     now: SimTime,
     metrics: Metrics,
     fault_plan: FaultPlan,
+    /// World-level telemetry (fault activations, window classes).
+    world_obs: Box<dyn Recorder>,
 }
 
 impl Deployment {
@@ -390,6 +413,31 @@ impl Deployment {
         &self.fault_plan
     }
 
+    /// Takes the accumulated telemetry: the world recorder merged with
+    /// the base and then the reference station's recorder, in that fixed
+    /// order (so the merge is deterministic). Returns `None` unless the
+    /// deployment was built with [`DeploymentBuilder::observe`].
+    pub fn telemetry(&mut self) -> Option<MemoryRecorder> {
+        let mut merged = self.world_obs.take_memory()?;
+        for station in [self.base.as_mut(), self.reference.as_mut()]
+            .into_iter()
+            .flatten()
+        {
+            if let Some(t) = station.take_telemetry() {
+                merged.merge_from(t);
+            }
+        }
+        Some(merged)
+    }
+
+    /// Telemetry origin for world events scoped to one station.
+    fn world_origin(id: StationId) -> Origin {
+        match id {
+            StationId::Base => Origin::new("deployment", "base"),
+            StationId::Reference => Origin::new("deployment", "reference"),
+        }
+    }
+
     fn station_mut(&mut self, id: StationId) -> Option<&mut Station> {
         match id {
             StationId::Base => self.base.as_mut(),
@@ -421,6 +469,15 @@ impl Deployment {
         };
         self.metrics
             .record_fault_on(spec, s.fault.label(), s.target, t);
+        let world = Origin::new("deployment", "world");
+        self.world_obs.counter(t, world, "faults_on", 1);
+        if self.world_obs.enabled() {
+            self.world_obs.event(
+                Event::new(t, world, "fault_on")
+                    .with("fault", s.fault.label())
+                    .with("target", format!("{:?}", s.target)),
+            );
+        }
         let env = &mut self.env;
         let station = match s.target {
             FaultTarget::Base | FaultTarget::Probe(_) => self.base.as_mut(),
@@ -524,6 +581,15 @@ impl Deployment {
         }
         let backlog = self.backlog_of(s.target);
         self.metrics.record_fault_off(spec, t, backlog);
+        let world = Origin::new("deployment", "world");
+        self.world_obs.counter(t, world, "faults_off", 1);
+        if self.world_obs.enabled() {
+            self.world_obs.event(
+                Event::new(t, world, "fault_off")
+                    .with("fault", s.fault.label())
+                    .with("target", format!("{:?}", s.target)),
+            );
+        }
     }
 
     fn handle_tick(&mut self, id: StationId, t: SimTime) {
@@ -594,6 +660,7 @@ impl Deployment {
                     .map(|s| s.store().backlog_bytes())
                     .unwrap_or(Bytes::ZERO);
                 self.metrics.record_fault_window(target, t, class, backlog);
+                self.record_window_class(id, t, class);
                 self.metrics.record_window(report);
             }
             None => {
@@ -602,6 +669,7 @@ impl Deployment {
                     self.metrics
                         .record_fault_window(target, t, WindowClass::Lost, backlog);
                 }
+                self.record_window_class(id, t, WindowClass::Lost);
             }
         }
         // The next window comes from the (possibly rewritten) schedule; an
@@ -611,6 +679,26 @@ impl Deployment {
             .map(|s| s.effective_schedule().next_window(t))
             .unwrap_or_else(|| t.next_time_of_day(12, 0, 0));
         self.queue.push(next, WorldEvent::Window(id));
+    }
+
+    /// Records one window's service classification in the telemetry.
+    fn record_window_class(&mut self, id: StationId, t: SimTime, class: WindowClass) {
+        let origin = Deployment::world_origin(id);
+        let label = match class {
+            WindowClass::Healthy => "healthy",
+            WindowClass::Degraded => "degraded",
+            WindowClass::Lost => "lost",
+        };
+        let counter = match class {
+            WindowClass::Healthy => "windows_healthy",
+            WindowClass::Degraded => "windows_degraded",
+            WindowClass::Lost => "windows_lost",
+        };
+        self.world_obs.counter(t, origin, counter, 1);
+        if self.world_obs.enabled() {
+            self.world_obs
+                .event(Event::new(t, origin, "window_class").with("class", label));
+        }
     }
 
     fn handle_probe_sample(&mut self, t: SimTime) {
@@ -737,6 +825,74 @@ mod tests {
         // each probe holds only the samples taken since midday (< 24),
         // not its full lifetime production (~35).
         assert!(d.probes().iter().all(|p| p.stored_readings() < 30));
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_yields_telemetry() {
+        let mut plain = lab_deployment(42);
+        let mut base = StationConfig::base_2008();
+        base.gprs = GprsConfig::ideal();
+        let mut reference = StationConfig::reference_2008();
+        reference.gprs = GprsConfig::ideal();
+        let mut observed = DeploymentBuilder::new(EnvConfig::lab())
+            .seed(42)
+            .start(SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+            .base(base)
+            .reference(reference)
+            .probes(3)
+            .observe()
+            .build();
+        plain.run_days(5);
+        observed.run_days(5);
+        assert_eq!(
+            plain.summary(),
+            observed.summary(),
+            "recording must not perturb the simulation"
+        );
+        assert!(plain.telemetry().is_none(), "not built with observe()");
+        let telemetry = observed.telemetry().expect("observed");
+        let world_base = Origin::new("deployment", "base");
+        assert_eq!(telemetry.counter_value(world_base, "windows_healthy"), 5);
+        let station_base = Origin::new("station", "base");
+        assert_eq!(telemetry.counter_value(station_base, "windows_run"), 5);
+        assert!(
+            telemetry.counter_value(Origin::new("gprs", "base"), "upload_bytes") > 0,
+            "upload telemetry flowed through the merge"
+        );
+        // Taking the telemetry drains it; the next slice starts fresh.
+        observed.run_days(1);
+        let next = observed.telemetry().expect("still observed");
+        assert_eq!(next.counter_value(station_base, "windows_run"), 1);
+    }
+
+    #[test]
+    fn fault_activations_are_recorded() {
+        let mut base = StationConfig::base_2008();
+        base.gprs = GprsConfig::ideal();
+        let start = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+        let plan = FaultPlan::new().with(glacsweb_faults::FaultSpec {
+            fault: Fault::ServerUnreachable,
+            target: FaultTarget::Server,
+            onset: SimDuration::from_days(1),
+            duration: SimDuration::from_days(2),
+            recurrence: None,
+        });
+        let mut d = DeploymentBuilder::new(EnvConfig::lab())
+            .seed(7)
+            .start(start)
+            .base(base)
+            .fault_plan(plan)
+            .observe()
+            .build();
+        d.run_days(5);
+        let telemetry = d.telemetry().expect("observed");
+        let world = Origin::new("deployment", "world");
+        assert_eq!(telemetry.counter_value(world, "faults_on"), 1);
+        assert_eq!(telemetry.counter_value(world, "faults_off"), 1);
+        assert!(
+            telemetry.events().iter().any(|e| e.name == "fault_on"),
+            "fault activation event present"
+        );
     }
 
     #[test]

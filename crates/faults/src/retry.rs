@@ -1,6 +1,7 @@
 //! Exponential backoff with jitter for the paper's flaky channels.
 
-use glacsweb_sim::{ConfigError, SimDuration, SimRng};
+use glacsweb_obs::{Event, Origin, Recorder};
+use glacsweb_sim::{ConfigError, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A bounded exponential-backoff retry policy.
@@ -120,18 +121,28 @@ impl RetryPolicy {
     /// The nominal (jitter-free) wait before retry `attempt`.
     ///
     /// Attempt 0 — the first try — waits nothing. The wait grows
-    /// geometrically and saturates at [`max_backoff`](Self::max_backoff).
+    /// geometrically and saturates at [`max_backoff`](Self::max_backoff)
+    /// for *any* attempt count: the growth factor can overflow `f64` to
+    /// infinity at large attempts or multipliers, and `0 × ∞` is NaN, so
+    /// anything non-finite (or merely above the cap) is pinned to
+    /// `max_backoff` before it can reach `SimDuration::from_secs_f64`
+    /// (which panics on non-finite input). A zero base backoff stays
+    /// zero no matter the multiplier — it used to surface as the *cap*
+    /// through the NaN path.
     pub fn backoff(&self, attempt: u32) -> SimDuration {
-        if attempt == 0 {
+        if attempt == 0 || self.base_backoff == SimDuration::ZERO {
             return SimDuration::ZERO;
         }
         let base = self.base_backoff.as_secs() as f64;
         let cap = self.max_backoff.as_secs() as f64;
-        let nominal = base
-            * self
-                .multiplier
-                .powi(attempt.saturating_sub(1).min(64) as i32);
-        SimDuration::from_secs_f64(nominal.min(cap))
+        let growth = self
+            .multiplier
+            .powi(attempt.saturating_sub(1).min(64) as i32);
+        let nominal = base * growth;
+        if !nominal.is_finite() || nominal >= cap {
+            return self.max_backoff;
+        }
+        SimDuration::from_secs_f64(nominal)
     }
 
     /// The jittered wait before retry `attempt`: uniform over
@@ -147,6 +158,33 @@ impl RetryPolicy {
         let factor = 1.0 + self.jitter * (2.0 * rng.f64() - 1.0);
         let secs = (nominal.as_secs() as f64 * factor).min(self.max_backoff.as_secs() as f64);
         SimDuration::from_secs_f64(secs.max(0.0))
+    }
+
+    /// [`backoff_jittered`](Self::backoff_jittered), additionally
+    /// recording the attempt and the chosen wait to `obs`: a
+    /// `retry_wait` event (with the operation label), a `retry_attempts`
+    /// counter, and a `retry_wait_secs` histogram observation.
+    pub fn backoff_jittered_observed(
+        &self,
+        attempt: u32,
+        rng: &mut SimRng,
+        at: SimTime,
+        origin: Origin,
+        op: &'static str,
+        obs: &mut dyn Recorder,
+    ) -> SimDuration {
+        let wait = self.backoff_jittered(attempt, rng);
+        if obs.enabled() && attempt > 0 {
+            obs.counter(at, origin, "retry_attempts", 1);
+            obs.observe(origin, "retry_wait_secs", wait.as_secs());
+            obs.event(
+                Event::new(at, origin, "retry_wait")
+                    .with("op", op)
+                    .with("attempt", attempt)
+                    .with("wait_secs", wait.as_secs()),
+            );
+        }
+        wait
     }
 }
 
@@ -222,5 +260,107 @@ mod tests {
         RetryPolicy::gprs_attach().validate().expect("valid");
         RetryPolicy::server_fetch().validate().expect("valid");
         RetryPolicy::none().validate().expect("valid");
+    }
+
+    #[test]
+    fn u32_max_attempt_saturates_at_cap() {
+        let p = RetryPolicy::gprs_attach();
+        assert_eq!(p.backoff(u32::MAX), p.max_backoff);
+        let mut rng = SimRng::seed_from(1);
+        assert!(p.backoff_jittered(u32::MAX, &mut rng) <= p.max_backoff);
+    }
+
+    #[test]
+    fn huge_multiplier_overflow_saturates_not_panics() {
+        let p = RetryPolicy {
+            max_attempts: 9,
+            base_backoff: SimDuration::from_secs(30),
+            multiplier: f64::MAX,
+            max_backoff: SimDuration::from_mins(5),
+            jitter: 0.0,
+        };
+        p.validate().expect("finite multiplier >= 1 is valid");
+        // multiplier^(n-1) overflows to +inf for n >= 3.
+        assert_eq!(p.backoff(5), p.max_backoff);
+        assert_eq!(p.backoff(u32::MAX), p.max_backoff);
+    }
+
+    #[test]
+    fn zero_base_with_huge_multiplier_is_zero_not_cap() {
+        let p = RetryPolicy {
+            max_attempts: 9,
+            base_backoff: SimDuration::ZERO,
+            multiplier: f64::MAX,
+            max_backoff: SimDuration::from_mins(5),
+            jitter: 0.0,
+        };
+        // 0 × ∞ is NaN; `NaN.min(cap)` returns the cap, so the old code
+        // reported a five-minute wait for a policy whose every nominal
+        // wait is zero.
+        assert_eq!(p.backoff(3), SimDuration::ZERO);
+        assert_eq!(p.backoff(u32::MAX), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn observed_backoff_matches_plain_and_records() {
+        use glacsweb_obs::MemoryRecorder;
+        let p = RetryPolicy::gprs_attach();
+        let at = glacsweb_sim::SimTime::from_ymd_hms(2009, 6, 1, 12, 0, 0);
+        let origin = Origin::new("retry", "base");
+        let mut obs = MemoryRecorder::default();
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for attempt in 0..4 {
+            let plain = p.backoff_jittered(attempt, &mut a);
+            let observed =
+                p.backoff_jittered_observed(attempt, &mut b, at, origin, "gprs_attach", &mut obs);
+            assert_eq!(plain, observed, "telemetry must not change the wait");
+        }
+        assert_eq!(obs.counter_value(origin, "retry_attempts"), 3);
+        assert_eq!(obs.events().len(), 3, "attempt 0 records nothing");
+    }
+
+    proptest::proptest! {
+        /// The issue's pin: for ANY attempt count — u32::MAX included —
+        /// the nominal wait saturates at `max_backoff` instead of going
+        /// non-finite.
+        #[test]
+        fn backoff_never_exceeds_cap(
+            base in 0u64..=600,
+            extra in 0u64..=3_600,
+            mult in 1.0f64..1e9,
+            attempt in proptest::prelude::any::<u32>(),
+        ) {
+            let p = RetryPolicy {
+                max_attempts: 5,
+                base_backoff: SimDuration::from_secs(base),
+                multiplier: mult,
+                max_backoff: SimDuration::from_secs(base + extra),
+                jitter: 0.0,
+            };
+            proptest::prop_assert!(p.validate().is_ok());
+            proptest::prop_assert!(p.backoff(attempt) <= p.max_backoff);
+        }
+
+        /// Jitter never pushes a wait above `max_backoff` either.
+        #[test]
+        fn jittered_backoff_never_exceeds_cap(
+            base in 0u64..=600,
+            extra in 0u64..=3_600,
+            mult in 1.0f64..1e9,
+            jitter in 0.0f64..1.0,
+            attempt in proptest::prelude::any::<u32>(),
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let p = RetryPolicy {
+                max_attempts: 5,
+                base_backoff: SimDuration::from_secs(base),
+                multiplier: mult,
+                max_backoff: SimDuration::from_secs(base + extra),
+                jitter,
+            };
+            let mut rng = SimRng::seed_from(seed);
+            proptest::prop_assert!(p.backoff_jittered(attempt, &mut rng) <= p.max_backoff);
+        }
     }
 }

@@ -30,6 +30,18 @@ pub enum LossModel {
         /// Current state (`true` = bad).
         in_bad: bool,
     },
+    /// A deterministic cyclic loss schedule: packet `k` is lost iff bit
+    /// `k mod len` of `bits` is set. Consumes no randomness — built for
+    /// tests that need an exact loss sequence (e.g. pinning the NACK
+    /// protocol's re-request-all threshold boundary).
+    Pattern {
+        /// Loss bits, LSB first.
+        bits: u64,
+        /// Cycle length in `1..=64`.
+        len: u32,
+        /// Position of the next packet within the cycle.
+        idx: u32,
+    },
 }
 
 impl LossModel {
@@ -70,6 +82,30 @@ impl LossModel {
         }
     }
 
+    /// A deterministic cyclic schedule losing exactly the packets whose
+    /// (zero-based) position modulo `pattern.len()` is `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty or longer than 64 packets.
+    pub fn pattern(pattern: &[bool]) -> Self {
+        assert!(
+            !pattern.is_empty() && pattern.len() <= 64,
+            "pattern length {} out of range 1..=64",
+            pattern.len()
+        );
+        let bits = pattern
+            .iter()
+            .enumerate()
+            .filter(|(_, &lost)| lost)
+            .fold(0u64, |acc, (i, _)| acc | (1u64 << i));
+        LossModel::Pattern {
+            bits,
+            len: u32::try_from(pattern.len()).unwrap_or(64),
+            idx: 0,
+        }
+    }
+
     /// Draws whether the next packet is lost.
     pub fn next_lost(&mut self, rng: &mut SimRng) -> bool {
         match self {
@@ -92,6 +128,11 @@ impl LossModel {
                 let p = if *in_bad { *loss_bad } else { *loss_good };
                 rng.bernoulli(p)
             }
+            LossModel::Pattern { bits, len, idx } => {
+                let lost = (*bits >> *idx) & 1 == 1;
+                *idx = (*idx + 1) % (*len).max(1);
+                lost
+            }
         }
     }
 
@@ -108,6 +149,14 @@ impl LossModel {
             } => {
                 let p_bad = p_gb / (p_gb + p_bg);
                 p_bad * loss_bad + (1.0 - p_bad) * loss_good
+            }
+            LossModel::Pattern { bits, len, .. } => {
+                let mask = if *len >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << *len) - 1
+                };
+                f64::from((bits & mask).count_ones()) / f64::from((*len).max(1))
             }
         }
     }
@@ -168,6 +217,27 @@ mod tests {
         }
         let mean_run = runs.iter().map(|&r| f64::from(r)).sum::<f64>() / runs.len() as f64;
         assert!(mean_run < 1.4, "independent losses: mean run {mean_run}");
+    }
+
+    #[test]
+    fn pattern_cycles_and_consumes_no_randomness() {
+        let mut m = LossModel::pattern(&[true, false, false, true]);
+        let mut rng = SimRng::seed_from(3);
+        let mut check = SimRng::seed_from(3);
+        let drawn: Vec<bool> = (0..8).map(|_| m.next_lost(&mut rng)).collect();
+        assert_eq!(
+            drawn,
+            [true, false, false, true, true, false, false, true],
+            "cycles deterministically"
+        );
+        assert_eq!(rng.f64(), check.f64(), "rng untouched");
+        assert!((m.mean_loss() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern length")]
+    fn rejects_empty_pattern() {
+        let _ = LossModel::pattern(&[]);
     }
 
     #[test]

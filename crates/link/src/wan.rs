@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use glacsweb_obs::{Event, Origin, Recorder};
 use glacsweb_sim::{BitsPerSecond, Bytes, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +54,61 @@ pub trait WanLink: fmt::Debug + Send {
     /// failure-coupling: "if the reference station failed in any way then
     /// all communication with the base station would also cease").
     fn set_partner_up(&mut self, _up: bool) {}
+
+    /// [`connect_weathered`](Self::connect_weathered) plus telemetry:
+    /// attach counters, a setup-time histogram, and a `wan_attach` event
+    /// carrying the outcome. Identical link behaviour — the recorder
+    /// only watches.
+    #[allow(clippy::result_large_err)]
+    fn connect_observed(
+        &mut self,
+        weather_multiplier: f64,
+        rng: &mut SimRng,
+        at: SimTime,
+        origin: Origin,
+        obs: &mut dyn Recorder,
+    ) -> Result<SimDuration, SimDuration> {
+        let result = self.connect_weathered(weather_multiplier, rng);
+        if obs.enabled() {
+            obs.counter(at, origin, "attach_attempts", 1);
+            let (ok, spent) = match &result {
+                Ok(d) => (true, *d),
+                Err(d) => (false, *d),
+            };
+            if !ok {
+                obs.counter(at, origin, "attach_failures", 1);
+            }
+            obs.observe(origin, "attach_secs", spent.as_secs());
+            obs.event(
+                Event::new(at, origin, "wan_attach")
+                    .with("link", self.label())
+                    .with("ok", ok)
+                    .with("spent_secs", spent.as_secs()),
+            );
+        }
+        result
+    }
+
+    /// [`transfer`](Self::transfer) plus telemetry: bytes-sent and
+    /// session-drop counters under `origin`.
+    fn transfer_observed(
+        &mut self,
+        size: Bytes,
+        budget: SimDuration,
+        rng: &mut SimRng,
+        at: SimTime,
+        origin: Origin,
+        obs: &mut dyn Recorder,
+    ) -> TransferOutcome {
+        let out = self.transfer(size, budget, rng);
+        if obs.enabled() {
+            obs.counter(at, origin, "wan_bytes_sent", out.sent.value());
+            if out.dropped {
+                obs.counter(at, origin, "wan_session_drops", 1);
+            }
+        }
+        out
+    }
 }
 
 impl WanLink for GprsLink {
@@ -291,6 +347,35 @@ mod tests {
         assert!(wan.is_connected());
         wan.set_partner_up(false);
         assert!(!wan.is_connected(), "session dies with the partner");
+    }
+
+    #[test]
+    fn observed_attach_matches_plain_and_records_outcomes() {
+        use glacsweb_obs::MemoryRecorder;
+        let cfg = GprsConfig::field();
+        let origin = Origin::new("gprs", "base");
+        let mut plain = GprsLink::new(cfg.clone());
+        let mut observed = GprsLink::new(cfg);
+        let mut rng_a = SimRng::seed_from(12);
+        let mut rng_b = SimRng::seed_from(12);
+        let mut obs = MemoryRecorder::default();
+        let mut failures = 0u64;
+        for i in 0..20 {
+            let t = noon() + SimDuration::from_mins(i);
+            let a = plain.connect_weathered(2.0, &mut rng_a);
+            let b = observed.connect_observed(2.0, &mut rng_b, t, origin, &mut obs);
+            assert_eq!(a, b, "telemetry must not change link behaviour");
+            if b.is_err() {
+                failures += 1;
+            } else {
+                observed.disconnect();
+                plain.disconnect();
+            }
+        }
+        assert_eq!(obs.counter_value(origin, "attach_attempts"), 20);
+        assert_eq!(obs.counter_value(origin, "attach_failures"), failures);
+        assert!(failures > 0, "field config fails sometimes at 2x weather");
+        assert_eq!(obs.events().len(), 20);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Deterministic observability for the Glacsweb reproduction.
+//!
+//! The paper's hardest lesson (§V) is that the 2008 field failures — the
+//! individual-fetch abort, the RTC reset, the dGPS desync — were only
+//! understood *after* the season because the deployed system reported
+//! almost nothing about its own behaviour. This crate is the telemetry
+//! layer the deployment lacked: a [`Recorder`] sink for structured
+//! events, counters, gauges, and fixed-bucket histograms, threaded
+//! through the station controller, the NACK protocol, the retry policy,
+//! the GPRS link, and the server override logic.
+//!
+//! # Determinism contract
+//!
+//! Telemetry is part of the simulation's reproducibility surface, so the
+//! same rules apply as everywhere else in the workspace:
+//!
+//! * **Sim time only.** Every record is timestamped with
+//!   [`glacsweb_sim::SimTime`]; wall clocks (`Instant`/`SystemTime`) are
+//!   banned here by the `glacsweb-analyze` determinism rule.
+//! * **Ordered storage.** [`MemoryRecorder`] keeps everything in `Vec`s
+//!   and `BTreeMap`s — iteration order (and therefore JSON byte order)
+//!   never depends on hashing or process state.
+//! * **Deterministic merge.** [`MemoryRecorder::merge_from`] is a pure
+//!   fold; merging per-cell recorders in input-index order produces
+//!   byte-identical [`MemoryRecorder::to_json`] output at any thread
+//!   count (asserted by `glacsweb-sweep`'s tests).
+//! * **Zero-cost default.** [`NullRecorder`] reports
+//!   [`Recorder::enabled`]` == false` and drops everything, so hot paths
+//!   guard event construction and pay nothing when telemetry is off.
+//!
+//! # Example
+//!
+//! ```
+//! use glacsweb_obs::{Event, MemoryRecorder, Origin, Recorder};
+//! use glacsweb_sim::SimTime;
+//!
+//! let t = SimTime::from_ymd_hms(2009, 6, 1, 12, 0, 0);
+//! let origin = Origin::new("station", "base");
+//! let mut rec = MemoryRecorder::default();
+//! rec.counter(t, origin, "windows_run", 1);
+//! if rec.enabled() {
+//!     rec.event(Event::new(t, origin, "state_transition").with("from", 3u64).with("to", 2u64));
+//! }
+//! assert!(rec.to_json().starts_with("{\n  \"schema\": \"glacsweb-obs/1\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memory;
+
+pub use memory::{merge_all, Histogram, MemoryRecorder, BUCKET_BOUNDS, DEFAULT_EVENT_CAPACITY};
+
+use std::fmt;
+
+use glacsweb_sim::SimTime;
+
+/// Where a telemetry record came from: a component scoped to a station.
+///
+/// Both halves are `&'static str` so records are cheap to build and the
+/// pair is `Copy`; the derived `Ord` keys the [`MemoryRecorder`] maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Origin {
+    /// Subsystem label, e.g. `"station"`, `"gprs"`, `"protocol"`,
+    /// `"retry"`, `"server"`, or `"deployment"` for world-level records.
+    pub component: &'static str,
+    /// Station scope: `"base"`, `"reference"`, or `"world"` for records
+    /// not attributable to a single station.
+    pub station: &'static str,
+}
+
+impl Origin {
+    /// Creates an origin from a component and a station label.
+    pub const fn new(component: &'static str, station: &'static str) -> Self {
+        Origin { component, station }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.component, self.station)
+    }
+}
+
+/// A dynamically-typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values serialise as JSON `null`.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short free-form text (state names, fault labels, outcomes).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(u64::try_from(v).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured telemetry event: a named occurrence at a sim-time
+/// instant with ordered key/value fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When the event happened, in simulated time.
+    pub at: SimTime,
+    /// Which component/station emitted it.
+    pub origin: Origin,
+    /// Event name, e.g. `"state_transition"` or `"fault_on"`.
+    pub name: &'static str,
+    /// Ordered fields; insertion order is preserved into the JSON.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Creates an event with no fields.
+    pub fn new(at: SimTime, origin: Origin, name: &'static str) -> Self {
+        Event {
+            at,
+            origin,
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field, fluently.
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+}
+
+/// A sink for telemetry records.
+///
+/// Implementations must be deterministic: same record sequence in, same
+/// state out. The two shipped sinks are [`NullRecorder`] (drops
+/// everything, `enabled() == false`) and [`MemoryRecorder`] (accumulates
+/// everything and exports `TELEMETRY.json`).
+///
+/// Call-site pattern for anything that allocates to describe itself:
+///
+/// ```ignore
+/// if obs.enabled() {
+///     obs.event(Event::new(now, origin, "fault_on").with("fault", fault.label()));
+/// }
+/// ```
+pub trait Recorder: fmt::Debug + Send {
+    /// `false` for sinks that drop everything — hot paths use this to
+    /// skip building event payloads entirely.
+    fn enabled(&self) -> bool;
+
+    /// Records a structured event.
+    fn event(&mut self, event: Event);
+
+    /// Adds `delta` to the counter `name` under `origin`, and to the
+    /// per-civil-day rollup for `at.date()`.
+    fn counter(&mut self, at: SimTime, origin: Origin, name: &'static str, delta: u64);
+
+    /// Sets the gauge `name` under `origin`; the chronologically latest
+    /// write wins (ties resolved in favour of the later write).
+    fn gauge(&mut self, at: SimTime, origin: Origin, name: &'static str, value: f64);
+
+    /// Records `value` into the fixed-bucket histogram `name` under
+    /// `origin` (bucket bounds: [`BUCKET_BOUNDS`]).
+    fn observe(&mut self, origin: Origin, name: &'static str, value: u64);
+
+    /// Takes the accumulated in-memory telemetry out of the recorder,
+    /// leaving it empty. `None` for sinks that keep nothing.
+    fn take_memory(&mut self) -> Option<MemoryRecorder> {
+        None
+    }
+}
+
+/// A recorder handle pre-scoped with the instant and origin every record
+/// should carry — collapses the `(at, origin, obs)` argument triple at
+/// instrumented call sites.
+#[derive(Debug)]
+pub struct Scope<'a> {
+    /// Timestamp applied to every record made through this scope.
+    pub at: SimTime,
+    /// Origin applied to every record made through this scope.
+    pub origin: Origin,
+    /// The underlying sink.
+    pub obs: &'a mut dyn Recorder,
+}
+
+impl<'a> Scope<'a> {
+    /// Scopes `obs` to one instant and origin.
+    pub fn new(at: SimTime, origin: Origin, obs: &'a mut dyn Recorder) -> Self {
+        Scope { at, origin, obs }
+    }
+
+    /// A scope over a throwaway [`NullRecorder`] — what un-instrumented
+    /// delegating APIs pass to their observed counterparts.
+    pub fn null(obs: &'a mut NullRecorder) -> Self {
+        Scope {
+            at: SimTime::EPOCH,
+            origin: Origin::new("null", "null"),
+            obs,
+        }
+    }
+
+    /// Whether the underlying sink keeps anything.
+    pub fn enabled(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// Starts an event at this scope's instant and origin (finish with
+    /// [`Event::with`] and hand it to [`Scope::emit`]).
+    pub fn make(&self, name: &'static str) -> Event {
+        Event::new(self.at, self.origin, name)
+    }
+
+    /// Records a fully-built event.
+    pub fn emit(&mut self, event: Event) {
+        self.obs.event(event);
+    }
+
+    /// Adds to a counter at this scope's instant and origin.
+    pub fn counter(&mut self, name: &'static str, delta: u64) {
+        self.obs.counter(self.at, self.origin, name, delta);
+    }
+
+    /// Sets a gauge at this scope's instant and origin.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.obs.gauge(self.at, self.origin, name, value);
+    }
+
+    /// Records a histogram observation at this scope's origin.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.obs.observe(self.origin, name, value);
+    }
+}
+
+/// The zero-cost default recorder: drops every record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn event(&mut self, _event: Event) {}
+
+    fn counter(&mut self, _at: SimTime, _origin: Origin, _name: &'static str, _delta: u64) {}
+
+    fn gauge(&mut self, _at: SimTime, _origin: Origin, _name: &'static str, _value: f64) {}
+
+    fn observe(&mut self, _origin: Origin, _name: &'static str, _value: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd_hms(2009, 6, 1, 12, 0, 0)
+    }
+
+    #[test]
+    fn origin_displays_component_at_station() {
+        assert_eq!(Origin::new("gprs", "base").to_string(), "gprs@base");
+    }
+
+    #[test]
+    fn event_builder_preserves_field_order() {
+        let e = Event::new(t0(), Origin::new("station", "base"), "x")
+            .with("b", 2u64)
+            .with("a", 1u64);
+        let keys: Vec<&str> = e.fields.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, ["b", "a"], "insertion order, not sorted");
+    }
+
+    #[test]
+    fn value_from_conversions() {
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".to_string()));
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_keeps_nothing() {
+        let mut n = NullRecorder;
+        assert!(!n.enabled());
+        n.event(Event::new(t0(), Origin::new("a", "b"), "e"));
+        n.counter(t0(), Origin::new("a", "b"), "c", 5);
+        n.gauge(t0(), Origin::new("a", "b"), "g", 1.5);
+        n.observe(Origin::new("a", "b"), "h", 10);
+        assert!(n.take_memory().is_none());
+    }
+}

@@ -16,6 +16,7 @@
 use std::collections::BTreeSet;
 
 use glacsweb_link::{LossModel, ProbeRadioLink};
+use glacsweb_obs::{NullRecorder, Scope};
 use glacsweb_sim::{ConfigError, SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,14 @@ impl ProtocolConfig {
                 "protocol",
                 "max_rounds",
                 "max_rounds must be non-zero",
+            ));
+        }
+        if self.individual_fetch_limit == Some(0) {
+            return Err(ConfigError::new(
+                "protocol",
+                "individual_fetch_limit",
+                "a zero limit aborts every session that enters the individual \
+                 phase with anything missing; use None for no limit",
             ));
         }
         Ok(())
@@ -185,6 +194,23 @@ impl FetchSession {
         self.run_with_model(probe, link, &mut model, budget, rng)
     }
 
+    /// [`run`](Self::run) with per-round NACK progress recorded through
+    /// `scope`: bulk rounds and their misses, individual fetch counts,
+    /// aborts, and session/packet counters. The protocol itself is
+    /// unchanged — the recorder only watches.
+    pub fn run_observed(
+        &mut self,
+        probe: &mut ProbeFirmware,
+        link: &ProbeRadioLink,
+        loss_p: f64,
+        budget: SimDuration,
+        rng: &mut SimRng,
+        scope: &mut Scope<'_>,
+    ) -> FetchOutcome {
+        let mut model = LossModel::bernoulli(loss_p);
+        self.run_with_model_observed(probe, link, &mut model, budget, rng, scope)
+    }
+
     /// Runs one daily session with an explicit loss model — used to study
     /// how bursty through-ice fading (melt channels opening and closing)
     /// affects the NACK design versus independent loss.
@@ -196,7 +222,24 @@ impl FetchSession {
         budget: SimDuration,
         rng: &mut SimRng,
     ) -> FetchOutcome {
+        let mut null = NullRecorder;
+        let mut scope = Scope::null(&mut null);
+        self.run_with_model_observed(probe, link, loss, budget, rng, &mut scope)
+    }
+
+    /// [`run_with_model`](Self::run_with_model) plus telemetry (see
+    /// [`run_observed`](Self::run_observed)).
+    pub fn run_with_model_observed(
+        &mut self,
+        probe: &mut ProbeFirmware,
+        link: &ProbeRadioLink,
+        loss: &mut LossModel,
+        budget: SimDuration,
+        rng: &mut SimRng,
+        scope: &mut Scope<'_>,
+    ) -> FetchOutcome {
         self.sessions_run += 1;
+        scope.counter("fetch_sessions", 1);
         let mut elapsed = SimDuration::ZERO;
         let mut packets = 0u64;
         let before = self.received_seqs.len();
@@ -239,6 +282,8 @@ impl FetchSession {
             }
         }
         let Some((first, last)) = manifest else {
+            scope.counter("fetch_no_contact", 1);
+            scope.counter("protocol_packets", packets);
             return done(self, elapsed, packets, 0, 0, false, false, true);
         };
 
@@ -253,6 +298,8 @@ impl FetchSession {
             if !loss.next_lost(rng) {
                 probe.confirm_complete_up_to(last);
             }
+            scope.counter("fetch_complete", 1);
+            scope.counter("protocol_packets", packets);
             return done(self, elapsed, packets, 0, 0, true, false, false);
         }
 
@@ -288,6 +335,15 @@ impl FetchSession {
                 if !first_bulk_done {
                     first_bulk_done = true;
                     missing_after_bulk = want.len();
+                    scope.counter("bulk_misses", missing_after_bulk as u64);
+                }
+                if scope.enabled() {
+                    let event = scope
+                        .make("bulk_round")
+                        .with("probe", self.probe_id)
+                        .with("sent", n)
+                        .with("missing", want.len());
+                    scope.emit(event);
                 }
                 // Decide the next phase exactly as §V describes.
                 let missing_fraction = want.len() as f64 / total_wanted as f64;
@@ -299,6 +355,16 @@ impl FetchSession {
                 if let Some(limit) = self.config.individual_fetch_limit {
                     if want.len() > limit {
                         // The deployed code path fell over here (§V).
+                        scope.counter("fetch_aborts", 1);
+                        scope.counter("protocol_packets", packets);
+                        if scope.enabled() {
+                            let event = scope
+                                .make("fetch_abort")
+                                .with("probe", self.probe_id)
+                                .with("pending", want.len())
+                                .with("limit", limit);
+                            scope.emit(event);
+                        }
                         return done(
                             self,
                             elapsed,
@@ -314,6 +380,7 @@ impl FetchSession {
                 let per_fetch = link.packet_time() * 2;
                 let fit = (remaining_budget.as_secs() / per_fetch.as_secs().max(1)) as usize;
                 let chunk: Vec<u64> = want.iter().copied().take(fit.max(1)).collect();
+                scope.counter("individual_fetches", chunk.len() as u64);
                 for seq in chunk {
                     elapsed += per_fetch;
                     packets += 2;
@@ -347,7 +414,9 @@ impl FetchSession {
             if !loss.next_lost(rng) {
                 probe.confirm_complete_up_to(last);
             }
+            scope.counter("fetch_complete", 1);
         }
+        scope.counter("protocol_packets", packets);
         done(
             self,
             elapsed,
@@ -742,5 +811,127 @@ mod tests {
             ..ProtocolConfig::fixed()
         };
         let _ = FetchSession::new(21, bad);
+    }
+
+    #[test]
+    fn rejects_zero_individual_fetch_limit() {
+        // A zero limit would abort any session entering the individual
+        // phase with even one reading missing — not the §V behaviour
+        // (which deployed with 300) and never a useful configuration.
+        let bad = ProtocolConfig {
+            individual_fetch_limit: Some(0),
+            ..ProtocolConfig::fixed()
+        };
+        let err = bad.validate().expect_err("Some(0) must be rejected");
+        assert_eq!(err.field(), "individual_fetch_limit");
+        // Regression guard: both presets still validate.
+        ProtocolConfig::deployed_2008()
+            .validate()
+            .expect("deployed_2008 is valid");
+        ProtocolConfig::fixed().validate().expect("fixed is valid");
+        ProtocolConfig::default()
+            .validate()
+            .expect("default is valid");
+    }
+
+    /// A loss model for the threshold-boundary tests: the 2-packet
+    /// handshake survives, then exactly 4 of the 8 bulk packets are
+    /// lost, making the missing fraction exactly 0.5.
+    fn half_loss_pattern() -> LossModel {
+        LossModel::pattern(&[
+            false, false, // query + manifest arrive
+            true, false, true, false, true, false, true, false, // 4 of 8 bulk packets lost
+        ])
+    }
+
+    #[test]
+    fn threshold_boundary_equal_fraction_goes_individual() {
+        // Doc contract: the protocol re-requests everything only if the
+        // missing fraction *exceeds* the threshold. A fraction exactly
+        // equal to it therefore enters the individual phase — observable
+        // here because the 4 pending fetches trip a limit of 3 and abort.
+        let (mut probe, mut rng) = probe_with_backlog(8);
+        let link = ProbeRadioLink::new();
+        let config = ProtocolConfig {
+            rerequest_all_threshold: 0.5,
+            individual_fetch_limit: Some(3),
+            max_rounds: 6,
+        };
+        let mut session = FetchSession::new(21, config);
+        let mut loss = half_loss_pattern();
+        let out = session.run_with_model(&mut probe, &link, &mut loss, generous_budget(), &mut rng);
+        assert_eq!(out.missing_after_bulk, 4, "pattern lost exactly half");
+        assert!(
+            out.aborted,
+            "fraction == threshold does not exceed it, so the session went individual"
+        );
+        assert_eq!(out.missing_after, 4);
+    }
+
+    #[test]
+    fn threshold_boundary_exceeding_fraction_rerequests_all() {
+        // Same loss sequence, threshold a hair lower: 0.5 now *exceeds*
+        // it, so the next round stays bulk and the abort never happens.
+        let (mut probe, mut rng) = probe_with_backlog(8);
+        let link = ProbeRadioLink::new();
+        let config = ProtocolConfig {
+            rerequest_all_threshold: 0.49,
+            individual_fetch_limit: Some(3),
+            max_rounds: 6,
+        };
+        let mut session = FetchSession::new(21, config);
+        let mut loss = half_loss_pattern();
+        let out = session.run_with_model(&mut probe, &link, &mut loss, generous_budget(), &mut rng);
+        assert_eq!(out.missing_after_bulk, 4, "same first bulk round");
+        assert!(
+            !out.aborted,
+            "fraction above the threshold re-requests all instead of going individual"
+        );
+        assert!(out.new_readings > 4, "bulk re-request delivered more");
+    }
+
+    #[test]
+    fn observed_session_matches_plain_and_records_progress() {
+        use glacsweb_obs::{MemoryRecorder, Origin, Recorder};
+        let origin = Origin::new("protocol", "base");
+        let at = SimTime::from_ymd_hms(2009, 6, 1, 12, 0, 0);
+        let link = ProbeRadioLink::new();
+
+        let (mut probe_a, mut rng_a) = probe_with_backlog(3000);
+        let mut plain = FetchSession::new(21, ProtocolConfig::deployed_2008());
+        let expect = plain.run(&mut probe_a, &link, 0.134, generous_budget(), &mut rng_a);
+
+        let (mut probe_b, mut rng_b) = probe_with_backlog(3000);
+        let mut observed = FetchSession::new(21, ProtocolConfig::deployed_2008());
+        let mut obs = MemoryRecorder::default();
+        let out = {
+            let mut scope = Scope::new(at, origin, &mut obs);
+            observed.run_observed(
+                &mut probe_b,
+                &link,
+                0.134,
+                generous_budget(),
+                &mut rng_b,
+                &mut scope,
+            )
+        };
+        assert_eq!(out, expect, "telemetry must not change the protocol");
+        assert!(out.aborted, "the §V abort fires in this scenario");
+        assert_eq!(obs.counter_value(origin, "fetch_sessions"), 1);
+        assert_eq!(obs.counter_value(origin, "fetch_aborts"), 1);
+        assert_eq!(
+            obs.counter_value(origin, "bulk_misses"),
+            out.missing_after_bulk as u64
+        );
+        assert_eq!(obs.counter_value(origin, "protocol_packets"), out.packets);
+        assert!(
+            obs.events().iter().any(|e| e.name == "fetch_abort"),
+            "abort event recorded"
+        );
+        assert!(
+            obs.events().iter().any(|e| e.name == "bulk_round"),
+            "bulk rounds recorded"
+        );
+        let _ = obs.enabled();
     }
 }

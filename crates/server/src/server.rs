@@ -1,5 +1,6 @@
 //! The composed server implementing the stations' [`Uplink`] contract.
 
+use glacsweb_obs::Event;
 use glacsweb_sim::CivilDate;
 use glacsweb_station::{CodeUpdate, PowerState, SpecialCommand, StationId, Uplink, UploadItem};
 use serde::{Deserialize, Serialize};
@@ -153,6 +154,38 @@ impl Uplink for SouthamptonServer {
         self.states.override_for(for_station)
     }
 
+    fn fetch_override_observed(
+        &mut self,
+        for_station: StationId,
+        scope: &mut glacsweb_obs::Scope<'_>,
+    ) -> Option<PowerState> {
+        let decision = self.fetch_override(for_station);
+        scope.counter("override_fetches", 1);
+        if scope.enabled() {
+            // The server sees both inputs of the §III min rule — record
+            // them next to the decision so a surprising override can be
+            // explained from the telemetry alone.
+            let level = |s: Option<PowerState>| s.map(|s| u64::from(s.level()));
+            let opt = |event: Event, key, v: Option<u64>| match v {
+                Some(n) => event.with(key, n),
+                None => event.with(key, "none"),
+            };
+            let mut event = scope.make("override_decision");
+            event = event.with("for", format!("{for_station:?}"));
+            event = opt(event, "own", level(self.states.last_reported(for_station)));
+            event = opt(
+                event,
+                "other",
+                level(self.states.last_reported(for_station.other())),
+            );
+            event = opt(event, "manual_cap", level(self.states.manual_cap()));
+            event = event.with("reachable", !self.unreachable);
+            event = opt(event, "decision", level(decision));
+            scope.emit(event);
+        }
+        decision
+    }
+
     fn fetch_special(&mut self, for_station: StationId) -> Option<SpecialCommand> {
         if self.unreachable {
             return None;
@@ -240,6 +273,43 @@ mod tests {
         assert!(page.contains("override -> state 1"));
         assert!(page.contains("manual cap active"));
         assert!(page.contains("48 sensor samples"));
+    }
+
+    #[test]
+    fn observed_override_matches_plain_and_records_both_inputs() {
+        use glacsweb_obs::{MemoryRecorder, Origin, Scope, Value};
+
+        let mut s = SouthamptonServer::new();
+        s.upload_power_state(StationId::Base, today(), PowerState::S3);
+        s.upload_power_state(StationId::Reference, today(), PowerState::S1);
+        s.states_mut().set_manual_cap(Some(PowerState::S2));
+
+        let mut rec = MemoryRecorder::default();
+        let origin = Origin::new("server", "base");
+        let at = SimTime::from_ymd_hms(2009, 9, 22, 12, 5, 0);
+        let mut scope = Scope::new(at, origin, &mut rec);
+        let observed = s.fetch_override_observed(StationId::Base, &mut scope);
+        assert_eq!(observed, s.fetch_override(StationId::Base));
+        assert_eq!(observed, Some(PowerState::S1));
+
+        assert_eq!(rec.counter_value(origin, "override_fetches"), 1);
+        let event = rec
+            .events()
+            .iter()
+            .find(|e| e.name == "override_decision")
+            .expect("decision event recorded");
+        let field = |key: &str| {
+            event
+                .fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field("own"), Some(Value::U64(3)));
+        assert_eq!(field("other"), Some(Value::U64(1)));
+        assert_eq!(field("manual_cap"), Some(Value::U64(2)));
+        assert_eq!(field("reachable"), Some(Value::Bool(true)));
+        assert_eq!(field("decision"), Some(Value::U64(1)));
     }
 
     #[test]

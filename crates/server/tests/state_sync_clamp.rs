@@ -1,0 +1,129 @@
+//! Focused clamp-rule suite for the §III state synchronisation.
+//!
+//! The server half ([`StateSync`]) computes the override; the station
+//! half (`PolicyTable::apply_override`) clamps it against the local
+//! battery reality. These tests pin the composed contract:
+//!
+//! 1. the override is the minimum of both stations' reports,
+//! 2. a manual cap lowers but never raises the override,
+//! 3. the effective state never exceeds what the local battery allows,
+//! 4. the server can never force a station into state 0.
+
+use glacsweb_server::StateSync;
+use glacsweb_sim::{CivilDate, SimTime};
+use glacsweb_station::{PolicyTable, PowerState, StationId};
+
+fn date(d: u32) -> CivilDate {
+    SimTime::from_ymd_hms(2009, 9, d, 12, 0, 0).date()
+}
+
+/// A synchroniser with both stations reported and an optional cap.
+fn sync_with(own: PowerState, other: PowerState, cap: Option<PowerState>) -> StateSync {
+    let mut s = StateSync::new();
+    s.report(StationId::Base, date(22), own);
+    s.report(StationId::Reference, date(22), other);
+    s.set_manual_cap(cap);
+    s
+}
+
+#[test]
+fn override_is_min_of_both_reports_for_every_pair() {
+    for own in PowerState::ALL {
+        for other in PowerState::ALL {
+            let s = sync_with(own, other, None);
+            assert_eq!(
+                s.override_for(StationId::Base),
+                Some(own.min(other)),
+                "own={own} other={other}"
+            );
+            assert_eq!(
+                s.override_for(StationId::Reference),
+                Some(own.min(other)),
+                "symmetric: both stations see the same minimum"
+            );
+        }
+    }
+}
+
+#[test]
+fn manual_cap_caps_but_never_raises_for_every_combination() {
+    for own in PowerState::ALL {
+        for other in PowerState::ALL {
+            let uncapped = own.min(other);
+            for cap in PowerState::ALL {
+                let s = sync_with(own, other, Some(cap));
+                let capped = s.override_for(StationId::Base).expect("both reported");
+                assert_eq!(
+                    capped,
+                    uncapped.min(cap),
+                    "own={own} other={other} cap={cap}"
+                );
+                assert!(capped <= uncapped, "a cap can only lower");
+            }
+        }
+    }
+}
+
+#[test]
+fn effective_state_never_exceeds_local_battery_allowance() {
+    let policy = PolicyTable::paper();
+    for own in PowerState::ALL {
+        for other in PowerState::ALL {
+            for cap in [None, Some(PowerState::S0), Some(PowerState::S2)] {
+                let s = sync_with(own, other, cap);
+                let remote = s.override_for(StationId::Base);
+                // `own` doubles as the locally computed state: the report
+                // a station uploads IS its battery-derived local state.
+                let effective = policy.apply_override(own, remote);
+                assert!(
+                    effective <= own,
+                    "own={own} other={other} cap={cap:?}: \
+                     override must never raise past the battery allowance"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn server_can_never_force_state_zero() {
+    let policy = PolicyTable::paper();
+    for local in [PowerState::S1, PowerState::S2, PowerState::S3] {
+        for other in PowerState::ALL {
+            for cap in [None, Some(PowerState::S0)] {
+                let s = sync_with(local, other, cap);
+                let remote = s.override_for(StationId::Base);
+                let effective = policy.apply_override(local, remote);
+                assert_ne!(
+                    effective,
+                    PowerState::S0,
+                    "local={local} other={other} cap={cap:?}: a station \
+                     that can communicate must stay in a state that does"
+                );
+            }
+        }
+    }
+    // Only a locally dead battery yields state 0 — and then it stands
+    // regardless of what the server says.
+    let s = sync_with(PowerState::S0, PowerState::S3, Some(PowerState::S0));
+    let remote = s.override_for(StationId::Base);
+    assert_eq!(
+        policy.apply_override(PowerState::S0, remote),
+        PowerState::S0
+    );
+}
+
+#[test]
+fn missing_partner_report_yields_local_fallback() {
+    let policy = PolicyTable::paper();
+    let mut s = StateSync::new();
+    s.report(StationId::Base, date(22), PowerState::S2);
+    // Reference never reported: no override is offered, so the local
+    // state stands (the paper's fail-safe for a failed fetch).
+    let remote = s.override_for(StationId::Base);
+    assert_eq!(remote, None);
+    assert_eq!(
+        policy.apply_override(PowerState::S2, remote),
+        PowerState::S2
+    );
+}

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use glacsweb_env::Environment;
 use glacsweb_hw::{BaseSensors, CfCard, DGps, Gumstix, Msp430, Watchdog};
 use glacsweb_link::{DataCostMeter, GprsConfig, GprsLink, RelayWanLink, WanLink};
+use glacsweb_obs::{MemoryRecorder, NullRecorder, Origin, Recorder, Scope};
 use glacsweb_power::{Charger, LeadAcidBattery, MainsCharger, PowerRail, SolarPanel, WindTurbine};
 use glacsweb_probe::{FetchSession, ProbeFirmware, ProbeId};
 use glacsweb_sim::{
@@ -259,6 +260,10 @@ pub struct Station {
     drift_sign: f64,
     last_drift_update: SimTime,
     powered: bool,
+    /// Telemetry sink — the zero-cost [`NullRecorder`] unless a
+    /// deployment installs a [`MemoryRecorder`]. Recording never draws
+    /// from `rng`, so installing one cannot change behaviour.
+    obs: Box<dyn Recorder>,
     windows_run: u64,
     windows_cut: u64,
     recoveries: u64,
@@ -351,6 +356,7 @@ impl Station {
             clock_error_secs: 0.0,
             drift_sign: if is_base { 1.0 } else { -0.7 },
             powered: true,
+            obs: Box::new(NullRecorder),
             windows_run: 0,
             windows_cut: 0,
             recoveries: 0,
@@ -401,6 +407,33 @@ impl Station {
     /// Total MSP430 power losses (battery exhaustions).
     pub fn power_losses(&self) -> u64 {
         self.msp.power_losses()
+    }
+
+    /// Installs a telemetry recorder. The default is the zero-cost
+    /// [`NullRecorder`]; recording never consumes simulation randomness,
+    /// so swapping recorders cannot change what the station does.
+    pub fn set_recorder(&mut self, obs: Box<dyn Recorder>) {
+        self.obs = obs;
+    }
+
+    /// Takes the accumulated in-memory telemetry (if the installed
+    /// recorder keeps any), leaving an empty recorder of the same kind
+    /// behind.
+    pub fn take_telemetry(&mut self) -> Option<MemoryRecorder> {
+        self.obs.take_memory()
+    }
+
+    /// Telemetry station label for [`Origin`] scoping.
+    fn station_label(&self) -> &'static str {
+        match self.config.id {
+            StationId::Base => "base",
+            StationId::Reference => "reference",
+        }
+    }
+
+    /// The station-component telemetry origin.
+    fn origin(&self) -> Origin {
+        Origin::new("station", self.station_label())
     }
 
     /// `true` while the supply can run the MSP430.
@@ -475,11 +508,23 @@ impl Station {
                 self.wan.disconnect();
             }
             self.powered = false;
+            let mut scope = Scope::new(to, self.origin(), self.obs.as_mut());
+            scope.counter("power_losses", 1);
+            if scope.enabled() {
+                let event = scope.make("power_loss");
+                scope.emit(event);
+            }
         } else if !self.powered && self.rail.battery().state_of_charge() >= RESTART_SOC {
             // External charging revived the supply (§IV).
             self.msp.power_restored(to);
             self.rail.loads_mut().set_on(loads::MSP430, true);
             self.powered = true;
+            let mut scope = Scope::new(to, self.origin(), self.obs.as_mut());
+            scope.counter("power_restores", 1);
+            if scope.enabled() {
+                let event = scope.make("power_restored");
+                scope.emit(event);
+            }
         }
     }
 
@@ -564,6 +609,7 @@ impl Station {
             return None;
         }
         self.windows_run += 1;
+        self.obs.counter(t, self.origin(), "windows_run", 1);
         self.wan.advance_clock(t);
         let wd = Watchdog::start(t, self.config.controller.watchdog_limit);
         let mut report = self.blank_report(t);
@@ -687,7 +733,7 @@ impl Station {
                     }
                 }
                 report.applied_state = PowerState::S0;
-                self.write_schedule(PowerState::S0);
+                self.write_schedule(PowerState::S0, now);
                 break 'window;
             }
 
@@ -752,7 +798,10 @@ impl Station {
                 {
                     self.advance(env, now + CONTROL_EXCHANGE);
                     now += CONTROL_EXCHANGE;
-                    report.override_state = uplink.fetch_override(self.config.id);
+                    let server_origin = Origin::new("server", self.station_label());
+                    let mut scope = Scope::new(now, server_origin, self.obs.as_mut());
+                    report.override_state =
+                        uplink.fetch_override_observed(self.config.id, &mut scope);
                 }
 
                 // 9. Deployed ordering: special last (the §VI lesson).
@@ -778,7 +827,7 @@ impl Station {
                 .config
                 .policy
                 .apply_override(report.local_state, report.override_state);
-            self.write_schedule(report.applied_state);
+            self.write_schedule(report.applied_state, now);
         }
 
         if wd.expired(now) {
@@ -949,6 +998,7 @@ impl Station {
                 "recovery",
                 "RTC reset detected; re-synced from GPS; schedule -> state 0",
             );
+            self.record_recovery(*now, "gps");
             return RecoveryOutcome::RecoveredViaGps;
         }
         if rc.ntp_fallback {
@@ -970,6 +1020,7 @@ impl Station {
                         "recovery",
                         "re-synced via NTP fallback",
                     );
+                    self.record_recovery(*now, "ntp");
                     return RecoveryOutcome::RecoveredViaNtp;
                 }
             }
@@ -980,7 +1031,23 @@ impl Station {
             "recovery",
             "no time fix; sleeping a day",
         );
+        let mut scope = Scope::new(*now, self.origin(), self.obs.as_mut());
+        scope.counter("recovery_failures", 1);
+        if scope.enabled() {
+            let event = scope.make("recovery_failed");
+            scope.emit(event);
+        }
         RecoveryOutcome::SleepAndRetry
+    }
+
+    /// Records a successful §IV RTC-reset recovery through the telemetry.
+    fn record_recovery(&mut self, at: SimTime, via: &'static str) {
+        let mut scope = Scope::new(at, self.origin(), self.obs.as_mut());
+        scope.counter("recoveries", 1);
+        if scope.enabled() {
+            let event = scope.make("recovery").with("via", via);
+            scope.emit(event);
+        }
     }
 
     fn step_probe_jobs(
@@ -1004,6 +1071,7 @@ impl Station {
         }
         let loss = env.probe_packet_loss();
         let link = glacsweb_link::ProbeRadioLink::new();
+        let protocol_origin = Origin::new("protocol", self.station_label());
         for probe in probes.iter_mut() {
             if wd.expired(*now) {
                 return true;
@@ -1015,7 +1083,8 @@ impl Station {
                 .entry(probe.id())
                 .or_insert_with(|| FetchSession::new(probe.id(), protocol));
             self.rail.loads_mut().set_on(loads::PROBE_RADIO, true);
-            let out = session.run(probe, &link, loss, budget, &mut self.rng);
+            let mut scope = Scope::new(*now, protocol_origin, self.obs.as_mut());
+            let out = session.run_observed(probe, &link, loss, budget, &mut self.rng, &mut scope);
             let delivered = session.drain_delivered();
             self.advance(env, *now + out.elapsed);
             *now += out.elapsed;
@@ -1170,11 +1239,21 @@ impl Station {
         // and a fault-injected degradation multiplies on top.
         let weather = (1.0 + env.melt_index()) * self.gprs_degradation;
         let policy = self.config.controller.attach_retry;
+        let retry_origin = Origin::new("retry", self.station_label());
+        let wan_origin = Origin::new("gprs", self.station_label());
         for attempt in 0..policy.max_attempts {
             if attempt > 0 {
                 // Back off (modem powered down) before retrying, never
                 // past the watchdog deadline.
-                let wait = wd.cap(*now, policy.backoff_jittered(attempt, &mut self.rng));
+                let chosen = policy.backoff_jittered_observed(
+                    attempt,
+                    &mut self.rng,
+                    *now,
+                    retry_origin,
+                    "gprs_attach",
+                    self.obs.as_mut(),
+                );
+                let wait = wd.cap(*now, chosen);
                 if wait > SimDuration::ZERO {
                     self.advance(env, *now + wait);
                     *now += wait;
@@ -1184,7 +1263,13 @@ impl Station {
                 return false;
             }
             self.rail.loads_mut().set_on(self.wan_load, true);
-            match self.wan.connect_weathered(weather, &mut self.rng) {
+            match self.wan.connect_observed(
+                weather,
+                &mut self.rng,
+                *now,
+                wan_origin,
+                self.obs.as_mut(),
+            ) {
                 Ok(setup) => {
                     self.advance(env, *now + setup);
                     *now += setup;
@@ -1227,9 +1312,18 @@ impl Station {
         uplink: &dyn Uplink,
     ) -> bool {
         let policy = self.config.controller.fetch_retry;
+        let retry_origin = Origin::new("retry", self.station_label());
         for attempt in 0..policy.max_attempts {
             if attempt > 0 {
-                let wait = wd.cap(*now, policy.backoff_jittered(attempt, &mut self.rng));
+                let chosen = policy.backoff_jittered_observed(
+                    attempt,
+                    &mut self.rng,
+                    *now,
+                    retry_origin,
+                    "server_fetch",
+                    self.obs.as_mut(),
+                );
+                let wait = wd.cap(*now, chosen);
                 if wait > SimDuration::ZERO {
                     self.advance(env, *now + wait);
                     *now += wait;
@@ -1291,6 +1385,11 @@ impl Station {
             );
             self.advance(env, *now + r.elapsed);
             *now += r.elapsed;
+            let wan_origin = Origin::new("gprs", self.station_label());
+            let mut scope = Scope::new(*now, wan_origin, self.obs.as_mut());
+            scope.counter("upload_files", r.files_completed as u64);
+            scope.counter("upload_bytes", r.bytes_sent.value());
+            scope.counter("upload_session_drops", u64::from(r.session_drops));
             report.upload.files_completed += r.files_completed;
             report.upload.bytes_sent += r.bytes_sent;
             report.upload.elapsed += r.elapsed;
@@ -1419,8 +1518,18 @@ impl Station {
         wd.expired(*now)
     }
 
-    fn write_schedule(&mut self, state: PowerState) {
+    fn write_schedule(&mut self, state: PowerState, now: SimTime) {
+        let prev = self.current_state();
         self.msp.write_schedule(Schedule::standard(state));
+        let mut scope = Scope::new(now, self.origin(), self.obs.as_mut());
+        scope.counter("schedule_writes", 1);
+        if scope.enabled() && prev != state {
+            let event = scope
+                .make("state_transition")
+                .with("from", u64::from(prev.level()))
+                .with("to", u64::from(state.level()));
+            scope.emit(event);
+        }
     }
 
     fn next_file_name(&mut self, dir: &str, ext: &str) -> String {
@@ -1438,6 +1547,12 @@ impl Station {
         report.cut_by_watchdog = cut;
         if cut {
             self.windows_cut += 1;
+            let mut scope = Scope::new(now, self.origin(), self.obs.as_mut());
+            scope.counter("watchdog_cuts", 1);
+            if scope.enabled() {
+                let event = scope.make("watchdog_cut");
+                scope.emit(event);
+            }
             self.log.record(
                 now,
                 TraceLevel::Error,
@@ -1552,6 +1667,69 @@ mod tests {
         assert_eq!(server.states.len(), 1);
         assert!(!server.items.is_empty(), "sensor + log files arrived");
         assert_eq!(station.stats().0, 1);
+    }
+
+    #[test]
+    fn recording_telemetry_does_not_change_behaviour() {
+        let start = SimTime::from_ymd_hms(2009, 2, 1, 0, 0, 0);
+        let mut rng = SimRng::seed_from(5);
+        let mut probe_plain = ProbeFirmware::deploy(21, start, &mut rng);
+        let mut probe_obs = probe_plain.clone();
+        let (mut env_plain, mut plain) = lab_station(start);
+        let (mut env_obs, mut observed) = lab_station(start);
+        observed.set_recorder(Box::new(glacsweb_obs::MemoryRecorder::default()));
+        let mut t = start;
+        for _ in 0..200 {
+            t += SimDuration::from_hours(1);
+            env_plain.advance_to(t);
+            env_obs.advance_to(t);
+            let mut sample_rng = SimRng::seed_from(99);
+            probe_plain.sample(&env_plain, t, &mut sample_rng);
+            let mut sample_rng = SimRng::seed_from(99);
+            probe_obs.sample(&env_obs, t, &mut sample_rng);
+        }
+        let window_at = t.next_time_of_day(12, 0, 0);
+        let mut server_plain = FakeServer::default();
+        let mut server_obs = FakeServer::default();
+        let report_plain = plain
+            .on_window(
+                &mut env_plain,
+                window_at,
+                std::slice::from_mut(&mut probe_plain),
+                &mut server_plain,
+            )
+            .expect("runs");
+        let report_obs = observed
+            .on_window(
+                &mut env_obs,
+                window_at,
+                std::slice::from_mut(&mut probe_obs),
+                &mut server_obs,
+            )
+            .expect("runs");
+        assert_eq!(
+            report_plain, report_obs,
+            "telemetry must not consume randomness or change control flow"
+        );
+        assert!(
+            plain.take_telemetry().is_none(),
+            "null recorder keeps nothing"
+        );
+        let telemetry = observed.take_telemetry().expect("memory recorder");
+        let station_origin = Origin::new("station", "base");
+        assert_eq!(telemetry.counter_value(station_origin, "windows_run"), 1);
+        assert_eq!(
+            telemetry.counter_value(station_origin, "schedule_writes"),
+            1
+        );
+        assert_eq!(
+            telemetry.counter_value(Origin::new("protocol", "base"), "fetch_sessions"),
+            1
+        );
+        assert!(
+            telemetry.counter_value(Origin::new("gprs", "base"), "attach_attempts") >= 1,
+            "the window attached at least once"
+        );
     }
 
     #[test]

@@ -125,6 +125,29 @@ pub trait Uplink {
     /// two stations' reported states (§III).
     fn fetch_override(&mut self, for_station: StationId) -> Option<PowerState>;
 
+    /// [`fetch_override`](Self::fetch_override) plus telemetry: the
+    /// decision (or its absence) is recorded through `scope`.
+    /// Implementations with visibility into both inputs (the real
+    /// Southampton server) override this to record them alongside the
+    /// decision; the default records just the outcome.
+    fn fetch_override_observed(
+        &mut self,
+        for_station: StationId,
+        scope: &mut glacsweb_obs::Scope<'_>,
+    ) -> Option<PowerState> {
+        let decision = self.fetch_override(for_station);
+        scope.counter("override_fetches", 1);
+        if scope.enabled() {
+            let mut event = scope.make("override_decision");
+            event = match decision {
+                Some(state) => event.with("state", u64::from(state.level())),
+                None => event.with("state", "none"),
+            };
+            scope.emit(event);
+        }
+        decision
+    }
+
     /// Fetches the next staged special command, if any.
     fn fetch_special(&mut self, for_station: StationId) -> Option<SpecialCommand>;
 

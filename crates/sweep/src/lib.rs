@@ -36,6 +36,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use glacsweb_obs::MemoryRecorder;
+
 /// Environment variable consulted by [`threads`] when no explicit
 /// override is active.
 pub const THREADS_ENV: &str = "GLACSWEB_THREADS";
@@ -108,6 +110,30 @@ where
                 .expect("every claimed cell stores a result")
         })
         .collect()
+}
+
+/// [`run_cells`] for observed cells: each cell returns its result plus
+/// a per-cell [`MemoryRecorder`], and the recorders are merged in
+/// input-index order after the fan-out completes.
+///
+/// Because every cell records into its own recorder and the merge
+/// order is the cell order (never completion order), the merged
+/// telemetry — including its JSON export — is **byte-identical for any
+/// thread count**, the same contract `run_cells` gives the results.
+pub fn run_cells_observed<T, R, F>(cells: Vec<T>, threads: usize, f: F) -> (Vec<R>, MemoryRecorder)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> (R, MemoryRecorder) + Sync,
+{
+    let pairs = run_cells(cells, threads, f);
+    let mut results = Vec::with_capacity(pairs.len());
+    let mut merged = MemoryRecorder::default();
+    for (result, recorder) in pairs {
+        results.push(result);
+        merged.merge_from(recorder);
+    }
+    (results, merged)
 }
 
 /// Resolves the worker-pool size for this thread.
@@ -234,6 +260,43 @@ mod tests {
     fn override_beats_environment() {
         // No env mutation: the thread-local override simply wins.
         assert_eq!(with_threads(9, threads), 9);
+    }
+
+    #[test]
+    fn observed_merge_is_byte_identical_across_thread_counts() {
+        use glacsweb_obs::{Event, Origin, Recorder};
+        use glacsweb_sim::{SimDuration, SimTime};
+
+        let run = |threads: usize| {
+            let cells: Vec<u64> = (0..40).collect();
+            run_cells_observed(cells, threads, |i| {
+                let mut rec = MemoryRecorder::default();
+                let at =
+                    SimTime::from_ymd_hms(2009, 6, 1, 12, 0, 0) + SimDuration::from_secs(i * 60);
+                let origin = Origin::new("sweep", if i.is_multiple_of(2) { "even" } else { "odd" });
+                rec.counter(at, origin, "cells_done", 1);
+                rec.observe(origin, "cell_index", i);
+                rec.event(Event::new(at, origin, "cell_done").with("i", i));
+                (i.wrapping_mul(31), rec)
+            })
+        };
+        let (serial_results, serial_telemetry) = run(1);
+        let serial_json = serial_telemetry.to_json();
+        for threads in [2, 4, 8] {
+            let (results, telemetry) = run(threads);
+            assert_eq!(serial_results, results, "threads={threads}");
+            assert_eq!(
+                serial_json,
+                telemetry.to_json(),
+                "merged telemetry must be byte-identical at threads={threads}"
+            );
+        }
+        // The merge really accumulated across cells.
+        assert_eq!(
+            serial_telemetry.counter_value(Origin::new("sweep", "even"), "cells_done"),
+            20
+        );
+        assert_eq!(serial_telemetry.events().len(), 40);
     }
 
     #[test]
