@@ -33,6 +33,8 @@ pub enum RuleId {
     PanicFreedom,
     /// Truncating casts / float equality in unit math.
     NumericSafety,
+    /// Allocation-happy constructs in per-substep hot paths.
+    PerfHygiene,
     /// Missing mandatory crate-level attributes.
     CrateHygiene,
     /// Malformed or unused suppression ledger entries.
@@ -46,16 +48,18 @@ impl RuleId {
             RuleId::Determinism => "determinism",
             RuleId::PanicFreedom => "panic-freedom",
             RuleId::NumericSafety => "numeric-safety",
+            RuleId::PerfHygiene => "perf-hygiene",
             RuleId::CrateHygiene => "crate-hygiene",
             RuleId::SuppressionHygiene => "suppression-hygiene",
         }
     }
 
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 6] = [
         RuleId::Determinism,
         RuleId::PanicFreedom,
         RuleId::NumericSafety,
+        RuleId::PerfHygiene,
         RuleId::CrateHygiene,
         RuleId::SuppressionHygiene,
     ];
@@ -78,6 +82,10 @@ impl RuleId {
             }
             RuleId::NumericSafety => {
                 "no integer `as` casts or float `==` in battery/power/schedule math"
+            }
+            RuleId::PerfHygiene => {
+                "no `format!`, `.collect::<Vec<_>>()`, or `.clone()` in the \
+                 env/power/event-scheduling hot paths"
             }
             RuleId::CrateHygiene => {
                 "every crate must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]"
@@ -149,6 +157,18 @@ pub fn numeric_scope(rel: &str) -> bool {
     rel.starts_with("crates/power/src/")
         || rel == "crates/station/src/schedule.rs"
         || rel == "crates/station/src/power_state.rs"
+}
+
+/// `true` if the perf-hygiene rule applies to this file: the modules the
+/// O(events) kernel rewrite made allocation-free, where every substep of
+/// every simulated half-hour executes. A stray `format!` or defensive
+/// `.clone()` here is a per-tick heap allocation that whole-run
+/// throughput hides until it has already regressed.
+pub fn perf_scope(rel: &str) -> bool {
+    rel.starts_with("crates/env/src/")
+        || rel.starts_with("crates/power/src/")
+        || rel == "crates/sim/src/event.rs"
+        || rel == "crates/sim/src/wheel.rs"
 }
 
 fn in_scope(scope: &FileScope, crates: &[&str]) -> bool {
@@ -303,6 +323,7 @@ pub fn check_tokens(rel: &str, toks: &[Tok], mask: &[bool]) -> Vec<Finding> {
     let determinism = in_scope(&scope, DETERMINISM_CRATES);
     let panic_free = in_scope(&scope, PANIC_CRATES);
     let numeric = scope.is_lib && numeric_scope(rel);
+    let perf = scope.is_lib && perf_scope(rel);
 
     for (i, t) in toks.iter().enumerate() {
         if mask[i] {
@@ -399,6 +420,51 @@ pub fn check_tokens(rel: &str, toks: &[Tok], mask: &[bool]) -> Vec<Finding> {
                             .to_string(),
                     );
                 }
+            }
+        }
+
+        if perf {
+            // `format!(...)` — a fresh String per call.
+            if t.is_ident("format") && next.is_some_and(|n| n.is_punct("!")) {
+                push(
+                    &mut out,
+                    RuleId::PerfHygiene,
+                    t.line,
+                    "`format!` allocates a String on every substep; precompute \
+                     the text or write into a reused buffer"
+                        .to_string(),
+                );
+            }
+            // `.collect::<Vec<...>>` — materializing an iterator.
+            if t.is_punct(".")
+                && next.is_some_and(|n| n.is_ident("collect"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 3).is_some_and(|n| n.is_punct("<"))
+                && toks.get(i + 4).is_some_and(|n| n.is_ident("Vec"))
+            {
+                push(
+                    &mut out,
+                    RuleId::PerfHygiene,
+                    toks[i + 1].line,
+                    "`.collect::<Vec<_>>()` materializes a fresh Vec; fold the \
+                     iterator directly or reuse a scratch buffer"
+                        .to_string(),
+                );
+            }
+            // `.clone()` — exact method name, so `.cloned()` on iterators
+            // does not fire.
+            if t.is_punct(".")
+                && next.is_some_and(|n| n.is_ident("clone"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            {
+                push(
+                    &mut out,
+                    RuleId::PerfHygiene,
+                    toks[i + 1].line,
+                    "`.clone()` in a hot path copies per substep; borrow, \
+                     Copy, or hoist the copy out of the loop"
+                        .to_string(),
+                );
             }
         }
 

@@ -176,6 +176,67 @@ fn numeric_safety_allows_float_casts_epsilon_compares_and_other_files() {
     );
 }
 
+// ---------------------------------------------------------------- perf-hygiene
+
+#[test]
+fn perf_hygiene_fires_on_format_collect_and_clone_in_hot_paths() {
+    let src = "fn f(x: u32, v: &[String]) -> Vec<String> {\n    let s = format!(\"{x}\");\n    let c = v.first().map(|t| t.clone());\n    v.iter().map(|t| t.to_uppercase()).collect::<Vec<_>>()\n}\n";
+    assert_eq!(fire("crates/env/src/fake.rs", src, RuleId::PerfHygiene), 3);
+    assert_eq!(
+        fire("crates/power/src/fake.rs", src, RuleId::PerfHygiene),
+        3
+    );
+    assert_eq!(fire("crates/sim/src/event.rs", src, RuleId::PerfHygiene), 3);
+    assert_eq!(fire("crates/sim/src/wheel.rs", src, RuleId::PerfHygiene), 3);
+}
+
+#[test]
+fn perf_hygiene_allows_cloned_iterators_and_annotated_collect() {
+    // `.cloned()` / `.clone_from()` are not `.clone()`, and a `collect()`
+    // without the Vec turbofish is the caller's choice of container.
+    let benign =
+        "fn f(v: &[u32]) -> Vec<u32> { let out: Vec<u32> = v.iter().cloned().collect(); out }\n";
+    assert_eq!(
+        fire("crates/env/src/fake.rs", benign, RuleId::PerfHygiene),
+        0
+    );
+}
+
+#[test]
+fn perf_hygiene_exempts_cold_files_tests_and_bins() {
+    let src = "fn f(x: u32) -> String { format!(\"{x}\") }\n";
+    // Out of the hot-path scope entirely.
+    assert_eq!(
+        fire("crates/station/src/fake.rs", src, RuleId::PerfHygiene),
+        0
+    );
+    assert_eq!(fire("crates/sim/src/units.rs", src, RuleId::PerfHygiene), 0);
+    // Bins and tests are never lib scope.
+    assert_eq!(
+        fire("crates/env/src/bin/fake.rs", src, RuleId::PerfHygiene),
+        0
+    );
+    assert_eq!(
+        fire("crates/env/tests/fake.rs", src, RuleId::PerfHygiene),
+        0
+    );
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn f(x: u32) -> String { format!(\"{x}\") }\n}\n";
+    assert_eq!(
+        fire("crates/env/src/fake.rs", in_test, RuleId::PerfHygiene),
+        0
+    );
+}
+
+#[test]
+fn perf_hygiene_suppression_ledger_applies() {
+    let src = "fn f(x: u32) -> String {\n    // glacsweb: allow(perf-hygiene, reason = \"error path, runs once\")\n    format!(\"{x}\")\n}\n";
+    let (findings, sups) = analyze_source("crates/power/src/fake.rs", src);
+    assert!(findings
+        .iter()
+        .all(|f| f.suppressed || f.rule != RuleId::PerfHygiene));
+    assert!(sups.iter().all(|s| s.used));
+}
+
 // --------------------------------------------------------------- crate-hygiene
 
 #[test]

@@ -76,7 +76,7 @@ fn json_report_is_parseable_and_consistent() {
     let Some(Value::Seq(rules)) = get("rules") else {
         panic!("rules array missing");
     };
-    assert_eq!(rules.len(), 5);
+    assert_eq!(rules.len(), 6);
     let Some(Value::Map(summary)) = get("summary") else {
         panic!("summary missing");
     };

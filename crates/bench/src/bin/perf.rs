@@ -1,44 +1,77 @@
-//! Throughput baseline: single-run simulation speed and sweep-engine
-//! scaling, written to `BENCH_PERF.json`.
+//! Throughput baseline: single-run simulation speed, sweep-engine
+//! scaling, and a kernel-component breakdown, **appended** to the
+//! committed `BENCH_PERF.json` history.
 //!
 //! ```text
 //! cargo run -p glacsweb-bench --bin perf --release -- \
-//!     [--days N] [--cells K] [--threads N] [--out PATH]
+//!     [--days N] [--cells K] [--threads N] [--repeat R] \
+//!     [--label S] [--out PATH] [--check]
 //! ```
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! 1. **Single-run hot path** — one standard two-station deployment with
 //!    probes over `--days` simulated days, reported as sim-days/second.
+//!    With `--repeat R` the run executes `R` times and the fastest wins
+//!    (shared machines jitter upward, never downward).
 //! 2. **Sweep throughput** — `--cells` independent deployment cells run
-//!    serially (one thread) and then on the resolved thread count
-//!    (`--threads`, `GLACSWEB_THREADS`, or the machine's parallelism),
-//!    reported as cells/second each plus the speedup ratio.
+//!    serially and then on the resolved thread count (`--threads`,
+//!    `GLACSWEB_THREADS`, or the machine's parallelism), reported as
+//!    cells/second each plus the speedup ratio. The parallel pass
+//!    re-checks that its per-cell results equal the serial pass bit for
+//!    bit — the sweep engine's determinism contract — and aborts loudly
+//!    if they ever diverge.
+//! 3. **Kernel breakdown** — where a simulated minute goes: the
+//!    environment tick loop, the power-rail integration (charge-taper
+//!    solve included), event-wheel scheduling, and metrics reduction,
+//!    each timed in isolation.
 //!
-//! The parallel pass re-checks that its per-cell results equal the serial
-//! pass bit for bit — the sweep engine's determinism contract — and
-//! aborts loudly if they ever diverge.
+//! # The committed history
+//!
+//! `BENCH_PERF.json` holds an **array** of schema-versioned records, one
+//! per `perf` invocation, oldest first. Appending rather than overwriting
+//! is what keeps kernel-rewrite claims auditable: the pre-rewrite entry
+//! stays in the file next to the post-rewrite entry. A legacy schema-1
+//! file holding a single bare object is absorbed as the first record.
+//!
+//! # The CI regression gate
+//!
+//! `--check` runs only the single-run measurement and compares it against
+//! the **last committed record** in `--out`: the process exits non-zero
+//! when fresh throughput drops more than 20 % below that baseline. For a
+//! knowingly-slower change, set `GLACSWEB_BENCH_ALLOW_REGRESSION=1` in
+//! the job environment — the check still prints the regression, it just
+//! stops failing the build — and append a fresh baseline record in the
+//! same PR so the next gate measures against reality.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use glacsweb::DeploymentBuilder;
-use glacsweb_env::EnvConfig;
+use glacsweb_env::{EnvConfig, Environment};
 use glacsweb_link::GprsConfig;
-use glacsweb_sim::SimTime;
+use glacsweb_power::{Charger, LeadAcidBattery, PowerRail, SolarPanel, WindTurbine};
+use glacsweb_sim::{AmpHours, EventWheel, SimDuration, SimTime, Watts};
 use glacsweb_station::StationConfig;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
-/// The `BENCH_PERF.json` schema.
+/// Schema version stamped on each appended record.
+const SCHEMA: u64 = 2;
+
+/// One `BENCH_PERF.json` record.
 #[derive(Serialize)]
-struct PerfReport {
+struct PerfRecord {
+    schema: u64,
+    label: String,
     single_run: SingleRun,
     sweep: Sweep,
+    kernel: Kernel,
 }
 
 #[derive(Serialize)]
 struct SingleRun {
     days: u64,
+    repeats: u64,
     seconds: f64,
     sim_days_per_sec: f64,
 }
@@ -55,18 +88,41 @@ struct Sweep {
     speedup: f64,
 }
 
+/// Component timings over the single run's horizon: where a simulated
+/// minute actually goes.
+#[derive(Serialize)]
+struct Kernel {
+    /// Environment tick loop alone (`Environment::advance_to`).
+    env_advance_secs: f64,
+    /// Power-rail integration over a pre-advanced environment: charger
+    /// evaluation, charge-taper solve, battery step, and metering.
+    rail_advance_secs: f64,
+    /// One million event-wheel pushes (with interleaved pops) on the
+    /// deployment's tick pattern — two stations sharing each instant.
+    wheel_ops_secs: f64,
+    /// Metrics reduction of a finished run (`Deployment::summary`).
+    metrics_secs: f64,
+}
+
 /// Days of the single-run measurement.
 const DEFAULT_DAYS: u64 = 60;
 /// Cells in the sweep measurement.
 const DEFAULT_CELLS: usize = 8;
 /// Days each sweep cell simulates.
 const CELL_DAYS: u64 = 20;
+/// Tolerated single-run slowdown before `--check` fails the build.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+/// Environment override that downgrades a `--check` failure to a warning.
+const OVERRIDE_VAR: &str = "GLACSWEB_BENCH_ALLOW_REGRESSION";
 
 struct Args {
     days: u64,
     cells: usize,
     threads: Option<usize>,
+    repeat: u64,
+    label: String,
     out: String,
+    check: bool,
 }
 
 fn parse(mut argv: impl Iterator<Item = String>) -> Args {
@@ -74,7 +130,10 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Args {
         days: DEFAULT_DAYS,
         cells: DEFAULT_CELLS,
         threads: None,
+        repeat: 3,
+        label: "local".to_string(),
         out: "BENCH_PERF.json".to_string(),
+        check: false,
     };
     while let Some(arg) = argv.next() {
         let mut value = |flag: &str| {
@@ -85,10 +144,25 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Args {
             "--days" => args.days = value("--days").parse().expect("--days must be a number"),
             "--cells" => args.cells = value("--cells").parse().expect("--cells must be a number"),
             "--threads" => {
-                args.threads = Some(value("--threads").parse().expect("--threads must be a number"))
+                args.threads = Some(
+                    value("--threads")
+                        .parse()
+                        .expect("--threads must be a number"),
+                )
             }
+            "--repeat" => {
+                args.repeat = value("--repeat")
+                    .parse()
+                    .expect("--repeat must be a number");
+                assert!(args.repeat >= 1, "--repeat must be at least 1");
+            }
+            "--label" => args.label = value("--label"),
             "--out" => args.out = value("--out"),
-            other => panic!("unknown argument {other:?}; perf [--days N] [--cells K] [--threads N] [--out PATH]"),
+            "--check" => args.check = true,
+            other => panic!(
+                "unknown argument {other:?}; perf [--days N] [--cells K] [--threads N] \
+                 [--repeat R] [--label S] [--out PATH] [--check]"
+            ),
         }
     }
     args
@@ -111,18 +185,153 @@ fn run_cell(seed: u64, days: u64) -> (u64, u64, u32) {
     (s.windows_run, s.data_uploaded.value(), s.dgps_fixes as u32)
 }
 
+/// Fastest of `repeat` single runs, with the (identical) fingerprint.
+fn measure_single(days: u64, repeat: u64) -> (f64, (u64, u64, u32)) {
+    let mut best = f64::INFINITY;
+    let mut fingerprint = (0, 0, 0);
+    for _ in 0..repeat {
+        let started = Instant::now();
+        fingerprint = run_cell(2009, days);
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (best, fingerprint)
+}
+
+/// Component timings in isolation (see [`Kernel`]).
+fn measure_kernel(days: u64) -> Kernel {
+    let t0 = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+    let end = t0 + SimDuration::from_days(days);
+
+    // Environment tick loop.
+    let mut env = Environment::new(EnvConfig::vatnajokull(), 7);
+    env.advance_to(t0);
+    let started = Instant::now();
+    env.advance_to(end);
+    let env_advance_secs = started.elapsed().as_secs_f64();
+
+    // Rail integration over the pre-advanced environment, with the base
+    // station's charger set and an always-on controller load.
+    let mut rail = PowerRail::new(LeadAcidBattery::with_state(AmpHours(36.0), 0.9), t0);
+    rail.add_charger(Charger::Solar(SolarPanel::new(Watts(10.0))));
+    rail.add_charger(Charger::Wind(WindTurbine::new(Watts(50.0))));
+    rail.loads_mut().add("msp430", Watts::from_milliwatts(5.0));
+    rail.loads_mut().set_on("msp430", true);
+    let started = Instant::now();
+    let mut t = t0;
+    while t < end {
+        t += SimDuration::from_mins(30);
+        rail.advance(&env, t);
+    }
+    let rail_advance_secs = started.elapsed().as_secs_f64();
+
+    // Event-wheel scheduling at the deployment's tick pattern.
+    let started = Instant::now();
+    let mut wheel = EventWheel::new();
+    let mut t = t0;
+    for i in 0u64..1_000_000 {
+        wheel.push(t, i);
+        if i % 2 == 1 {
+            // Two stations share each instant, then the bucket drains.
+            let _ = wheel.pop();
+            let _ = wheel.pop();
+            t += SimDuration::from_mins(30);
+        }
+    }
+    assert!(wheel.is_empty());
+    let wheel_ops_secs = started.elapsed().as_secs_f64();
+
+    // Metrics reduction of a finished (short) run.
+    let mut base = StationConfig::base_2008();
+    base.gprs = GprsConfig::field();
+    let mut d = DeploymentBuilder::new(EnvConfig::vatnajokull())
+        .seed(2009)
+        .start(t0)
+        .base(base)
+        .reference(StationConfig::reference_2008())
+        .probes(4)
+        .build();
+    d.run_days(days.min(10));
+    let started = Instant::now();
+    let summary = d.summary();
+    assert!(summary.windows_run > 0);
+    let metrics_secs = started.elapsed().as_secs_f64();
+
+    Kernel {
+        env_advance_secs,
+        rail_advance_secs,
+        wheel_ops_secs,
+        metrics_secs,
+    }
+}
+
+/// Parses `path` as the record history: an array of records, a single
+/// legacy (schema-1) object, or nothing.
+fn read_history(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match serde_json::from_str::<Value>(&text) {
+        Ok(Value::Seq(records)) => records,
+        Ok(legacy @ Value::Map(_)) => vec![legacy],
+        _ => panic!("{path} exists but is not a JSON array or object"),
+    }
+}
+
+/// The baseline sim-days/sec: the last record's single-run throughput.
+fn baseline_sim_days_per_sec(history: &[Value]) -> Option<f64> {
+    history
+        .last()?
+        .get("single_run")?
+        .get("sim_days_per_sec")?
+        .as_f64()
+}
+
 fn main() {
     let args = parse(std::env::args().skip(1));
+
+    if args.check {
+        let history = read_history(&args.out);
+        let Some(baseline) = baseline_sim_days_per_sec(&history) else {
+            eprintln!(
+                "--check needs at least one committed record in {}",
+                args.out
+            );
+            std::process::exit(1);
+        };
+        let (secs, fingerprint) = measure_single(args.days, args.repeat);
+        let fresh = args.days as f64 / secs;
+        let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+        println!(
+            "bench-perf check: fresh {fresh:.1} sim-days/sec vs baseline {baseline:.1} \
+             (floor {floor:.1}, summary {fingerprint:?})"
+        );
+        if fresh < floor {
+            if std::env::var(OVERRIDE_VAR).is_ok() {
+                println!(
+                    "REGRESSION ({:.0} % below baseline) — allowed by {OVERRIDE_VAR}; \
+                     append a fresh baseline record in this PR",
+                    (1.0 - fresh / baseline) * 100.0
+                );
+            } else {
+                eprintln!(
+                    "REGRESSION: {fresh:.1} sim-days/sec is more than {:.0} % below the \
+                     committed baseline {baseline:.1}; set {OVERRIDE_VAR}=1 to override",
+                    REGRESSION_TOLERANCE * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let threads = glacsweb_sweep::resolve_threads(args.threads);
 
     // 1. Single-run hot path.
-    let started = Instant::now();
-    let fingerprint = run_cell(2009, args.days);
-    let single_secs = started.elapsed().as_secs_f64();
+    let (single_secs, fingerprint) = measure_single(args.days, args.repeat);
     let sim_days_per_sec = args.days as f64 / single_secs;
     println!(
-        "single run: {} sim days in {:.2}s = {:.1} sim-days/sec (summary {:?})",
-        args.days, single_secs, sim_days_per_sec, fingerprint
+        "single run: {} sim days in {:.3}s (best of {}) = {:.1} sim-days/sec (summary {:?})",
+        args.days, single_secs, args.repeat, sim_days_per_sec, fingerprint
     );
 
     // 2. Sweep throughput, serial then parallel over identical cells.
@@ -153,9 +362,22 @@ fn main() {
         speedup,
     );
 
-    let json = PerfReport {
+    // 3. Kernel breakdown.
+    let kernel = measure_kernel(args.days);
+    println!(
+        "kernel: env {:.3}s, rail {:.3}s, wheel {:.3}s, metrics {:.4}s",
+        kernel.env_advance_secs,
+        kernel.rail_advance_secs,
+        kernel.wheel_ops_secs,
+        kernel.metrics_secs,
+    );
+
+    let record = PerfRecord {
+        schema: SCHEMA,
+        label: args.label,
         single_run: SingleRun {
             days: args.days,
+            repeats: args.repeat,
             seconds: single_secs,
             sim_days_per_sec,
         },
@@ -169,14 +391,17 @@ fn main() {
             parallel_cells_per_sec,
             speedup,
         },
+        kernel,
     };
+    let mut history = read_history(&args.out);
+    history.push(record.to_value());
     let mut f = std::fs::File::create(&args.out)
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", args.out));
     f.write_all(
-        serde_json::to_string_pretty(&json)
+        serde_json::to_string_pretty(&Value::Seq(history))
             .expect("serializable")
             .as_bytes(),
     )
     .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
-    println!("wrote {}", args.out);
+    println!("appended record to {}", args.out);
 }

@@ -5,7 +5,7 @@ use glacsweb_faults::{Fault, FaultPlan, FaultTarget, WindowClass};
 use glacsweb_obs::{Event, MemoryRecorder, NullRecorder, Origin, Recorder};
 use glacsweb_probe::{MortalityModel, ProbeFirmware};
 use glacsweb_server::SouthamptonServer;
-use glacsweb_sim::{Bytes, EventQueue, SimDuration, SimRng, SimTime};
+use glacsweb_sim::{Bytes, EventWheel, SimDuration, SimRng, SimTime};
 use glacsweb_station::{Station, StationConfig, StationId};
 
 use crate::metrics::{DeploymentSummary, Metrics};
@@ -184,27 +184,26 @@ impl DeploymentBuilder {
             Box::new(NullRecorder)
         };
 
-        let mut queue = EventQueue::new();
-        if base.is_some() {
-            queue.push(
-                self.start + SimDuration::from_mins(30),
-                WorldEvent::Tick(StationId::Base),
-            );
-            queue.push(
-                self.start.next_time_of_day(12, 0, 0),
-                WorldEvent::Window(StationId::Base),
-            );
-        }
-        if reference.is_some() {
-            queue.push(
-                self.start + SimDuration::from_mins(30),
-                WorldEvent::Tick(StationId::Reference),
-            );
-            queue.push(
-                self.start.next_time_of_day(12, 0, 0),
-                WorldEvent::Window(StationId::Reference),
-            );
-        }
+        // Both stations share the half-hour tick grid and the midday
+        // window, so their kick-off events are batch-filed per instant.
+        // The batch order (base before reference) is the FIFO tie-break
+        // the whole run inherits.
+        let stations: Vec<StationId> = [
+            base.as_ref().map(|_| StationId::Base),
+            reference.as_ref().map(|_| StationId::Reference),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let mut queue = EventWheel::new();
+        queue.push_batch(
+            self.start + SimDuration::from_mins(30),
+            stations.iter().map(|&id| WorldEvent::Tick(id)),
+        );
+        queue.push_batch(
+            self.start.next_time_of_day(12, 0, 0),
+            stations.iter().map(|&id| WorldEvent::Window(id)),
+        );
         if !probes.is_empty() {
             queue.push(self.start + self.probe_interval, WorldEvent::ProbeSample);
         }
@@ -254,7 +253,7 @@ pub struct Deployment {
     death_times: Vec<Option<SimTime>>,
     probe_rng: SimRng,
     probe_interval: SimDuration,
-    queue: EventQueue<WorldEvent>,
+    queue: EventWheel<WorldEvent>,
     start: SimTime,
     now: SimTime,
     metrics: Metrics,
@@ -600,9 +599,10 @@ impl Deployment {
         }) else {
             return;
         };
-        station.on_sample(env, t);
-        if station.is_powered() {
-            let v = station.measured_voltage(env).value();
+        // `on_sample` hands back the voltage its ADC pass already solved
+        // for; re-reading it here would run the whole taper solve again.
+        if let Some(v) = station.on_sample(env, t) {
+            let v = v.value();
             let level = station.current_state().level();
             self.metrics.record_voltage(id, t, v);
             self.metrics.record_state(id, t, level);

@@ -136,6 +136,7 @@ impl EnvConfig {
             return Err(ConfigError::new(
                 "env",
                 "latitude_deg",
+                // glacsweb: allow(perf-hygiene, reason = "validate() runs once at construction, never per substep")
                 format!("latitude {} out of range", self.latitude_deg),
             ));
         }
@@ -151,6 +152,7 @@ impl EnvConfig {
                 return Err(ConfigError::new(
                     "env",
                     name,
+                    // glacsweb: allow(perf-hygiene, reason = "validate() runs once at construction, never per substep")
                     format!("{p} not a probability"),
                 ));
             }
@@ -167,6 +169,7 @@ impl EnvConfig {
             return Err(ConfigError::new(
                 "env",
                 "cafe_season_months",
+                // glacsweb: allow(perf-hygiene, reason = "validate() runs once at construction, never per substep")
                 format!("invalid café season {a}..={b}"),
             ));
         }

@@ -4,6 +4,7 @@ use glacsweb_sim::{SimRng, SimTime};
 
 use crate::cafe::cafe_mains_available;
 use crate::config::EnvConfig;
+use crate::daycache::{DayPair, SodTable};
 use crate::hydrology::Hydrology;
 use crate::motion::GlacierMotion;
 use crate::snow::SnowPack;
@@ -53,6 +54,10 @@ pub struct Environment {
     rng: SimRng,
     now: SimTime,
     started: bool,
+    /// Memo of the per-day solar products `(sin φ·sin δ, cos φ·cos δ)`.
+    solar_day: DayPair,
+    /// Memo of `cos(hour angle)` — a pure function of second-of-day.
+    cos_hour: SodTable,
 }
 
 impl Environment {
@@ -96,6 +101,8 @@ impl Environment {
             rng,
             now: SimTime::EPOCH,
             started: false,
+            solar_day: DayPair::default(),
+            cos_hour: SodTable::default(),
         }
     }
 
@@ -154,10 +161,37 @@ impl Environment {
         }
     }
 
+    /// Memoised clear-sky fraction, bit-identical to
+    /// [`SolarModel::clear_sky_fraction`].
+    ///
+    /// The solar geometry factors exactly as the model computes it:
+    /// `sin el = (sin φ·sin δ) + (cos φ·cos δ)·cos H`, where the two
+    /// parenthesised products depend only on the civil day and `cos H`
+    /// only on the second of day. Memoising those whole subexpressions
+    /// and replaying the remaining chain (`asin → degrees → radians →
+    /// sin → max`) performs the same float operations in the same order
+    /// as the un-memoised model, so the result carries identical bits —
+    /// the power rail calls this every 60 s substep, so it is the
+    /// hottest transcendental path in the kernel.
+    fn clear_sky_fraction(&self, t: SimTime) -> f64 {
+        let (a, b) = self.solar_day.get_or(t.unix() / 86_400, || {
+            let doy = f64::from(t.day_of_year());
+            let decl =
+                23.44_f64.to_radians() * (std::f64::consts::TAU * (284.0 + doy) / 365.0).sin();
+            let lat = self.solar.latitude_deg().to_radians();
+            (lat.sin() * decl.sin(), lat.cos() * decl.cos())
+        });
+        let cos_h = self.cos_hour.get_or(t.seconds_of_day(), || {
+            (15.0 * (t.hour_of_day_f64() - 12.0)).to_radians().cos()
+        });
+        let sin_el = a + b * cos_h;
+        sin_el.asin().to_degrees().to_radians().sin().max(0.0)
+    }
+
     /// Fraction of the solar panel's rated output available now, in
     /// `[0, 1]`: clear-sky geometry × cloud × snow burial.
     pub fn solar_factor(&self, t: SimTime) -> f64 {
-        self.solar.clear_sky_fraction(t)
+        self.clear_sky_fraction(t)
             * self.cloud_factor
             * self.snow.burial_factor(self.config.panel_burial_depth_m)
     }
@@ -317,6 +351,25 @@ mod tests {
         assert!((0.0..=1.0).contains(&noon));
         assert!(noon > midnight);
         assert_eq!(midnight, 0.0, "no sun at equinox midnight at 64N");
+    }
+
+    #[test]
+    fn memoised_clear_sky_matches_model_bitwise() {
+        let mut e = env();
+        let t0 = SimTime::from_ymd_hms(2008, 9, 1, 0, 0, 0);
+        e.advance_to(t0);
+        let model = SolarModel::new(e.config().latitude_deg);
+        for step in 0..(2 * 1440) {
+            let t = t0 + SimDuration::from_mins(step);
+            let memoised = e.clear_sky_fraction(t);
+            assert_eq!(
+                memoised.to_bits(),
+                model.clear_sky_fraction(t).to_bits(),
+                "step {step}"
+            );
+            // Second call takes the hit path — same bits again.
+            assert_eq!(e.clear_sky_fraction(t).to_bits(), memoised.to_bits());
+        }
     }
 
     #[test]

@@ -44,12 +44,13 @@
 
 mod cafe;
 mod config;
+mod daycache;
 mod environment;
 mod hydrology;
 mod motion;
 mod snow;
 mod solar;
-mod stepcache;
+pub mod stepcache;
 mod temperature;
 mod wind;
 

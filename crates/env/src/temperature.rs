@@ -3,6 +3,7 @@
 
 use glacsweb_sim::{SimRng, SimTime};
 
+use crate::daycache::{DayCell, SodTable};
 use crate::stepcache::OuStepCache;
 
 /// Seasonal/diurnal air temperature with Ornstein–Uhlenbeck weather noise.
@@ -18,6 +19,10 @@ pub struct TemperatureModel {
     noise_sd_c: f64,
     noise_c: f64,
     step: OuStepCache,
+    /// Memo of `annual_mean_c + annual(doy)` — constant within a day.
+    annual_memo: DayCell,
+    /// Memo of the diurnal swing — a pure function of second-of-day.
+    diurnal_memo: SodTable,
 }
 
 impl TemperatureModel {
@@ -44,6 +49,8 @@ impl TemperatureModel {
             noise_sd_c,
             noise_c: 0.0,
             step: OuStepCache::default(),
+            annual_memo: DayCell::default(),
+            diurnal_memo: SodTable::default(),
         }
     }
 
@@ -52,15 +59,24 @@ impl TemperatureModel {
     /// The annual minimum falls in late January (lag behind the solstice),
     /// the diurnal minimum just before dawn.
     pub fn seasonal_c(&self, t: SimTime) -> f64 {
-        let doy = f64::from(t.day_of_year());
-        // Coldest around day 25, warmest around day 207.
-        let annual =
-            -self.annual_amplitude_c * (std::f64::consts::TAU * (doy - 25.0) / 365.0).cos();
-        let hod = t.hour_of_day_f64();
-        // Warmest mid-afternoon (15:00), coldest 03:00.
-        let diurnal =
-            -self.diurnal_amplitude_c * (std::f64::consts::TAU * (hod - 3.0) / 24.0).cos();
-        self.annual_mean_c + annual + diurnal
+        // Memoised form of `(annual_mean_c + annual) + diurnal`: the two
+        // addends are whole subexpressions of the original — same
+        // operations, same association — so a memo hit returns the exact
+        // bits the inline evaluation produced (power-rail substeps call
+        // this ~1440× per station-day at only 1 + 86 400 distinct keys).
+        let mean_plus_annual = self.annual_memo.get_or(t.unix() / 86_400, || {
+            let doy = f64::from(t.day_of_year());
+            // Coldest around day 25, warmest around day 207.
+            let annual =
+                -self.annual_amplitude_c * (std::f64::consts::TAU * (doy - 25.0) / 365.0).cos();
+            self.annual_mean_c + annual
+        });
+        let diurnal = self.diurnal_memo.get_or(t.seconds_of_day(), || {
+            let hod = t.hour_of_day_f64();
+            // Warmest mid-afternoon (15:00), coldest 03:00.
+            -self.diurnal_amplitude_c * (std::f64::consts::TAU * (hod - 3.0) / 24.0).cos()
+        });
+        mean_plus_annual + diurnal
     }
 
     /// The current temperature: seasonal component plus weather noise.
@@ -122,6 +138,23 @@ mod tests {
         }
         assert!(max_abs < 10.0, "noise escaped: {max_abs}");
         assert!((sum / f64::from(n)).abs() < 0.5, "noise biased");
+    }
+
+    #[test]
+    fn memoised_seasonal_matches_inline_formula_bitwise() {
+        let m = iceland();
+        let t0 = SimTime::from_ymd_hms(2009, 2, 3, 0, 0, 0);
+        for step in 0..(3 * 1440) {
+            let t = t0 + glacsweb_sim::SimDuration::from_mins(step);
+            let doy = f64::from(t.day_of_year());
+            let annual = -8.0 * (std::f64::consts::TAU * (doy - 25.0) / 365.0).cos();
+            let hod = t.hour_of_day_f64();
+            let diurnal = -3.0 * (std::f64::consts::TAU * (hod - 3.0) / 24.0).cos();
+            let inline = -2.5 + annual + diurnal;
+            assert_eq!(m.seasonal_c(t).to_bits(), inline.to_bits(), "step {step}");
+            // Hit path must return the same bits again.
+            assert_eq!(m.seasonal_c(t).to_bits(), inline.to_bits());
+        }
     }
 
     #[test]

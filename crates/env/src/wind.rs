@@ -2,6 +2,7 @@
 
 use glacsweb_sim::{SimRng, SimTime};
 
+use crate::daycache::DayCell;
 use crate::stepcache::OuStepCache;
 
 /// Stochastic wind-speed process.
@@ -18,6 +19,8 @@ pub struct WindModel {
     /// Deviation from the seasonal mean (OU state).
     deviation_ms: f64,
     step: OuStepCache,
+    /// Memo of the seasonal mean — constant within a day.
+    seasonal_memo: DayCell,
 }
 
 impl WindModel {
@@ -37,16 +40,21 @@ impl WindModel {
             gust_sd_ms,
             deviation_ms: 0.0,
             step: OuStepCache::default(),
+            seasonal_memo: DayCell::default(),
         }
     }
 
     /// Seasonal mean wind speed at `t`, m/s (cosine between the summer and
     /// winter means, windiest late January).
     pub fn seasonal_mean_ms(&self, t: SimTime) -> f64 {
-        let doy = f64::from(t.day_of_year());
-        let mid = (self.mean_winter_ms + self.mean_summer_ms) / 2.0;
-        let half = (self.mean_winter_ms - self.mean_summer_ms) / 2.0;
-        mid + half * (std::f64::consts::TAU * (doy - 25.0) / 365.0).cos()
+        // The whole value depends only on the civil day, so memoise it —
+        // a hit returns the exact bits the inline evaluation produces.
+        self.seasonal_memo.get_or(t.unix() / 86_400, || {
+            let doy = f64::from(t.day_of_year());
+            let mid = (self.mean_winter_ms + self.mean_summer_ms) / 2.0;
+            let half = (self.mean_winter_ms - self.mean_summer_ms) / 2.0;
+            mid + half * (std::f64::consts::TAU * (doy - 25.0) / 365.0).cos()
+        })
     }
 
     /// Current wind speed at `t`, m/s (never negative).

@@ -119,14 +119,25 @@ impl LeadAcidBattery {
     /// absorption overpotential that produces the >14 V midday peaks of
     /// Fig 5.
     pub fn terminal_voltage(&self, current: Amps) -> Volts {
-        let ohmic = current.value() * self.internal_resistance_ohm;
-        let absorption = if current.value() > 0.0 {
+        self.voltage_curve().terminal_voltage(current)
+    }
+
+    /// The terminal-voltage curve at the current state of charge.
+    ///
+    /// The charge controller's taper solver evaluates the terminal
+    /// voltage ~26 times per substep at a *fixed* state of charge; the
+    /// curve hoists the SoC-dependent terms (open-circuit voltage and
+    /// absorption gain) so each evaluation is a handful of flops. The
+    /// hoisted terms are whole subexpressions of the original formula,
+    /// so results are bit-identical to [`LeadAcidBattery::terminal_voltage`]
+    /// computed from scratch.
+    pub fn voltage_curve(&self) -> VoltageCurve {
+        VoltageCurve {
+            ocv: self.open_circuit_voltage().value(),
             // Rises steeply as the bank approaches full.
-            1.6 * self.soc.powi(8) * (current.value() / (1.0 + current.value()))
-        } else {
-            0.0
-        };
-        Volts((self.open_circuit_voltage().value() + ohmic + absorption).clamp(9.0, 15.0))
+            absorption_gain: 1.6 * self.soc.powi(8),
+            resistance_ohm: self.internal_resistance_ohm,
+        }
     }
 
     /// Effective capacity at the given temperature (lead-acid loses
@@ -167,6 +178,48 @@ impl LeadAcidBattery {
         Amps(actual_delta_ah / hours)
     }
 
+    /// Advances the bank by `n_steps` equal steps of `dt` in one call.
+    ///
+    /// Replays the exact per-step recurrence of [`LeadAcidBattery::step`]
+    /// with the step-invariant terms (effective capacity, commanded
+    /// charge increment, self-discharge rate) hoisted out of the loop —
+    /// each is a whole subexpression of the stepped formula, so the
+    /// final state and meters are **bit-identical** to calling `step`
+    /// `n_steps` times (asserted by proptests). Returns the current
+    /// actually absorbed/delivered over the *final* step, which is what
+    /// a stepped caller would have observed last.
+    pub fn leap(&mut self, n_steps: u32, dt: SimDuration, current: Amps, temp: Celsius) -> Amps {
+        let hours = dt.as_hours_f64();
+        if hours <= 0.0 || n_steps == 0 {
+            return Amps(0.0);
+        }
+        let cap = self.effective_capacity(temp).value();
+        let mut delta_ah = current.value() * hours;
+        if delta_ah > 0.0 {
+            delta_ah *= self.charge_efficiency;
+        }
+        // Whole subexpressions of the per-step formulas, constant across
+        // the leap (`hours / (30·24)` and `Δah / cap`).
+        let leak_time = hours / (30.0 * 24.0);
+        let soc_step = delta_ah / cap;
+        let mut last = Amps(0.0);
+        for _ in 0..n_steps {
+            let leak = self.soc * self.self_discharge_per_month * leak_time;
+            let proposed = self.soc + soc_step - leak;
+            let clamped = proposed.clamp(0.0, 1.0);
+            let actual_delta_ah = (clamped - self.soc + leak) * cap;
+            self.soc = clamped;
+            let v = self.open_circuit_voltage().value();
+            if actual_delta_ah >= 0.0 {
+                self.charged += WattHours(actual_delta_ah / self.charge_efficiency * v);
+            } else {
+                self.discharged += WattHours(-actual_delta_ah * v);
+            }
+            last = Amps(actual_delta_ah / hours);
+        }
+        last
+    }
+
     /// Recharges instantly to full — used by scenario setup, not by the
     /// simulation loop.
     pub fn reset_full(&mut self) {
@@ -178,6 +231,31 @@ impl LeadAcidBattery {
     /// RTC reset and a lost RAM schedule.
     pub fn drain_empty(&mut self) {
         self.soc = 0.0;
+    }
+}
+
+/// Terminal-voltage curve of a bank at one fixed state of charge.
+///
+/// Produced by [`LeadAcidBattery::voltage_curve`]; evaluating it is
+/// bit-identical to [`LeadAcidBattery::terminal_voltage`] on the bank it
+/// was taken from, with the SoC-dependent terms precomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageCurve {
+    pub(crate) ocv: f64,
+    pub(crate) absorption_gain: f64,
+    pub(crate) resistance_ohm: f64,
+}
+
+impl VoltageCurve {
+    /// Terminal voltage under the given current (positive = charging).
+    pub fn terminal_voltage(&self, current: Amps) -> Volts {
+        let ohmic = current.value() * self.resistance_ohm;
+        let absorption = if current.value() > 0.0 {
+            self.absorption_gain * (current.value() / (1.0 + current.value()))
+        } else {
+            0.0
+        };
+        Volts((self.ocv + ohmic + absorption).clamp(9.0, 15.0))
     }
 }
 
@@ -305,7 +383,56 @@ mod tests {
         let _ = LeadAcidBattery::with_state(AmpHours(36.0), 1.5);
     }
 
+    #[test]
+    fn voltage_curve_matches_terminal_voltage_bitwise() {
+        for soc in [0.0, 0.12, 0.5, 0.93, 1.0] {
+            let b = LeadAcidBattery::with_state(AmpHours(36.0), soc);
+            let curve = b.voltage_curve();
+            for i in [-4.0, -0.31, -0.01, 0.0, 0.05, 1.7, 5.0] {
+                assert_eq!(
+                    curve.terminal_voltage(Amps(i)).value().to_bits(),
+                    b.terminal_voltage(Amps(i)).value().to_bits(),
+                    "soc {soc} current {i}"
+                );
+            }
+        }
+    }
+
     proptest! {
+        /// `leap(n)` leaves the bank (state and lifetime meters)
+        /// bit-identical to `n × step` — the battery-integration leg of
+        /// the kernel's leap-equivalence contract.
+        #[test]
+        fn leap_equals_n_steps(
+            soc0 in 0.0f64..1.0,
+            current in -5.0f64..5.0,
+            secs in 1u64..7200,
+            temp in -30.0f64..30.0,
+            n in 0u32..200,
+        ) {
+            let mut leaper = LeadAcidBattery::with_state(AmpHours(36.0), soc0);
+            let mut stepper = leaper.clone();
+            let dt = SimDuration::from_secs(secs);
+            let last_leap = leaper.leap(n, dt, Amps(current), Celsius(temp));
+            let mut last_step = Amps(0.0);
+            for _ in 0..n {
+                last_step = stepper.step(dt, Amps(current), Celsius(temp));
+            }
+            prop_assert_eq!(
+                leaper.state_of_charge().to_bits(),
+                stepper.state_of_charge().to_bits()
+            );
+            prop_assert_eq!(
+                leaper.total_charged().value().to_bits(),
+                stepper.total_charged().value().to_bits()
+            );
+            prop_assert_eq!(
+                leaper.total_discharged().value().to_bits(),
+                stepper.total_discharged().value().to_bits()
+            );
+            prop_assert_eq!(last_leap.value().to_bits(), last_step.value().to_bits());
+        }
+
         /// SoC stays in [0,1] and voltage stays in the clamp range under
         /// arbitrary step sequences.
         #[test]

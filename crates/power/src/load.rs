@@ -1,9 +1,25 @@
 //! Named electrical loads with per-device energy metering.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use glacsweb_sim::{SimDuration, WattHours, Watts};
 use serde::{Deserialize, Serialize};
+
+/// Memo of the total switched-on draw, invalidated by every mutation of
+/// the on/off pattern. A hit returns the exact `Watts` the last full
+/// re-sum produced — the sum is always recomputed whole (same values,
+/// same `BTreeMap` order), never adjusted incrementally, so the cached
+/// bits equal a fresh evaluation's. Derived state: invisible to
+/// equality and skipped by serde.
+#[derive(Debug, Clone, Default)]
+struct TotalCache(Cell<Option<Watts>>);
+
+impl PartialEq for TotalCache {
+    fn eq(&self, _: &Self) -> bool {
+        true // derived state
+    }
+}
 
 /// The set of switchable loads hanging off a station's power rail.
 ///
@@ -29,9 +45,32 @@ use serde::{Deserialize, Serialize};
 /// assert!((loads.energy("gumstix").unwrap().value() - 1.8).abs() < 1e-9);
 /// assert_eq!(loads.energy("gprs").unwrap().value(), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LoadSet {
     loads: BTreeMap<String, Load>,
+    total: TotalCache,
+}
+
+// Hand-written (de)serialization: the total-power memo is derived state
+// and must not appear on the wire, and the vendored serde derive has no
+// `#[serde(skip)]` — so serialize exactly the shape the old derive
+// produced (a map with the single `loads` field).
+impl Serialize for LoadSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![(
+            serde::Value::Str(String::from("loads")),
+            self.loads.to_value(),
+        )])
+    }
+}
+
+impl Deserialize for LoadSet {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        Ok(LoadSet {
+            loads: serde::de::field(v, "loads")?,
+            total: TotalCache::default(),
+        })
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,6 +108,7 @@ impl LoadSet {
         let name = name.into();
         assert!(power.value() >= 0.0, "load power must be non-negative");
         let prev = self.loads.insert(
+            // glacsweb: allow(perf-hygiene, reason = "device registration happens once at station wiring, never per substep")
             name.clone(),
             Load {
                 power,
@@ -77,6 +117,7 @@ impl LoadSet {
             },
         );
         assert!(prev.is_none(), "duplicate load {name:?}");
+        self.total.0.set(None);
     }
 
     /// Switches a device rail on or off.
@@ -86,11 +127,15 @@ impl LoadSet {
     /// Panics if the device is unknown — switching a rail that does not
     /// exist is a wiring bug, not a runtime condition.
     pub fn set_on(&mut self, name: &str, on: bool) {
-        self.loads
+        let load = self
+            .loads
             .get_mut(name)
             // glacsweb: allow(panic-freedom, reason = "load names are compile-time constants (station::loads); switching an unregistered rail is a wiring bug the simulation must not paper over")
-            .unwrap_or_else(|| panic!("unknown load {name:?}"))
-            .on = on;
+            .unwrap_or_else(|| panic!("unknown load {name:?}"));
+        if load.on != on {
+            load.on = on;
+            self.total.0.set(None);
+        }
     }
 
     /// `true` if the named device rail is on.
@@ -107,8 +152,17 @@ impl LoadSet {
     }
 
     /// Total instantaneous draw of all switched-on devices.
+    ///
+    /// Cached between switching events: the power rail re-reads this
+    /// every 60 s substep while the on/off pattern changes only a few
+    /// times a day.
     pub fn total_power(&self) -> Watts {
-        self.loads.values().filter(|l| l.on).map(|l| l.power).sum()
+        if let Some(total) = self.total.0.get() {
+            return total;
+        }
+        let total = self.loads.values().filter(|l| l.on).map(|l| l.power).sum();
+        self.total.0.set(Some(total));
+        total
     }
 
     /// Accumulates per-device energy for a period during which the on/off
@@ -136,6 +190,7 @@ impl LoadSet {
         self.loads
             .iter()
             .map(|(name, l)| LoadSnapshot {
+                // glacsweb: allow(perf-hygiene, reason = "snapshot() is a reporting API for summaries and serialization, not the advance loop")
                 name: name.clone(),
                 power: l.power,
                 on: l.on,
@@ -159,6 +214,7 @@ impl LoadSet {
         for load in self.loads.values_mut() {
             load.on = false;
         }
+        self.total.0.set(None);
     }
 }
 
@@ -218,6 +274,40 @@ mod tests {
         assert_eq!(names, ["gprs", "gps", "gumstix", "radio_modem"]);
         assert_eq!(l.len(), 4);
         assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn cached_total_matches_fresh_sum_bitwise() {
+        let mut l = table1_loads();
+        l.set_on("gumstix", true);
+        l.set_on("gps", true);
+        let fresh: Watts = [
+            Watts::from_milliwatts(3600.0),
+            Watts::from_milliwatts(900.0),
+        ]
+        .into_iter()
+        .sum();
+        // BTreeMap order: gps before gumstix.
+        assert_eq!(l.total_power().value().to_bits(), fresh.value().to_bits());
+        // Hit path returns the same bits.
+        assert_eq!(l.total_power().value().to_bits(), fresh.value().to_bits());
+        // Redundant switch does not clear the cache; real switch does.
+        l.set_on("gps", true);
+        assert_eq!(l.total_power().value().to_bits(), fresh.value().to_bits());
+        l.set_on("gps", false);
+        assert!((l.total_power().value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_is_invisible_to_equality_and_serde() {
+        let a = table1_loads();
+        let b = table1_loads();
+        let _ = a.total_power();
+        assert_eq!(a, b, "cache fill must not affect equality");
+        let json = serde_json::to_string(&a).expect("serialize");
+        assert!(!json.contains("total"), "cache must not serialize: {json}");
+        let back: LoadSet = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, a);
     }
 
     #[test]

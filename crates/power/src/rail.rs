@@ -1,11 +1,46 @@
 //! The power rail: battery + chargers + loads integrated over time.
 
+use std::cell::Cell;
+
 use glacsweb_env::Environment;
 use glacsweb_sim::{Amps, Celsius, SimDuration, SimTime, Volts, WattHours, Watts};
 
 use crate::battery::LeadAcidBattery;
 use crate::charger::{controller_taper, Charger};
 use crate::load::LoadSet;
+
+/// Memo of the last taper solve, keyed by the exact bit patterns of its
+/// inputs (raw charger power and the battery's [`VoltageCurve`]
+/// coefficients). A hit returns the exact `Watts` the last full bisection
+/// produced for identical inputs — the solve is deterministic, so the
+/// cached bits equal a fresh evaluation's. This pays off on the
+/// mains-charged reference station, whose raw input (a constant 30 W) and
+/// state of charge (pinned at full) repeat for weeks of sub-steps at a
+/// time. Derived state: invisible to clones-for-comparison via the
+/// always-equal `PartialEq` below.
+///
+/// [`VoltageCurve`]: crate::VoltageCurve
+#[derive(Debug, Clone, Default)]
+struct TaperMemo(Cell<Option<([u64; 4], f64)>>);
+
+impl TaperMemo {
+    fn get(&self, key: [u64; 4]) -> Option<Watts> {
+        match self.0.get() {
+            Some((k, w)) if k == key => Some(Watts(w)),
+            _ => None,
+        }
+    }
+
+    fn put(&self, key: [u64; 4], w: Watts) {
+        self.0.set(Some((key, w.value())));
+    }
+}
+
+impl PartialEq for TaperMemo {
+    fn eq(&self, _: &Self) -> bool {
+        true // derived state
+    }
+}
 
 /// One station's complete power system.
 ///
@@ -24,6 +59,14 @@ pub struct PowerRail {
     harvested: WattHours,
     /// Seconds of brown-out (load demanded but battery empty).
     brownout_secs: u64,
+    /// Scratch buffer of per-charger outputs for the current sub-step,
+    /// aligned with `chargers` — lets `advance` evaluate each charger
+    /// once per sub-step instead of three times (taper input, harvest
+    /// total, per-source apportionment). Derived state, reused to avoid
+    /// per-step allocation.
+    output_buf: Vec<f64>,
+    /// Single-entry memo of the last taper solve (see [`TaperMemo`]).
+    taper: TaperMemo,
 }
 
 impl PowerRail {
@@ -40,6 +83,8 @@ impl PowerRail {
             now: start,
             harvested: WattHours::ZERO,
             brownout_secs: 0,
+            output_buf: Vec::new(),
+            taper: TaperMemo::default(),
         }
     }
 
@@ -116,26 +161,106 @@ impl PowerRail {
     /// midday peaks of Fig 5 near 14.4 V.
     pub fn charge_power(&self, env: &Environment, t: SimTime) -> Watts {
         let raw: Watts = self.chargers.iter().map(|c| c.output(env, t)).sum();
+        self.tapered_charge(raw)
+    }
+
+    /// The taper solve for a pre-summed raw charger output.
+    ///
+    /// The battery's state of charge is fixed for the whole solve, so
+    /// the ~26 terminal-voltage evaluations run on the hoisted
+    /// [`VoltageCurve`](crate::VoltageCurve) — bit-identical to calling
+    /// `battery.terminal_voltage` each time.
+    fn tapered_charge(&self, raw: Watts) -> Watts {
         if raw.value() <= 0.0 {
             return Watts::ZERO;
         }
         let i_raw = raw.value() / LeadAcidBattery::NOMINAL.value();
+        let curve = self.battery.voltage_curve();
+        // The solve is a pure function of (raw, curve): memo-hit on exact
+        // input bits and skip the bisection entirely.
+        let key = [
+            raw.value().to_bits(),
+            curve.ocv.to_bits(),
+            curve.absorption_gain.to_bits(),
+            curve.resistance_ohm.to_bits(),
+        ];
+        if let Some(w) = self.taper.get(key) {
+            return w;
+        }
+        if controller_taper(curve.terminal_voltage(Amps(i_raw))) >= 1.0 {
+            self.taper.put(key, raw);
+            return raw;
+        }
+        let lo = Self::taper_fraction(&curve, i_raw);
+        let tapered = raw * lo.max(0.05);
+        self.taper.put(key, tapered);
+        tapered
+    }
+
+    /// The regulation point of the charge controller: the acceptance
+    /// fraction the historical 24-step bisection converges to, computed
+    /// bit-for-bit.
+    ///
+    /// The bisection's predicate `P(x) = taper(v(i_raw·x)) > x` is weakly
+    /// monotone (every float op in `v` and `taper` is a monotone rounding
+    /// of a monotone real function), so its true-region is downward
+    /// closed and 24 halvings of `[0, 1]` land on the *unique* dyadic
+    /// `lo = k/2²⁴` with `P(lo)` true (or `k = 0`) and `P(lo + 2⁻²⁴)`
+    /// false (or `k + 1 = 2²⁴`). Every midpoint is an exact dyadic
+    /// binary64 value, so any route to that `k` returns identical bits.
+    ///
+    /// Fast path: solve the fixed point `x = taper(v(i_raw·x))` on the
+    /// linear taper segment in closed form (a quadratic in `i_raw·x`),
+    /// snap to the 2⁻²⁴ grid, and confirm the two predicate evaluations
+    /// that characterise `k` — ~2 curve evaluations instead of 24. Any
+    /// failure (crossing outside the linear segment, guess off the grid
+    /// point) falls back to the exact bisection.
+    fn taper_fraction(curve: &crate::VoltageCurve, i_raw: f64) -> f64 {
+        const SCALE: f64 = 16_777_216.0; // 2^24
+        let p = |x: f64| controller_taper(curve.terminal_voltage(Amps(i_raw * x))) > x;
+        // Fixed point on the linear segment: with y = i_raw·x, c the taper
+        // slope and A = 1 − c·(ocv − 13.8):
+        //   y²(1/i_raw + c·r) + y(1/i_raw − A + c·r + c·g) − A = 0.
+        let c = 0.95 / 0.6;
+        let a = 1.0 - c * (curve.ocv - 13.8);
+        let inv = 1.0 / i_raw;
+        let qa = inv + c * curve.resistance_ohm;
+        let qb = inv - a + c * curve.resistance_ohm + c * curve.absorption_gain;
+        let disc = qb * qb + 4.0 * qa * a;
+        if disc > 0.0 {
+            let y = (-qb + disc.sqrt()) / (2.0 * qa);
+            let x_star = y / i_raw;
+            if x_star > 0.0 && x_star < 1.0 {
+                let k = (x_star * SCALE).floor();
+                // The guess can straddle the grid point by one: verify the
+                // characterising predicate pair at k, then its neighbours.
+                for kk in [k, k - 1.0, k + 1.0] {
+                    if !(0.0..SCALE).contains(&kk) {
+                        continue;
+                    }
+                    let lo = kk / SCALE;
+                    // glacsweb: allow(numeric-safety, reason = "kk is an exact small integer from floor(); == 0.0 encodes the bisection's unevaluated-left-endpoint convention and must stay exact")
+                    let lo_ok = kk == 0.0 || p(lo);
+                    let hi_ok = kk + 1.0 >= SCALE || !p((kk + 1.0) / SCALE);
+                    if lo_ok && hi_ok {
+                        return lo;
+                    }
+                }
+            }
+        }
         // Monotone in the fraction → bisect for the regulation point.
         let mut lo = 0.0f64;
         let mut hi = 1.0f64;
-        if controller_taper(self.battery.terminal_voltage(Amps(i_raw))) >= 1.0 {
-            return raw;
-        }
         for _ in 0..24 {
             let mid = (lo + hi) / 2.0;
-            let v = self.battery.terminal_voltage(Amps(i_raw * mid));
+            let v = curve.terminal_voltage(Amps(i_raw * mid));
             if controller_taper(v) > mid {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        raw * lo.max(0.05)
+        lo
     }
 
     fn net_current(&self, env: &Environment, t: SimTime) -> Amps {
@@ -155,7 +280,18 @@ impl PowerRail {
         while self.now < t {
             let dt = (t - self.now).min(Self::STEP);
             let temp = Celsius(env.temperature_c(self.now));
-            let charge = self.charge_power(env, self.now);
+            // One charger evaluation per sub-step: the buffered outputs
+            // feed the taper solve, the harvest total and the per-source
+            // apportionment (previously three evaluations each). Summing
+            // the buffer folds the same values in the same order as
+            // summing the charger iterator directly, so every downstream
+            // quantity carries identical bits.
+            self.output_buf.clear();
+            let now = self.now;
+            self.output_buf
+                .extend(self.chargers.iter().map(|c| c.output(env, now).value()));
+            let raw_watts: Watts = self.output_buf.iter().map(|&w| Watts(w)).sum();
+            let charge = self.tapered_charge(raw_watts);
             let load = self.loads.total_power();
             let net = Amps((charge.value() - load.value()) / LeadAcidBattery::NOMINAL.value());
             let actual = self.battery.step(dt, net, temp);
@@ -169,14 +305,10 @@ impl PowerRail {
             self.harvested += charge.over(dt);
             if charge.value() > 0.0 {
                 // Apportion the tapered harvest by each charger's raw share.
-                let raw: f64 = self
-                    .chargers
-                    .iter()
-                    .map(|c| c.output(env, self.now).value())
-                    .sum();
+                let raw: f64 = self.output_buf.iter().sum();
                 if raw > 0.0 {
-                    for (acc, c) in self.harvest_by.iter_mut().zip(self.chargers.iter()) {
-                        let share = c.output(env, self.now).value() / raw;
+                    for (acc, &out) in self.harvest_by.iter_mut().zip(self.output_buf.iter()) {
+                        let share = out / raw;
                         *acc += charge.over(dt) * share;
                     }
                 }

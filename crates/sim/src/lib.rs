@@ -44,6 +44,7 @@ mod series;
 mod time;
 mod trace;
 pub mod units;
+mod wheel;
 
 pub use config_error::ConfigError;
 pub use event::EventQueue;
@@ -52,3 +53,4 @@ pub use series::{SeriesStats, TimeSeries};
 pub use time::{CivilDate, SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLevel, TraceLog};
 pub use units::{AmpHours, Amps, BitsPerSecond, Bytes, Celsius, Volts, WattHours, Watts};
+pub use wheel::EventWheel;

@@ -29,6 +29,8 @@ pub struct SimRng {
     s: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f64>,
+    /// Raw 64-bit outputs consumed since seeding (the stream position).
+    pos: u64,
 }
 
 impl SimRng {
@@ -45,7 +47,50 @@ impl SimRng {
         SimRng {
             s: [next(), next(), next(), next()],
             spare_normal: None,
+            pos: 0,
         }
+    }
+
+    /// Raw 64-bit outputs consumed since seeding.
+    ///
+    /// Every distribution helper consumes a fixed, documented number of
+    /// raw outputs (one each for [`SimRng::f64`]/[`SimRng::below`], two
+    /// per Box–Muller *pair* in [`SimRng::normal`]), so the position is
+    /// a complete index into the stream: two generators with the same
+    /// seed and the same position are bit-identical (modulo the cached
+    /// Box–Muller spare, which the caller controls via draw parity).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Advances the stream by exactly `n` raw outputs without
+    /// materialising them — counter-indexed jump-ahead.
+    ///
+    /// After `skip_raw(n)` the generator state (and [`SimRng::position`])
+    /// is identical to having called `next_u64` `n` times and discarded
+    /// the results. The Box–Muller spare is untouched: skipping is a
+    /// raw-stream operation, so leap code that replaces `normal()` calls
+    /// must skip the *raw* draws those calls would have made and clear or
+    /// preserve the spare to match the stepped path's parity.
+    pub fn skip_raw(&mut self, n: u64) {
+        for _ in 0..n {
+            self.raw_next_u64();
+        }
+    }
+
+    /// Jumps forward to an absolute stream position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is behind the current position — the stream
+    /// only moves forward.
+    pub fn seek(&mut self, target: u64) {
+        assert!(
+            target >= self.pos,
+            "cannot seek backwards (at {}, asked for {target})",
+            self.pos
+        );
+        self.skip_raw(target - self.pos);
     }
 
     /// Derives an independent child generator for a named stream.
@@ -58,6 +103,7 @@ impl SimRng {
     }
 
     fn raw_next_u64(&mut self) -> u64 {
+        self.pos = self.pos.wrapping_add(1);
         let result = self.s[0]
             .wrapping_add(self.s[3])
             .rotate_left(23)
@@ -272,7 +318,64 @@ mod tests {
         assert!(buf.iter().any(|&b| b != 0));
     }
 
+    #[test]
+    fn position_counts_raw_draws() {
+        let mut rng = SimRng::seed_from(21);
+        assert_eq!(rng.position(), 0);
+        rng.f64();
+        assert_eq!(rng.position(), 1);
+        rng.below(10);
+        assert_eq!(rng.position(), 2);
+        // A Box–Muller pair consumes two raw draws; the spare is free.
+        rng.normal(0.0, 1.0);
+        assert_eq!(rng.position(), 4);
+        rng.normal(0.0, 1.0);
+        assert_eq!(rng.position(), 4);
+    }
+
+    #[test]
+    fn skip_raw_matches_discarded_draws() {
+        let mut skipped = SimRng::seed_from(33);
+        let mut stepped = SimRng::seed_from(33);
+        skipped.skip_raw(1000);
+        for _ in 0..1000 {
+            stepped.next_u64();
+        }
+        assert_eq!(skipped, stepped);
+        assert_eq!(skipped.next_u64(), stepped.next_u64());
+    }
+
+    #[test]
+    fn seek_reaches_absolute_position() {
+        let mut a = SimRng::seed_from(55);
+        let mut b = SimRng::seed_from(55);
+        a.f64();
+        a.seek(37);
+        b.skip_raw(37);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "seek backwards")]
+    fn seek_backwards_panics() {
+        let mut rng = SimRng::seed_from(56);
+        rng.skip_raw(5);
+        rng.seek(2);
+    }
+
     proptest! {
+        #[test]
+        fn skip_raw_equals_n_draws(seed in any::<u64>(), n in 0u64..4096) {
+            let mut skipped = SimRng::seed_from(seed);
+            let mut stepped = SimRng::seed_from(seed);
+            skipped.skip_raw(n);
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            prop_assert_eq!(skipped.position(), n);
+            prop_assert_eq!(skipped.next_u64(), stepped.next_u64());
+        }
+
         #[test]
         fn below_is_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
             let mut rng = SimRng::seed_from(seed);

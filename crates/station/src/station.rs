@@ -530,10 +530,14 @@ impl Station {
 
     /// The MSP430's half-hourly battery sample (§III), plus hourly surface
     /// sensor readings.
-    pub fn on_sample(&mut self, env: &mut Environment, t: SimTime) {
+    ///
+    /// Returns the voltage the ADC read, or `None` if the station is
+    /// unpowered — callers that want the sample (the deployment loop
+    /// records it) reuse it instead of re-running the taper solve.
+    pub fn on_sample(&mut self, env: &mut Environment, t: SimTime) -> Option<Volts> {
         self.advance(env, t);
         if !self.powered {
-            return;
+            return None;
         }
         let v = self.rail.measured_voltage(env);
         self.msp.record_voltage(t, v);
@@ -541,6 +545,7 @@ impl Station {
             let _ = self.sensors.sample(env, t, &mut self.rng);
             self.sensor_batch += 1;
         }
+        Some(v)
     }
 
     /// An MSP430-scheduled dGPS recording slot.
