@@ -37,12 +37,18 @@
 //! # The CI regression gate
 //!
 //! `--check` runs only the single-run measurement and compares it against
-//! the **last committed record** in `--out`: the process exits non-zero
-//! when fresh throughput drops more than 20 % below that baseline. For a
-//! knowingly-slower change, set `GLACSWEB_BENCH_ALLOW_REGRESSION=1` in
-//! the job environment — the check still prints the regression, it just
-//! stops failing the build — and append a fresh baseline record in the
-//! same PR so the next gate measures against reality.
+//! the **last record** in `--out`: the process exits non-zero when fresh
+//! throughput drops more than 20 % below that record. Absolute
+//! sim-days/sec are hardware-dependent, so the comparison is only
+//! meaningful when both numbers come from the same machine. CI therefore
+//! never checks against the committed `BENCH_PERF.json` (recorded on
+//! whatever machine its author used): the `bench-perf` job builds the
+//! perf harness from the baseline revision, measures it moments earlier
+//! on the same runner into a scratch file, and hands `--check` that
+//! file. Checking against the committed history stays useful locally, on
+//! the machine that recorded it. For a knowingly-slower change, set
+//! `GLACSWEB_BENCH_ALLOW_REGRESSION=1` in the job environment — the
+//! check still prints the regression, it just stops failing the build.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -308,8 +314,7 @@ fn main() {
         if fresh < floor {
             if std::env::var(OVERRIDE_VAR).is_ok() {
                 println!(
-                    "REGRESSION ({:.0} % below baseline) — allowed by {OVERRIDE_VAR}; \
-                     append a fresh baseline record in this PR",
+                    "REGRESSION ({:.0} % below baseline) — allowed by {OVERRIDE_VAR}",
                     (1.0 - fresh / baseline) * 100.0
                 );
             } else {

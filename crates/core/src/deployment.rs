@@ -184,10 +184,13 @@ impl DeploymentBuilder {
             Box::new(NullRecorder)
         };
 
-        // Both stations share the half-hour tick grid and the midday
-        // window, so their kick-off events are batch-filed per instant.
-        // The batch order (base before reference) is the FIFO tie-break
-        // the whole run inherits.
+        // Kick-off events are filed per station, Tick then Window, base
+        // before reference — the exact push order of the historical
+        // heap-based loop. The order matters when the first tick and the
+        // midday window land on the same instant (a deployment starting
+        // at exactly 11:30): the FIFO tie-break the whole run inherits
+        // must match the old kernel's for trajectories to stay
+        // bit-identical.
         let stations: Vec<StationId> = [
             base.as_ref().map(|_| StationId::Base),
             reference.as_ref().map(|_| StationId::Reference),
@@ -196,14 +199,16 @@ impl DeploymentBuilder {
         .flatten()
         .collect();
         let mut queue = EventWheel::new();
-        queue.push_batch(
-            self.start + SimDuration::from_mins(30),
-            stations.iter().map(|&id| WorldEvent::Tick(id)),
-        );
-        queue.push_batch(
-            self.start.next_time_of_day(12, 0, 0),
-            stations.iter().map(|&id| WorldEvent::Window(id)),
-        );
+        for &id in &stations {
+            queue.push(
+                self.start + SimDuration::from_mins(30),
+                WorldEvent::Tick(id),
+            );
+            queue.push(
+                self.start.next_time_of_day(12, 0, 0),
+                WorldEvent::Window(id),
+            );
+        }
         if !probes.is_empty() {
             queue.push(self.start + self.probe_interval, WorldEvent::ProbeSample);
         }
@@ -899,5 +904,43 @@ mod tests {
     #[should_panic(expected = "probes need a base station")]
     fn probes_without_base_rejected() {
         let _ = DeploymentBuilder::new(EnvConfig::lab()).probes(3).build();
+    }
+
+    #[test]
+    fn station_less_deployment_runs_harmlessly() {
+        // Legal (probes == 0, no stations): the event queue starts empty
+        // and the run just advances the clock. Regression test for the
+        // empty-batch calendar bucket that made this panic on `pop`.
+        let mut d = DeploymentBuilder::new(EnvConfig::lab())
+            .seed(5)
+            .start(SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+            .build();
+        d.run_days(3);
+        assert_eq!(d.now(), d.start() + SimDuration::from_days(3));
+        let s = d.summary();
+        assert_eq!(s.windows_run, 0);
+        assert_eq!(s.probes_deployed, 0);
+    }
+
+    #[test]
+    fn start_at_1130_puts_first_tick_and_window_on_the_same_instant() {
+        // start + 30 min coincides with next_time_of_day(12, 0, 0): the
+        // kick-off events for both stations share one bucket and must
+        // keep the historical per-station FIFO order (tick before window,
+        // base before reference). The run must proceed normally.
+        let mut base = StationConfig::base_2008();
+        base.gprs = GprsConfig::ideal();
+        let mut reference = StationConfig::reference_2008();
+        reference.gprs = GprsConfig::ideal();
+        let mut d = DeploymentBuilder::new(EnvConfig::lab())
+            .seed(11)
+            .start(SimTime::from_ymd_hms(2009, 6, 1, 11, 30, 0))
+            .base(base)
+            .reference(reference)
+            .build();
+        d.run_days(3);
+        let s = d.summary();
+        assert_eq!(s.windows_run, 6, "2 stations x 3 midday windows");
+        assert_eq!(s.power_losses, 0);
     }
 }

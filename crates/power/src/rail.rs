@@ -201,13 +201,21 @@ impl PowerRail {
     /// fraction the historical 24-step bisection converges to, computed
     /// bit-for-bit.
     ///
-    /// The bisection's predicate `P(x) = taper(v(i_raw·x)) > x` is weakly
-    /// monotone (every float op in `v` and `taper` is a monotone rounding
-    /// of a monotone real function), so its true-region is downward
+    /// If the bisection's predicate `P(x) = taper(v(i_raw·x)) > x` is
+    /// weakly monotone at the float level, its true-region is downward
     /// closed and 24 halvings of `[0, 1]` land on the *unique* dyadic
     /// `lo = k/2²⁴` with `P(lo)` true (or `k = 0`) and `P(lo + 2⁻²⁴)`
-    /// false (or `k + 1 = 2²⁴`). Every midpoint is an exact dyadic
+    /// false (or `k + 1 = 2²⁴`) — every midpoint is an exact dyadic
     /// binary64 value, so any route to that `k` returns identical bits.
+    /// `P` is monotone as a real function, and each float op rounds a
+    /// monotone piece, but the absorption term `fl(i)/fl(1 + i)` rounds
+    /// its numerator and denominator independently, so ulp-level
+    /// monotonicity is *not* proven for large currents. The equality is
+    /// therefore pinned two ways: a proptest drives this function against
+    /// [`PowerRail::bisect_taper_fraction`] across randomized curves and
+    /// currents, and debug builds re-run the bisection on every fast-path
+    /// return and assert bit equality — a silent trajectory divergence
+    /// becomes a loud failure.
     ///
     /// Fast path: solve the fixed point `x = taper(v(i_raw·x))` on the
     /// linear taper segment in closed form (a quadratic in `i_raw·x`),
@@ -243,12 +251,25 @@ impl PowerRail {
                     let lo_ok = kk == 0.0 || p(lo);
                     let hi_ok = kk + 1.0 >= SCALE || !p((kk + 1.0) / SCALE);
                     if lo_ok && hi_ok {
+                        debug_assert_eq!(
+                            lo.to_bits(),
+                            Self::bisect_taper_fraction(curve, i_raw).to_bits(),
+                            "fast taper solve diverged from the bisection \
+                             (curve {curve:?}, i_raw {i_raw})"
+                        );
                         return lo;
                     }
                 }
             }
         }
-        // Monotone in the fraction → bisect for the regulation point.
+        Self::bisect_taper_fraction(curve, i_raw)
+    }
+
+    /// The historical 24-step bisection for the regulation point, kept as
+    /// the reference implementation and fallback: this is the function
+    /// whose output [`PowerRail::taper_fraction`] must reproduce bit for
+    /// bit.
+    fn bisect_taper_fraction(curve: &crate::VoltageCurve, i_raw: f64) -> f64 {
         let mut lo = 0.0f64;
         let mut hi = 1.0f64;
         for _ in 0..24 {
@@ -434,6 +455,70 @@ mod tests {
             v_rest.value() - v_loaded.value() > 0.04,
             "{v_rest} -> {v_loaded}"
         );
+    }
+
+    mod taper_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The analytic fast path returns bit-for-bit what the pure
+            /// 24-step bisection returns, across the whole reachable
+            /// input space: open-circuit voltage 11.3–12.9 V (soc 0–1),
+            /// absorption gain 0–1.6 (1.6·soc⁸), a generous resistance
+            /// band around the model's 0.22 Ω, and raw charge currents up
+            /// to ~8 A (solar + wind + mains ≈ 90 W on a 12 V rail).
+            #[test]
+            fn fast_taper_equals_bisection(
+                ocv in 11.3f64..12.9,
+                gain in 0.0f64..1.6,
+                r in 0.005f64..0.5,
+                i_raw in 1e-4f64..8.0,
+            ) {
+                let curve = crate::VoltageCurve {
+                    ocv,
+                    absorption_gain: gain,
+                    resistance_ohm: r,
+                };
+                let fast = PowerRail::taper_fraction(&curve, i_raw);
+                let bisect = PowerRail::bisect_taper_fraction(&curve, i_raw);
+                prop_assert_eq!(
+                    fast.to_bits(),
+                    bisect.to_bits(),
+                    "fast {} vs bisection {} (curve {:?}, i_raw {})",
+                    fast,
+                    bisect,
+                    curve,
+                    i_raw
+                );
+            }
+        }
+
+        /// Opt-in stress variant of `fast_taper_equals_bisection`: half a
+        /// million randomized cases. Run with
+        /// `cargo test -p glacsweb-power --release -- --ignored`.
+        #[test]
+        #[ignore = "stress: 500k randomized cases, run explicitly"]
+        fn fast_taper_equals_bisection_stress() {
+            use proptest::test_runner::{Config, TestRunner};
+            let mut runner = TestRunner::new(Config::with_cases(500_000));
+            runner
+                .run(
+                    &(11.3f64..12.9, 0.0f64..1.6, 0.005f64..0.5, 1e-4f64..8.0),
+                    |(ocv, gain, r, i_raw)| {
+                        let curve = crate::VoltageCurve {
+                            ocv,
+                            absorption_gain: gain,
+                            resistance_ohm: r,
+                        };
+                        let fast = PowerRail::taper_fraction(&curve, i_raw);
+                        let bisect = PowerRail::bisect_taper_fraction(&curve, i_raw);
+                        prop_assert_eq!(fast.to_bits(), bisect.to_bits());
+                        Ok(())
+                    },
+                )
+                .expect("fast taper solve must match the bisection");
+        }
     }
 
     #[test]

@@ -63,18 +63,35 @@ impl SimRng {
         self.pos
     }
 
-    /// Advances the stream by exactly `n` raw outputs without
-    /// materialising them — counter-indexed jump-ahead.
+    /// Skips below this crank the generator; skips at or above it jump
+    /// algebraically. Roughly where ~log₂(n) 256×256 GF(2) matrix
+    /// squarings start beating n plain state transitions.
+    const JUMP_THRESHOLD: u64 = 1 << 18;
+
+    /// Advances the stream by exactly `n` raw outputs.
     ///
     /// After `skip_raw(n)` the generator state (and [`SimRng::position`])
     /// is identical to having called `next_u64` `n` times and discarded
-    /// the results. The Box–Muller spare is untouched: skipping is a
-    /// raw-stream operation, so leap code that replaces `normal()` calls
-    /// must skip the *raw* draws those calls would have made and clear or
-    /// preserve the spare to match the stepped path's parity.
+    /// the results. Short skips (below ~2¹⁸) do exactly that — an O(n)
+    /// crank. Longer skips jump instead: the xoshiro256++ state
+    /// transition is linear over GF(2), so `n` steps are the 256-bit
+    /// matrix power `Tⁿ` applied to the state, computed with O(log n)
+    /// bit-matrix squarings and no intermediate outputs materialised.
+    /// Both routes land on the identical state, which the jump-vs-crank
+    /// tests pin across the threshold.
+    ///
+    /// The Box–Muller spare is untouched: skipping is a raw-stream
+    /// operation, so leap code that replaces `normal()` calls must skip
+    /// the *raw* draws those calls would have made and clear or preserve
+    /// the spare to match the stepped path's parity.
     pub fn skip_raw(&mut self, n: u64) {
-        for _ in 0..n {
-            self.raw_next_u64();
+        if n < Self::JUMP_THRESHOLD {
+            for _ in 0..n {
+                self.raw_next_u64();
+            }
+        } else {
+            self.s = jump_state(self.s, n);
+            self.pos = self.pos.wrapping_add(n);
         }
     }
 
@@ -108,13 +125,7 @@ impl SimRng {
             .wrapping_add(self.s[3])
             .rotate_left(23)
             .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        self.s = step_state(self.s);
         result
     }
 
@@ -206,6 +217,74 @@ impl SimRng {
         assert!(!items.is_empty(), "cannot choose from an empty slice");
         &items[self.below(items.len() as u64) as usize]
     }
+}
+
+/// One xoshiro256++ state transition — the linear part of
+/// [`SimRng::raw_next_u64`], with no output computed. Every operation
+/// (xor, left shift, rotation) is linear over GF(2), which is what makes
+/// the matrix jump in [`jump_state`] exact.
+fn step_state(mut s: [u64; 4]) -> [u64; 4] {
+    let t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = s[3].rotate_left(45);
+    s
+}
+
+/// A 256×256 GF(2) matrix stored as 256 columns, each a 256-bit vector
+/// packed into four words in state order (`s[0]` low).
+type BitMatrix = Vec<[u64; 4]>;
+
+/// The state-transition matrix `T`: column `j` is [`step_state`] applied
+/// to the `j`-th basis state.
+fn transition_matrix() -> BitMatrix {
+    (0..256)
+        .map(|j| {
+            let mut e = [0u64; 4];
+            e[j / 64] = 1u64 << (j % 64);
+            step_state(e)
+        })
+        .collect()
+}
+
+/// Matrix–vector product over GF(2): XOR of the columns selected by the
+/// set bits of `v`.
+fn mat_vec(m: &[[u64; 4]], v: [u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (j, col) in m.iter().enumerate() {
+        if (v[j / 64] >> (j % 64)) & 1 == 1 {
+            for (o, c) in out.iter_mut().zip(col) {
+                *o ^= c;
+            }
+        }
+    }
+    out
+}
+
+/// Matrix product over GF(2), column representation: column `j` of `A·B`
+/// is `A` applied to column `j` of `B`.
+fn mat_mul(a: &[[u64; 4]], b: &[[u64; 4]]) -> BitMatrix {
+    b.iter().map(|&col| mat_vec(a, col)).collect()
+}
+
+/// `Tⁿ` applied to `s` by square-and-multiply: the state after `n` raw
+/// steps, without materialising any of them.
+fn jump_state(s: [u64; 4], mut n: u64) -> [u64; 4] {
+    let mut v = s;
+    let mut m = transition_matrix();
+    while n > 0 {
+        if n & 1 == 1 {
+            v = mat_vec(&m, v);
+        }
+        n >>= 1;
+        if n > 0 {
+            m = mat_mul(&m, &m);
+        }
+    }
+    v
 }
 
 impl RngCore for SimRng {
@@ -343,6 +422,44 @@ mod tests {
         }
         assert_eq!(skipped, stepped);
         assert_eq!(skipped.next_u64(), stepped.next_u64());
+    }
+
+    #[test]
+    fn skip_raw_jump_path_matches_discarded_draws() {
+        // Pin the matrix jump against the plain crank on both sides of
+        // the threshold and just past it.
+        for n in [
+            SimRng::JUMP_THRESHOLD - 1,
+            SimRng::JUMP_THRESHOLD,
+            SimRng::JUMP_THRESHOLD + 12_345,
+        ] {
+            let mut skipped = SimRng::seed_from(77);
+            let mut stepped = SimRng::seed_from(77);
+            skipped.skip_raw(n);
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            assert_eq!(skipped, stepped, "n = {n}");
+            assert_eq!(skipped.next_u64(), stepped.next_u64());
+        }
+    }
+
+    #[test]
+    fn giant_skips_compose() {
+        // Distances too far to cross-check by cranking: one big jump
+        // equals the same distance covered in jump-sized chunks plus a
+        // cranked remainder, and the position tracks exactly.
+        let total = 5 * SimRng::JUMP_THRESHOLD + 3;
+        let mut one = SimRng::seed_from(9);
+        let mut parts = SimRng::seed_from(9);
+        one.skip_raw(total);
+        for _ in 0..5 {
+            parts.skip_raw(SimRng::JUMP_THRESHOLD);
+        }
+        parts.skip_raw(3);
+        assert_eq!(one, parts);
+        assert_eq!(one.position(), total);
+        assert_eq!(one.next_u64(), parts.next_u64());
     }
 
     #[test]

@@ -72,7 +72,16 @@ impl<E> EventWheel<E> {
 
     /// Schedules every event in `events` at `time` with one bucket
     /// lookup, preserving their order.
+    ///
+    /// An empty iterator is a no-op: no bucket is created, so `pop`,
+    /// `peek_time` and `len` stay consistent (an empty calendar bucket
+    /// would make `pop` return `None` while `peek_time` still reported
+    /// pending work).
     pub fn push_batch(&mut self, time: SimTime, events: impl IntoIterator<Item = E>) {
+        let mut events = events.into_iter().peekable();
+        if events.peek().is_none() {
+            return;
+        }
         let bucket = self.calendar.entry(time).or_default();
         for event in events {
             let seq = self.seq;
@@ -188,6 +197,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut w: EventWheel<u32> = EventWheel::new();
+        w.push_batch(SimTime::from_unix(10), std::iter::empty());
+        assert!(w.is_empty());
+        assert_eq!(w.buckets(), 0, "no phantom bucket");
+        assert_eq!(w.peek_time(), None);
+        assert_eq!(w.pop(), None);
+        // A later real push at the same instant behaves normally.
+        w.push_batch(SimTime::from_unix(10), std::iter::empty());
+        w.push(SimTime::from_unix(10), 7);
+        assert_eq!(w.peek_time(), Some(SimTime::from_unix(10)));
+        assert_eq!(w.pop(), Some((SimTime::from_unix(10), 7)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
     fn peek_len_clear() {
         let mut w = EventWheel::new();
         assert!(w.is_empty());
@@ -250,19 +275,24 @@ mod tests {
             }
         }
 
-        /// Batch scheduling equals the same events pushed one by one.
+        /// Batch scheduling equals the same events pushed one by one —
+        /// including empty batches, which must leave no trace.
         #[test]
         fn batch_equals_singles(
-            times in proptest::collection::vec(0u64..20, 1..50),
+            batches in proptest::collection::vec((0u64..20, 0usize..4), 1..50),
         ) {
             let mut batched = EventWheel::new();
             let mut singles = EventWheel::new();
-            for (i, t) in times.iter().enumerate() {
+            for (i, (t, size)) in batches.iter().enumerate() {
                 let t = SimTime::from_unix(*t);
-                batched.push_batch(t, [(i, 0), (i, 1)]);
-                singles.push(t, (i, 0));
-                singles.push(t, (i, 1));
+                batched.push_batch(t, (0..*size).map(|j| (i, j)));
+                for j in 0..*size {
+                    singles.push(t, (i, j));
+                }
             }
+            prop_assert_eq!(batched.len(), singles.len());
+            prop_assert_eq!(batched.buckets(), singles.buckets());
+            prop_assert_eq!(batched.peek_time(), singles.peek_time());
             loop {
                 let (a, b) = (batched.pop(), singles.pop());
                 prop_assert_eq!(a, b);
