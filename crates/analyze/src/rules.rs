@@ -146,9 +146,13 @@ pub fn classify(rel: &str) -> FileScope {
 /// Crates whose library code must be deterministic. The obs crate is in
 /// scope because telemetry feeds byte-identity checks: a recorder that
 /// consulted wall time or hashed-by-address maps would break them.
-pub const DETERMINISM_CRATES: &[&str] = &["sim", "env", "core", "sweep", "obs"];
-/// Crates whose library code must be panic-free.
-pub const PANIC_CRATES: &[&str] = &["station", "server", "power", "faults", "link", "obs"];
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "env", "core", "sweep", "obs", "snapshot"];
+/// Crates whose library code must be panic-free. The snapshot crate is in
+/// scope because checkpoints are parsed from disk: any byte sequence must
+/// come back as a typed `SnapshotError`, never a panic.
+pub const PANIC_CRATES: &[&str] = &[
+    "station", "server", "power", "faults", "link", "obs", "snapshot",
+];
 
 /// `true` if the numeric-safety rule applies to this file: all of the
 /// power crate's unit math, plus the station's schedule and power-state

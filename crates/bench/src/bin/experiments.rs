@@ -104,6 +104,10 @@ fn run_one(name: &str, seed: u64, want_json: bool) -> (String, Option<String>) {
             let r = exp::chaos::run(seed);
             pack(&r, r.render(), want_json)
         }
+        "checkpoint" => {
+            let r = exp::checkpoint::run(seed);
+            pack(&r, r.render(), want_json)
+        }
         _ => unreachable!("validated against EXPERIMENTS"),
     }
 }

@@ -5,10 +5,11 @@
 //! ```text
 //! cargo run -p glacsweb-bench --bin perf --release -- \
 //!     [--days N] [--cells K] [--threads N] [--repeat R] \
-//!     [--label S] [--out PATH] [--check]
+//!     [--label S] [--out PATH] [--check] \
+//!     [--checkpoint-every D] [--snapshot PATH] [--restore PATH]
 //! ```
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! 1. **Single-run hot path** — one standard two-station deployment with
 //!    probes over `--days` simulated days, reported as sim-days/second.
@@ -25,6 +26,22 @@
 //!    environment tick loop, the power-rail integration (charge-taper
 //!    solve included), event-wheel scheduling, and metrics reduction,
 //!    each timed in isolation.
+//! 4. **Snapshot cost** — what durable checkpoints cost: state capture +
+//!    binary encode, the atomic save to disk, the verified load +
+//!    restore, and the warm-start sweep speedup (every cell resumed from
+//!    a mid-run checkpoint vs run from scratch, with the resumed
+//!    fingerprints checked against the cold ones bit for bit).
+//!
+//! # Checkpointing the measured run
+//!
+//! `--checkpoint-every D` makes the single-run measurement checkpoint to
+//! `--snapshot PATH` (default `glacsweb-perf.snap`) every `D` sim-days —
+//! the measured throughput then *includes* checkpointing, which is the
+//! honest number for a crash-safe campaign. `--restore PATH` warm-starts
+//! the single run from an earlier checkpoint instead of building fresh
+//! and simulates only the remaining horizon. Both paths must land on the
+//! same trajectory fingerprint as an uninterrupted run; the binary
+//! asserts it.
 //!
 //! # The committed history
 //!
@@ -53,7 +70,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use glacsweb::DeploymentBuilder;
+use glacsweb::{Deployment, DeploymentBuilder};
 use glacsweb_env::{EnvConfig, Environment};
 use glacsweb_link::GprsConfig;
 use glacsweb_power::{Charger, LeadAcidBattery, PowerRail, SolarPanel, WindTurbine};
@@ -61,8 +78,8 @@ use glacsweb_sim::{AmpHours, EventWheel, SimDuration, SimTime, Watts};
 use glacsweb_station::StationConfig;
 use serde::{Serialize, Value};
 
-/// Schema version stamped on each appended record.
-const SCHEMA: u64 = 2;
+/// Schema version stamped on each appended record (3 adds `snapshot`).
+const SCHEMA: u64 = 3;
 
 /// One `BENCH_PERF.json` record.
 #[derive(Serialize)]
@@ -72,6 +89,7 @@ struct PerfRecord {
     single_run: SingleRun,
     sweep: Sweep,
     kernel: Kernel,
+    snapshot: SnapshotPerf,
 }
 
 #[derive(Serialize)]
@@ -110,6 +128,31 @@ struct Kernel {
     metrics_secs: f64,
 }
 
+/// What durable checkpoints cost, measured on the standard deployment.
+#[derive(Serialize)]
+struct SnapshotPerf {
+    /// Sim-days the measured deployment had run when captured.
+    days: u64,
+    /// Encoded snapshot size (envelope + payload), bytes.
+    snapshot_bytes: u64,
+    /// State capture + binary encode, in memory.
+    capture_secs: f64,
+    /// Atomic write-then-rename to disk (includes a fresh capture).
+    save_secs: f64,
+    /// Read + checksum verify + decode + `Deployment::restore`.
+    load_secs: f64,
+    /// Cells in the warm-start sweep comparison.
+    warm_cells: usize,
+    /// Sim-days each sweep cell covers in total.
+    warm_cell_days: u64,
+    /// Every cell run from scratch over the full horizon.
+    cold_sweep_secs: f64,
+    /// Every cell resumed from its mid-run checkpoint (restore included).
+    warm_sweep_secs: f64,
+    /// `cold_sweep_secs / warm_sweep_secs` — what checkpoint reuse buys.
+    warm_start_speedup: f64,
+}
+
 /// Days of the single-run measurement.
 const DEFAULT_DAYS: u64 = 60;
 /// Cells in the sweep measurement.
@@ -129,6 +172,9 @@ struct Args {
     label: String,
     out: String,
     check: bool,
+    checkpoint_every: Option<u64>,
+    snapshot: String,
+    restore: Option<String>,
 }
 
 fn parse(mut argv: impl Iterator<Item = String>) -> Args {
@@ -140,6 +186,9 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Args {
         label: "local".to_string(),
         out: "BENCH_PERF.json".to_string(),
         check: false,
+        checkpoint_every: None,
+        snapshot: "glacsweb-perf.snap".to_string(),
+        restore: None,
     };
     while let Some(arg) = argv.next() {
         let mut value = |flag: &str| {
@@ -165,42 +214,164 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Args {
             "--label" => args.label = value("--label"),
             "--out" => args.out = value("--out"),
             "--check" => args.check = true,
+            "--checkpoint-every" => {
+                let every: u64 = value("--checkpoint-every")
+                    .parse()
+                    .expect("--checkpoint-every must be a number of sim-days");
+                assert!(every >= 1, "--checkpoint-every must be at least 1 day");
+                args.checkpoint_every = Some(every);
+            }
+            "--snapshot" => args.snapshot = value("--snapshot"),
+            "--restore" => args.restore = Some(value("--restore")),
             other => panic!(
                 "unknown argument {other:?}; perf [--days N] [--cells K] [--threads N] \
-                 [--repeat R] [--label S] [--out PATH] [--check]"
+                 [--repeat R] [--label S] [--out PATH] [--check] \
+                 [--checkpoint-every D] [--snapshot PATH] [--restore PATH]"
             ),
         }
     }
     args
 }
 
-/// One standard field deployment (the Fig 5 configuration), run for
-/// `days` and reduced to a cheap fingerprint for equality checks.
-fn run_cell(seed: u64, days: u64) -> (u64, u64, u32) {
+/// The standard field deployment (the Fig 5 configuration), unstarted.
+fn standard_deployment(seed: u64) -> Deployment {
     let mut base = StationConfig::base_2008();
     base.gprs = GprsConfig::field();
-    let mut d = DeploymentBuilder::new(EnvConfig::vatnajokull())
+    DeploymentBuilder::new(EnvConfig::vatnajokull())
         .seed(seed)
         .start(SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0))
         .base(base)
         .reference(StationConfig::reference_2008())
         .probes(4)
-        .build();
-    d.run_days(days);
+        .build()
+}
+
+/// Summary fingerprint for cheap equality checks.
+fn fingerprint(d: &Deployment) -> (u64, u64, u32) {
     let s = d.summary();
     (s.windows_run, s.data_uploaded.value(), s.dgps_fixes as u32)
 }
 
+/// One standard deployment run for `days`, reduced to its fingerprint.
+fn run_cell(seed: u64, days: u64) -> (u64, u64, u32) {
+    let mut d = standard_deployment(seed);
+    d.run_days(days);
+    fingerprint(&d)
+}
+
+/// The single-run measurement body, honouring the checkpoint/restore
+/// flags: a warm start resumes from the snapshot and simulates only the
+/// remaining horizon; `--checkpoint-every` splits the run into legs with
+/// a durable checkpoint after each.
+fn single_run(days: u64, args: &Args) -> (u64, u64, u32) {
+    let mut d = match &args.restore {
+        Some(path) => Deployment::resume(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("cannot restore {path}: {e}")),
+        None => standard_deployment(2009),
+    };
+    let horizon = d.start() + SimDuration::from_days(days);
+    match args.checkpoint_every {
+        Some(every) => {
+            while d.now() < horizon {
+                let leg = (d.now() + SimDuration::from_days(every)).min(horizon);
+                d.run_until(leg);
+                d.checkpoint(std::path::Path::new(&args.snapshot))
+                    .unwrap_or_else(|e| panic!("cannot checkpoint {}: {e}", args.snapshot));
+            }
+        }
+        None => d.run_until(horizon),
+    }
+    fingerprint(&d)
+}
+
 /// Fastest of `repeat` single runs, with the (identical) fingerprint.
-fn measure_single(days: u64, repeat: u64) -> (f64, (u64, u64, u32)) {
+fn measure_single(days: u64, repeat: u64, args: &Args) -> (f64, (u64, u64, u32)) {
     let mut best = f64::INFINITY;
-    let mut fingerprint = (0, 0, 0);
+    let mut result = (0, 0, 0);
     for _ in 0..repeat {
         let started = Instant::now();
-        fingerprint = run_cell(2009, days);
+        result = single_run(days, args);
         best = best.min(started.elapsed().as_secs_f64());
     }
-    (best, fingerprint)
+    // Checkpointed and warm-started runs must still land on the plain
+    // trajectory — splitting or resuming never changes the physics.
+    if args.checkpoint_every.is_some() || args.restore.is_some() {
+        assert_eq!(
+            result,
+            run_cell(2009, days),
+            "checkpoint/restore perturbed the trajectory"
+        );
+    }
+    (best, result)
+}
+
+/// Snapshot cost on the standard deployment, plus the warm-start sweep
+/// comparison (see [`SnapshotPerf`]).
+fn measure_snapshot(days: u64, cells: usize, threads: usize) -> SnapshotPerf {
+    let mut d = standard_deployment(2009);
+    d.run_days(days);
+
+    let started = Instant::now();
+    let bytes = glacsweb_snapshot::to_bytes(&d.snapshot());
+    let capture_secs = started.elapsed().as_secs_f64();
+
+    let path = std::env::temp_dir().join(format!("glacsweb-perf-{}.snap", std::process::id()));
+    let started = Instant::now();
+    d.checkpoint(&path)
+        .unwrap_or_else(|e| panic!("cannot checkpoint {}: {e}", path.display()));
+    let save_secs = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let resumed = Deployment::resume(&path)
+        .unwrap_or_else(|e| panic!("cannot resume {}: {e}", path.display()));
+    let load_secs = started.elapsed().as_secs_f64();
+    assert_eq!(fingerprint(&d), fingerprint(&resumed));
+    let _ = std::fs::remove_file(&path);
+
+    // Warm-start sweep: every cell from scratch vs every cell resumed
+    // from its own mid-run checkpoint (restore time included in the warm
+    // pass — that is the price a warm-started campaign actually pays).
+    let warm_cell_days = CELL_DAYS;
+    let half = warm_cell_days / 2;
+    let seeds: Vec<u64> = (0..cells as u64).collect();
+    let started = Instant::now();
+    let cold = glacsweb_sweep::run_cells(seeds.clone(), threads, |seed| {
+        run_cell(seed, warm_cell_days)
+    });
+    let cold_sweep_secs = started.elapsed().as_secs_f64();
+    let checkpoints: Vec<Vec<u8>> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut d = standard_deployment(seed);
+            d.run_days(half);
+            glacsweb_snapshot::to_bytes(&d.snapshot())
+        })
+        .collect();
+    let started = Instant::now();
+    let warm = glacsweb_sweep::run_cells(checkpoints, threads, |bytes| {
+        let state = glacsweb_snapshot::from_bytes(&bytes).expect("snapshot decodes");
+        let mut d = Deployment::restore(state).expect("snapshot restores");
+        d.run_days(warm_cell_days - half);
+        fingerprint(&d)
+    });
+    let warm_sweep_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        cold, warm,
+        "warm-started cells must land on the cold trajectories"
+    );
+
+    SnapshotPerf {
+        days,
+        snapshot_bytes: bytes.len() as u64,
+        capture_secs,
+        save_secs,
+        load_secs,
+        warm_cells: cells,
+        warm_cell_days,
+        cold_sweep_secs,
+        warm_sweep_secs,
+        warm_start_speedup: cold_sweep_secs / warm_sweep_secs,
+    }
 }
 
 /// Component timings in isolation (see [`Kernel`]).
@@ -304,7 +475,7 @@ fn main() {
             );
             std::process::exit(1);
         };
-        let (secs, fingerprint) = measure_single(args.days, args.repeat);
+        let (secs, fingerprint) = measure_single(args.days, args.repeat, &args);
         let fresh = args.days as f64 / secs;
         let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
         println!(
@@ -331,11 +502,17 @@ fn main() {
 
     let threads = glacsweb_sweep::resolve_threads(args.threads);
 
-    // 1. Single-run hot path.
-    let (single_secs, fingerprint) = measure_single(args.days, args.repeat);
+    // 1. Single-run hot path (checkpointing/warm start included when the
+    // flags say so — the printed mode makes the difference auditable).
+    let (single_secs, fingerprint) = measure_single(args.days, args.repeat, &args);
     let sim_days_per_sec = args.days as f64 / single_secs;
+    let mode = match (&args.checkpoint_every, &args.restore) {
+        (Some(every), _) => format!(" [checkpoint every {every}d -> {}]", args.snapshot),
+        (None, Some(path)) => format!(" [warm start from {path}]"),
+        (None, None) => String::new(),
+    };
     println!(
-        "single run: {} sim days in {:.3}s (best of {}) = {:.1} sim-days/sec (summary {:?})",
+        "single run{mode}: {} sim days in {:.3}s (best of {}) = {:.1} sim-days/sec (summary {:?})",
         args.days, single_secs, args.repeat, sim_days_per_sec, fingerprint
     );
 
@@ -377,6 +554,24 @@ fn main() {
         kernel.metrics_secs,
     );
 
+    // 4. Snapshot cost and warm-start speedup.
+    let snapshot = measure_snapshot(args.days, args.cells, threads);
+    println!(
+        "snapshot: {} bytes after {} days; capture {:.4}s, save {:.4}s, load {:.4}s; \
+         warm-start sweep ({} cells x {} days, resume at half): cold {:.2}s vs warm {:.2}s \
+         = {:.2}x",
+        snapshot.snapshot_bytes,
+        snapshot.days,
+        snapshot.capture_secs,
+        snapshot.save_secs,
+        snapshot.load_secs,
+        snapshot.warm_cells,
+        snapshot.warm_cell_days,
+        snapshot.cold_sweep_secs,
+        snapshot.warm_sweep_secs,
+        snapshot.warm_start_speedup,
+    );
+
     let record = PerfRecord {
         schema: SCHEMA,
         label: args.label,
@@ -397,6 +592,7 @@ fn main() {
             speedup,
         },
         kernel,
+        snapshot,
     };
     let mut history = read_history(&args.out);
     history.push(record.to_value());

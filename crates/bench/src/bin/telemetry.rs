@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run -p glacsweb-bench --bin telemetry --release -- \
-//!     [--seed N] [--days N] [--threads N] [--out PATH]
+//!     [--seed N] [--days N] [--threads N] [--out PATH] \
+//!     [--checkpoint-every D] [--snapshot PATH] [--restore PATH]
 //! ```
 //!
 //! Determinism contract: recorders never consume simulation randomness,
@@ -16,8 +17,18 @@
 //! file is **byte-identical** for the same seed at any `--threads`
 //! value. CI runs this twice (`--threads 1` vs `--threads 8`) and
 //! `cmp`s the outputs.
+//!
+//! The checkpoint flags extend the same contract across process
+//! boundaries: `--checkpoint-every D` persists the main deployment to
+//! `--snapshot PATH` every `D` sim-days, and `--restore PATH` revives it
+//! in a *fresh process* and runs it to the `--days` horizon. Because the
+//! snapshot carries the telemetry registries, the restored process's
+//! export covers the whole deployment from day zero — CI `cmp`s it
+//! against a straight run's export byte for byte.
 
-use glacsweb::Scenario;
+use std::path::Path;
+
+use glacsweb::{Deployment, Scenario};
 use glacsweb_obs::{merge_all, MemoryRecorder, Origin};
 
 /// Number of cells in the observed seed sweep.
@@ -27,9 +38,35 @@ const SWEEP_CELLS: u64 = 4;
 const SWEEP_DAYS: u64 = 10;
 
 /// The main observed deployment: Iceland 2008, both stations, probes.
-fn run_deployment(seed: u64, days: u64) -> MemoryRecorder {
-    let mut d = Scenario::iceland_2008().seed(seed).observe().build();
-    d.run_days(days);
+///
+/// `--restore` swaps the fresh build for a revived checkpoint;
+/// `--checkpoint-every` splits the run into legs with a durable
+/// checkpoint after each. Neither changes the trajectory — the CI
+/// snapshot-equivalence job proves it with `cmp`.
+fn run_deployment(
+    seed: u64,
+    days: u64,
+    checkpoint_every: Option<u64>,
+    snapshot: &str,
+    restore: Option<&str>,
+) -> MemoryRecorder {
+    let mut d = match restore {
+        Some(path) => Deployment::resume(Path::new(path))
+            .unwrap_or_else(|e| panic!("cannot restore {path}: {e}")),
+        None => Scenario::iceland_2008().seed(seed).observe().build(),
+    };
+    let horizon = d.start() + glacsweb_sim::SimDuration::from_days(days);
+    match checkpoint_every {
+        Some(every) => {
+            while d.now() < horizon {
+                let leg = (d.now() + glacsweb_sim::SimDuration::from_days(every)).min(horizon);
+                d.run_until(leg);
+                d.checkpoint(Path::new(snapshot))
+                    .unwrap_or_else(|e| panic!("cannot checkpoint {snapshot}: {e}"));
+            }
+        }
+        None => d.run_until(horizon),
+    }
     d.telemetry().unwrap_or_default()
 }
 
@@ -52,6 +89,9 @@ fn main() {
     let mut days = 30u64;
     let mut threads_arg = None;
     let mut out = String::from("TELEMETRY.json");
+    let mut checkpoint_every = None;
+    let mut snapshot = String::from("glacsweb-telemetry.snap");
+    let mut restore = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,13 +110,25 @@ fn main() {
             "--out" => {
                 out = args.next().expect("--out needs a path");
             }
+            "--checkpoint-every" => {
+                let v = args.next().expect("--checkpoint-every needs a value");
+                let every: u64 = v.parse().expect("checkpoint interval must be sim-days");
+                assert!(every >= 1, "--checkpoint-every must be at least 1 day");
+                checkpoint_every = Some(every);
+            }
+            "--snapshot" => {
+                snapshot = args.next().expect("--snapshot needs a path");
+            }
+            "--restore" => {
+                restore = Some(args.next().expect("--restore needs a path"));
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
     let threads = glacsweb_sweep::resolve_threads(threads_arg);
 
     println!("== glacsweb telemetry export (seed {seed}, {days} days) ==");
-    let deployment = run_deployment(seed, days);
+    let deployment = run_deployment(seed, days, checkpoint_every, &snapshot, restore.as_deref());
     let (cells, sweep) = run_sweep(seed, threads);
     for &(cell_seed, windows) in &cells {
         println!("sweep cell seed {cell_seed}: {windows} windows over {SWEEP_DAYS} days");

@@ -29,6 +29,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "priority",
     "sites",
     "chaos",
+    "checkpoint",
 ];
 
 /// Parsed command line of the `experiments` binary.
@@ -104,8 +105,8 @@ mod tests {
     }
 
     #[test]
-    fn sixteen_experiments_cover_the_paper_plus_extensions() {
-        assert_eq!(EXPERIMENTS.len(), 16);
+    fn seventeen_experiments_cover_the_paper_plus_extensions() {
+        assert_eq!(EXPERIMENTS.len(), 17);
     }
 
     #[test]

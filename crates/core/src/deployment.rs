@@ -6,12 +6,14 @@ use glacsweb_obs::{Event, MemoryRecorder, NullRecorder, Origin, Recorder};
 use glacsweb_probe::{MortalityModel, ProbeFirmware};
 use glacsweb_server::SouthamptonServer;
 use glacsweb_sim::{Bytes, EventWheel, SimDuration, SimRng, SimTime};
-use glacsweb_station::{Station, StationConfig, StationId};
+use glacsweb_snapshot::SnapshotError;
+use glacsweb_station::{Station, StationConfig, StationId, StationState};
+use serde::{Deserialize, Serialize};
 
 use crate::metrics::{DeploymentSummary, Metrics};
 
 /// World events driving the deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum WorldEvent {
     /// MSP430 half-hour tick for one station (voltage sample + any dGPS
     /// slot that falls on this tick).
@@ -248,6 +250,39 @@ impl RawU64 for SimRng {
     }
 }
 
+/// The complete persisted state of a [`Deployment`] — everything the
+/// event loop needs to resume bit-identically: environment models and
+/// their RNG position, both stations down to retry counters and telemetry
+/// registries, the probe cohort and its mortality draws, the event wheel
+/// with its FIFO arrival counter, metrics, and the fault plan with every
+/// in-flight activation.
+///
+/// Derived caches (environment step-caches, the power rail's taper memo)
+/// are deliberately *not* captured; they serialize as null and rebuild on
+/// first use, which cannot perturb the trajectory because they memoize
+/// pure functions of captured state.
+///
+/// Obtain one with [`Deployment::snapshot`]; turn it back into a live
+/// world with [`Deployment::restore`]. The struct is opaque by design —
+/// its only contract is the round trip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentState {
+    env: Environment,
+    server: SouthamptonServer,
+    base: Option<StationState>,
+    reference: Option<StationState>,
+    probes: Vec<ProbeFirmware>,
+    death_times: Vec<Option<SimTime>>,
+    probe_rng: SimRng,
+    probe_interval: SimDuration,
+    queue: EventWheel<WorldEvent>,
+    start: SimTime,
+    now: SimTime,
+    metrics: Metrics,
+    fault_plan: FaultPlan,
+    world_obs: Option<MemoryRecorder>,
+}
+
 /// A running Glacsweb deployment.
 pub struct Deployment {
     env: Environment,
@@ -322,6 +357,12 @@ impl Deployment {
     /// Collected metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Events currently pending in the world queue (ticks, windows,
+    /// probe sweeps, fault transitions).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Runs the event loop until `until`.
@@ -432,6 +473,138 @@ impl Deployment {
             }
         }
         Some(merged)
+    }
+
+    /// Captures the complete runtime state for persistence.
+    ///
+    /// The capture is pure observation: it never consumes randomness,
+    /// advances clocks or drains telemetry, so a run that checkpoints
+    /// every N days takes the exact same trajectory as one that never
+    /// checkpoints. Pair with [`Deployment::restore`]; write to disk with
+    /// [`Deployment::checkpoint`].
+    pub fn snapshot(&self) -> DeploymentState {
+        DeploymentState {
+            env: self.env.clone(),
+            server: self.server.clone(),
+            base: self.base.as_ref().map(Station::snapshot),
+            reference: self.reference.as_ref().map(Station::snapshot),
+            probes: self.probes.clone(),
+            death_times: self.death_times.clone(),
+            probe_rng: self.probe_rng.clone(),
+            probe_interval: self.probe_interval,
+            queue: self.queue.clone(),
+            start: self.start,
+            now: self.now,
+            metrics: self.metrics.clone(),
+            fault_plan: self.fault_plan.clone(),
+            world_obs: self.world_obs.memory().cloned(),
+        }
+    }
+
+    /// Rebuilds a live deployment from captured state.
+    ///
+    /// Every cross-field invariant the builder establishes is re-imposed
+    /// here, so a corrupted or hand-crafted snapshot yields a typed
+    /// [`SnapshotError::Invalid`] instead of a world that panics later:
+    /// the fault plan must validate, mortality draws must align with the
+    /// probe cohort, the clock may not precede the start, and no queued
+    /// event may reference a station or fault spec that was not captured.
+    pub fn restore(state: DeploymentState) -> Result<Deployment, SnapshotError> {
+        if state.now < state.start {
+            return Err(SnapshotError::invalid(format!(
+                "clock {:?} precedes deployment start {:?}",
+                state.now, state.start
+            )));
+        }
+        if state.death_times.len() != state.probes.len() {
+            return Err(SnapshotError::invalid(format!(
+                "{} mortality draws for {} probes",
+                state.death_times.len(),
+                state.probes.len()
+            )));
+        }
+        if let Err(e) = state.fault_plan.validate() {
+            return Err(SnapshotError::invalid(format!(
+                "snapshot carries an invalid fault plan: {e}"
+            )));
+        }
+        let specs = state.fault_plan.specs().len();
+        for (t, event) in state.queue.iter() {
+            if t < state.now {
+                return Err(SnapshotError::invalid(format!(
+                    "queued event {event:?} at {t:?} is before the clock {:?}",
+                    state.now
+                )));
+            }
+            let station_present = |id: StationId| match id {
+                StationId::Base => state.base.is_some(),
+                StationId::Reference => state.reference.is_some(),
+            };
+            match *event {
+                WorldEvent::Tick(id) | WorldEvent::Window(id) => {
+                    if !station_present(id) {
+                        return Err(SnapshotError::invalid(format!(
+                            "queued event {event:?} targets a station the snapshot does not carry"
+                        )));
+                    }
+                }
+                WorldEvent::ProbeSample => {
+                    if state.probes.is_empty() {
+                        return Err(SnapshotError::invalid(
+                            "queued probe sample but the snapshot carries no probes",
+                        ));
+                    }
+                }
+                WorldEvent::FaultOn(spec) | WorldEvent::FaultOff(spec) => {
+                    if spec >= specs {
+                        return Err(SnapshotError::invalid(format!(
+                            "queued fault event references spec {spec} but the plan has {specs}"
+                        )));
+                    }
+                }
+            }
+        }
+        let base = state
+            .base
+            .map(Station::from_state)
+            .transpose()
+            .map_err(|e| SnapshotError::invalid(format!("base station: {e}")))?;
+        let reference = state
+            .reference
+            .map(Station::from_state)
+            .transpose()
+            .map_err(|e| SnapshotError::invalid(format!("reference station: {e}")))?;
+        let world_obs: Box<dyn Recorder> = match state.world_obs {
+            Some(memory) => Box::new(memory),
+            None => Box::new(NullRecorder),
+        };
+        Ok(Deployment {
+            env: state.env,
+            server: state.server,
+            base,
+            reference,
+            probes: state.probes,
+            death_times: state.death_times,
+            probe_rng: state.probe_rng,
+            probe_interval: state.probe_interval,
+            queue: state.queue,
+            start: state.start,
+            now: state.now,
+            metrics: state.metrics,
+            fault_plan: state.fault_plan,
+            world_obs,
+        })
+    }
+
+    /// Writes a verified snapshot of the current state to `path`
+    /// (atomic write-then-rename; see [`glacsweb_snapshot::save`]).
+    pub fn checkpoint(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        glacsweb_snapshot::save(&self.snapshot(), path)
+    }
+
+    /// Loads, verifies and revives the snapshot at `path`.
+    pub fn resume(path: &std::path::Path) -> Result<Deployment, SnapshotError> {
+        Deployment::restore(glacsweb_snapshot::load(path)?)
     }
 
     /// Telemetry origin for world events scoped to one station.
@@ -898,6 +1071,88 @@ mod tests {
             telemetry.events().iter().any(|e| e.name == "fault_on"),
             "fault activation event present"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut straight = lab_deployment(42);
+        straight.run_days(6);
+        let mut first = lab_deployment(42);
+        first.run_days(3);
+        let resumed = Deployment::restore(first.snapshot()).expect("restore");
+        // The capture itself must not perturb the original.
+        let mut untouched = first;
+        let mut resumed = resumed;
+        untouched.run_days(3);
+        resumed.run_days(3);
+        assert_eq!(straight.summary(), untouched.summary());
+        assert_eq!(straight.summary(), resumed.summary());
+        let series = |d: &Deployment| {
+            d.metrics()
+                .voltage_series(StationId::Base)
+                .expect("series")
+                .iter()
+                .map(|(t, v)| (t, v.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(series(&straight), series(&resumed), "bit-identical Fig 5");
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_active_faults() {
+        let mut base = StationConfig::base_2008();
+        base.gprs = GprsConfig::ideal();
+        let start = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+        let plan = FaultPlan::new().with(glacsweb_faults::FaultSpec {
+            fault: Fault::ServerUnreachable,
+            target: FaultTarget::Server,
+            onset: SimDuration::from_days(1),
+            duration: SimDuration::from_days(3),
+            recurrence: None,
+        });
+        let build = || {
+            DeploymentBuilder::new(EnvConfig::lab())
+                .seed(7)
+                .start(start)
+                .base(base.clone())
+                .probes(2)
+                .fault_plan(plan.clone())
+                .observe()
+                .build()
+        };
+        let mut straight = build();
+        straight.run_days(6);
+        let mut resumed = {
+            let mut d = build();
+            // Snapshot on day 2: the outage is active, its FaultOff is
+            // still queued, and uploads are failing mid-retry.
+            d.run_days(2);
+            Deployment::restore(d.snapshot()).expect("restore")
+        };
+        resumed.run_days(4);
+        assert_eq!(straight.summary(), resumed.summary());
+        let a = straight.telemetry().expect("observed");
+        let b = resumed.telemetry().expect("observed");
+        let world = Origin::new("deployment", "world");
+        assert_eq!(
+            a.counter_value(world, "faults_off"),
+            b.counter_value(world, "faults_off"),
+            "the restored world cleared the in-flight fault on schedule"
+        );
+        assert_eq!(a.events().len(), b.events().len());
+    }
+
+    #[test]
+    fn restore_rejects_misaligned_mortality_draws() {
+        let d = lab_deployment(3);
+        let mut state = d.snapshot();
+        // Reach in via serde: drop one death-time entry.
+        state.death_times.pop();
+        let err = match Deployment::restore(state) {
+            Err(e) => e,
+            Ok(_) => panic!("restore must reject misaligned mortality draws"),
+        };
+        assert!(err.to_string().contains("mortality draws"), "got: {err}");
     }
 
     #[test]

@@ -22,11 +22,13 @@
 //! | [`priority`] | extension: §VII priority-forced communication |
 //! | [`sites`] | extension: §II Norway vs Iceland winter comparison |
 //! | [`chaos`] | extension: §VI fault catalogue as chaos schedules |
+//! | [`checkpoint`] | extension: ROADMAP item 4 snapshot-equivalence |
 
 pub mod ablation;
 pub mod architecture;
 pub mod backlog;
 pub mod chaos;
+pub mod checkpoint;
 pub mod depletion;
 pub mod fig5;
 pub mod fig6;

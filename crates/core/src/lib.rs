@@ -33,9 +33,13 @@ pub mod experiments;
 mod metrics;
 mod scenario;
 
-pub use deployment::{Deployment, DeploymentBuilder};
+pub use deployment::{Deployment, DeploymentBuilder, DeploymentState};
 pub use metrics::{DeploymentSummary, Metrics};
 pub use scenario::Scenario;
+
+// Re-exported so callers handling checkpoint files can match on load
+// failures without naming the snapshot crate directly.
+pub use glacsweb_snapshot::SnapshotError;
 
 // Re-exported so experiment and test code can build chaos schedules
 // without naming the faults crate directly.

@@ -10,7 +10,7 @@ use glacsweb_station::{StationId, WindowReport};
 use serde::{Deserialize, Serialize};
 
 /// Time series and event records accumulated while a deployment runs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     voltage: BTreeMap<StationId, TimeSeries>,
     state: BTreeMap<StationId, TimeSeries>,

@@ -1,0 +1,67 @@
+//! Shared helpers for the golden-trajectory and snapshot-equivalence
+//! integration tests: both must reduce a finished deployment to the
+//! *same* canonical byte stream, or "bit-identical" would mean two
+//! different things in two test files.
+
+use glacsweb::Deployment;
+use glacsweb_station::md5::md5;
+use glacsweb_station::StationId;
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn hex(digest: [u8; 16]) -> String {
+    let mut out = String::with_capacity(32);
+    for byte in digest {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Canonical trajectory digest of a finished deployment: per-station
+/// voltage and state series (time, bit-exact value), then the summary
+/// fingerprint fields in declaration order. Extending the stream
+/// invalidates every pinned constant, so only append.
+pub fn trajectory_digest(d: &Deployment) -> String {
+    let mut buf = Vec::new();
+    for station in [StationId::Base, StationId::Reference] {
+        for series in [
+            d.metrics().voltage_series(station),
+            d.metrics().state_series(station),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            push_u64(&mut buf, series.iter().count() as u64);
+            for (t, v) in series.iter() {
+                push_u64(&mut buf, t.unix());
+                push_f64(&mut buf, v);
+            }
+        }
+    }
+
+    let s = d.summary();
+    push_f64(&mut buf, s.days);
+    push_u64(&mut buf, s.windows_run);
+    push_u64(&mut buf, s.windows_cut);
+    push_u64(&mut buf, s.recoveries);
+    push_u64(&mut buf, s.power_losses);
+    push_u64(&mut buf, s.data_uploaded.value());
+    push_f64(&mut buf, s.gprs_cost);
+    push_u64(&mut buf, s.probes_alive as u64);
+    push_u64(&mut buf, s.probes_deployed as u64);
+    push_u64(&mut buf, s.probe_readings_received as u64);
+    push_u64(&mut buf, s.dgps_fixes as u64);
+    push_f64(&mut buf, s.dgps_pairing_yield);
+    push_f64(&mut buf, s.base_energy_discharged.value());
+    push_u64(&mut buf, s.faults_injected);
+    push_u64(&mut buf, s.faults_recovered);
+    push_f64(&mut buf, s.mean_mttr_hours);
+
+    hex(md5(&buf))
+}

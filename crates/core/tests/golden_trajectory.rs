@@ -13,8 +13,8 @@
 //! change is intended (see DESIGN.md "Simulation kernel").
 
 use glacsweb::Scenario;
-use glacsweb_station::md5::md5;
-use glacsweb_station::StationId;
+
+mod common;
 
 /// Seed used by the telemetry export and CI byte-identity check.
 const SEED: u64 = 2008;
@@ -26,65 +26,12 @@ const DAYS: u64 = 60;
 /// kernel (PR 4 tree) at seed 2008 over 60 days.
 const GOLDEN: &str = "fc2382f84753c67c4a3f8683d97faf15";
 
-fn push_f64(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-
-fn push_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn hex(digest: [u8; 16]) -> String {
-    let mut out = String::with_capacity(32);
-    for byte in digest {
-        out.push_str(&format!("{byte:02x}"));
-    }
-    out
-}
-
-/// Canonical byte stream: per-station voltage and state series (time,
-/// bit-exact value), then the summary fingerprint fields in declaration
-/// order. Extending the stream invalidates the constant, so only append.
+/// Runs the pinned deployment and reduces it to the canonical digest
+/// (see `common::trajectory_digest` for the byte-stream layout).
 fn trajectory_digest(seed: u64, days: u64) -> String {
     let mut d = Scenario::iceland_2008().seed(seed).build();
     d.run_days(days);
-
-    let mut buf = Vec::new();
-    for station in [StationId::Base, StationId::Reference] {
-        for series in [
-            d.metrics().voltage_series(station),
-            d.metrics().state_series(station),
-        ]
-        .into_iter()
-        .flatten()
-        {
-            push_u64(&mut buf, series.iter().count() as u64);
-            for (t, v) in series.iter() {
-                push_u64(&mut buf, t.unix());
-                push_f64(&mut buf, v);
-            }
-        }
-    }
-
-    let s = d.summary();
-    push_f64(&mut buf, s.days);
-    push_u64(&mut buf, s.windows_run);
-    push_u64(&mut buf, s.windows_cut);
-    push_u64(&mut buf, s.recoveries);
-    push_u64(&mut buf, s.power_losses);
-    push_u64(&mut buf, s.data_uploaded.value());
-    push_f64(&mut buf, s.gprs_cost);
-    push_u64(&mut buf, s.probes_alive as u64);
-    push_u64(&mut buf, s.probes_deployed as u64);
-    push_u64(&mut buf, s.probe_readings_received as u64);
-    push_u64(&mut buf, s.dgps_fixes as u64);
-    push_f64(&mut buf, s.dgps_pairing_yield);
-    push_f64(&mut buf, s.base_energy_discharged.value());
-    push_u64(&mut buf, s.faults_injected);
-    push_u64(&mut buf, s.faults_recovered);
-    push_f64(&mut buf, s.mean_mttr_hours);
-
-    hex(md5(&buf))
+    common::trajectory_digest(&d)
 }
 
 #[test]

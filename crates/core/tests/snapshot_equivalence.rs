@@ -1,0 +1,168 @@
+//! The roadmap's snapshot-equivalence pinning test: a run that is
+//! interrupted, persisted to disk, reloaded and resumed must take the
+//! *bit-identical* trajectory of an uninterrupted run — same golden MD5
+//! digest, same telemetry bytes — including when the checkpoint lands in
+//! the middle of an active fault window.
+//!
+//! The golden constant below is the same one `golden_trajectory.rs`
+//! pins: 60 straight days must equal 30 days + checkpoint + resume + 30
+//! days, and both must equal the pre-rewrite kernel.
+
+use std::path::PathBuf;
+
+use glacsweb::{Deployment, Fault, FaultPlan, FaultSpec, FaultTarget, Scenario, SnapshotError};
+use glacsweb_env::EnvConfig;
+use glacsweb_link::GprsConfig;
+use glacsweb_sim::{SimDuration, SimTime};
+use glacsweb_station::StationConfig;
+
+mod common;
+
+/// Seed shared with `golden_trajectory.rs` and the CI telemetry check.
+const SEED: u64 = 2008;
+
+/// Same pinned constant as `golden_trajectory.rs`: seed 2008, 60 days.
+const GOLDEN: &str = "fc2382f84753c67c4a3f8683d97faf15";
+
+/// A scratch path under the target-adjacent temp dir, unique per test so
+/// parallel test threads never race on a file.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("glacsweb-snapshot-equivalence");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{name}-{}.snap", std::process::id()))
+}
+
+#[test]
+fn sixty_days_equals_thirty_plus_checkpoint_plus_thirty() {
+    let path = scratch("iceland-golden");
+
+    let mut straight = Scenario::iceland_2008().seed(SEED).build();
+    straight.run_days(60);
+    let straight_digest = common::trajectory_digest(&straight);
+    assert_eq!(straight_digest, GOLDEN, "straight run diverged");
+
+    let mut first = Scenario::iceland_2008().seed(SEED).build();
+    first.run_days(30);
+    first.checkpoint(&path).expect("checkpoint");
+    drop(first); // The first process is gone; only the file remains.
+
+    let mut resumed = Deployment::resume(&path).expect("resume");
+    resumed.run_days(30);
+    assert_eq!(
+        common::trajectory_digest(&resumed),
+        GOLDEN,
+        "resumed run diverged from the golden trajectory"
+    );
+    assert_eq!(straight.summary(), resumed.summary());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A chaos schedule whose outage brackets the checkpoint instant: the
+/// server is unreachable from day 18 to day 25, so a day-20 snapshot
+/// catches an active fault, stations mid-retry, and a stranded backlog.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with(FaultSpec {
+            fault: Fault::ServerUnreachable,
+            target: FaultTarget::Server,
+            onset: SimDuration::from_days(18),
+            duration: SimDuration::from_days(7),
+            recurrence: None,
+        })
+        .with(FaultSpec {
+            fault: Fault::GprsDegradation { severity: 3.0 },
+            target: FaultTarget::Base,
+            onset: SimDuration::from_days(5),
+            duration: SimDuration::from_days(30),
+            recurrence: None,
+        })
+}
+
+fn chaos_deployment() -> Deployment {
+    let mut base = StationConfig::base_2008();
+    base.gprs = GprsConfig::field();
+    glacsweb::DeploymentBuilder::new(EnvConfig::vatnajokull())
+        .seed(SEED)
+        .start(SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0))
+        .base(base)
+        .reference(StationConfig::reference_2008())
+        .probes(4)
+        .fault_plan(chaos_plan())
+        .observe()
+        .build()
+}
+
+#[test]
+fn equivalence_holds_while_a_fault_is_active() {
+    let path = scratch("chaos-midfault");
+
+    let mut straight = chaos_deployment();
+    straight.run_days(40);
+
+    let mut resumed = {
+        let mut d = chaos_deployment();
+        // Stop *inside* the outage, off the midday grid: uploads are
+        // failing, the retry ladder is mid-backoff, backlog is stranded.
+        d.run_until(d.start() + SimDuration::from_days(20) + SimDuration::from_hours(15));
+        d.checkpoint(&path).expect("checkpoint under chaos");
+        Deployment::resume(&path).expect("resume under chaos")
+    };
+    resumed.run_until(resumed.start() + SimDuration::from_days(40));
+
+    assert_eq!(
+        common::trajectory_digest(&straight),
+        common::trajectory_digest(&resumed),
+        "mid-fault checkpoint perturbed the trajectory"
+    );
+
+    // Telemetry — counters, daily rollups, gauges, histograms, events —
+    // survives the round trip byte-for-byte.
+    let a = straight.telemetry().expect("observed").to_json();
+    let b = resumed.telemetry().expect("observed").to_json();
+    assert_eq!(a, b, "telemetry bytes diverged after resume");
+    assert!(
+        a.contains("faults_on"),
+        "the chaos schedule actually fired during the window"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_file_round_trips_through_disk_bytes() {
+    let path = scratch("byte-stability");
+    let mut d = Scenario::iceland_2008().seed(7).build();
+    d.run_days(3);
+    d.checkpoint(&path).expect("checkpoint");
+    let bytes_first = std::fs::read(&path).expect("read");
+    // Checkpointing is a pure observation: doing it again without
+    // advancing produces identical bytes.
+    d.checkpoint(&path).expect("second checkpoint");
+    let bytes_second = std::fs::read(&path).expect("read");
+    assert_eq!(bytes_first, bytes_second, "checkpoint bytes not stable");
+
+    let resumed = Deployment::resume(&path).expect("resume");
+    assert_eq!(d.summary(), resumed.summary());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_not_resumed() {
+    let path = scratch("corrupted");
+    let mut d = Scenario::iceland_2008().seed(9).build();
+    d.run_days(2);
+    d.checkpoint(&path).expect("checkpoint");
+
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write corrupted");
+
+    match Deployment::resume(&path) {
+        Err(SnapshotError::ChecksumMismatch { .. }) => {}
+        Err(other) => panic!("expected ChecksumMismatch, got {other}"),
+        Ok(_) => panic!("a flipped byte must never resume silently"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -18,6 +18,31 @@
 
 use std::cell::{Cell, RefCell};
 
+use serde::{de, Deserialize, Serialize, Value};
+
+/// Serde for the memos mirrors their `PartialEq`: contents are derived
+/// state, so a snapshot carries nothing (`Null`) and a restore starts
+/// from an empty memo that refills bit-identically on first use.
+macro_rules! derived_state_serde {
+    ($ty:ident) => {
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Null
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(_: &Value) -> Result<Self, de::Error> {
+                Ok($ty::default())
+            }
+        }
+    };
+}
+
+derived_state_serde!(DayCell);
+derived_state_serde!(DayPair);
+derived_state_serde!(SodTable);
+
 /// Sentinel day key meaning "nothing memoised yet".
 const NO_DAY: u64 = u64::MAX;
 

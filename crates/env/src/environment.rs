@@ -1,6 +1,7 @@
 //! The composed environment façade.
 
 use glacsweb_sim::{SimRng, SimTime};
+use serde::{de, Deserialize, Serialize, Value};
 
 use crate::cafe::cafe_mains_available;
 use crate::config::EnvConfig;
@@ -41,7 +42,7 @@ impl Season {
 ///
 /// Call [`Environment::advance_to`] from the simulation's main loop before
 /// querying; queries are cheap and side-effect free.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Environment {
     config: EnvConfig,
     solar: SolarModel,
@@ -58,6 +59,38 @@ pub struct Environment {
     solar_day: DayPair,
     /// Memo of `cos(hour angle)` — a pure function of second-of-day.
     cos_hour: SodTable,
+}
+
+// Deserialization is hand-written so a snapshot cannot smuggle in a
+// configuration that `Environment::new` would have rejected with a panic:
+// restore validates and reports a typed error instead. The day/second
+// memos are derived state — they restart empty and refill bit-identically
+// on first use.
+impl Deserialize for Environment {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let config: EnvConfig = de::field(v, "config")?;
+        if let Err(e) = config.validate() {
+            // glacsweb: allow(perf-hygiene, reason = "restore-time error path; runs once per snapshot load, never per substep")
+            return Err(de::Error::custom(format!(
+                "snapshot carries invalid environment config: {e}"
+            )));
+        }
+        Ok(Environment {
+            config,
+            solar: de::field(v, "solar")?,
+            temperature: de::field(v, "temperature")?,
+            wind: de::field(v, "wind")?,
+            snow: de::field(v, "snow")?,
+            hydrology: de::field(v, "hydrology")?,
+            motion: de::field(v, "motion")?,
+            cloud_factor: de::field(v, "cloud_factor")?,
+            rng: de::field(v, "rng")?,
+            now: de::field(v, "now")?,
+            started: de::field(v, "started")?,
+            solar_day: DayPair::default(),
+            cos_hour: SodTable::default(),
+        })
+    }
 }
 
 impl Environment {

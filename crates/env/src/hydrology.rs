@@ -2,6 +2,7 @@
 //! conductivity signal of Fig 6.
 
 use glacsweb_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
 use crate::stepcache::AlphaStepCache;
 
@@ -17,7 +18,7 @@ use crate::stepcache::AlphaStepCache;
 ///   is starting to reach the glacier bed");
 /// * **§III/§V** — probe radio loss is higher through wet summer ice;
 /// * **§I** — diurnal water-pressure variation modulates stick-slip motion.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hydrology {
     /// Melt-water index in `[0, 1]`.
     melt_index: f64,

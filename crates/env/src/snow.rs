@@ -1,6 +1,7 @@
 //! Snow pack: storm accumulation and degree-day melt.
 
 use glacsweb_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// Snow depth dynamics at the station site.
 ///
@@ -8,7 +9,7 @@ use glacsweb_sim::{SimRng, SimTime};
 /// (heavy in winter, zero in high summer); ablation is a classic positive
 /// degree-day melt. Depth feeds the solar-panel and wind-generator burial
 /// derating and the §V "base station damaged by deep snow" fault model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SnowPack {
     storm_rate_winter_per_day: f64,
     snow_per_storm_m: f64,

@@ -2,6 +2,7 @@
 //! process.
 
 use glacsweb_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::daycache::{DayCell, SodTable};
 use crate::stepcache::OuStepCache;
@@ -11,7 +12,7 @@ use crate::stepcache::OuStepCache;
 /// The deterministic part is a pure function of time; the OU noise state is
 /// advanced by [`TemperatureModel::step_noise`], called from the
 /// environment's fixed tick.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TemperatureModel {
     annual_mean_c: f64,
     annual_amplitude_c: f64,

@@ -1,6 +1,7 @@
 //! Wind speed: seasonal mean with Ornstein–Uhlenbeck gusting.
 
 use glacsweb_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::daycache::DayCell;
 use crate::stepcache::OuStepCache;
@@ -11,7 +12,7 @@ use crate::stepcache::OuStepCache;
 /// carries a 50 W wind generator for the dark months), but §II notes that
 /// in Iceland deep snow can stop even that source — burial is handled by
 /// [`SnowPack`](crate::SnowPack) derating in the power crate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindModel {
     mean_winter_ms: f64,
     mean_summer_ms: f64,

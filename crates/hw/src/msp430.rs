@@ -1,6 +1,7 @@
 //! The MSP430 supervisor: the always-on, ultra-low-power half of Gumsense.
 
 use glacsweb_sim::{SimTime, Volts, Watts};
+use serde::{de, Deserialize, Serialize, Value};
 
 use crate::table1;
 
@@ -43,6 +44,51 @@ pub struct Msp430<S> {
     schedule: Option<S>,
     voltage_log: Vec<(SimTime, Volts)>,
     power_losses: u64,
+}
+
+// Hand-written (de)serialization: the type is generic over the schedule
+// representation, which the vendored derive does not support. Restore
+// re-imposes the voltage-log capacity bound so an oversized log in a
+// crafted snapshot cannot grow the model past its hardware limit.
+impl<S: Serialize> Serialize for Msp430<S> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (Value::Str("rtc_base".to_string()), self.rtc_base.to_value()),
+            (
+                Value::Str("rtc_set_at".to_string()),
+                self.rtc_set_at.to_value(),
+            ),
+            (Value::Str("schedule".to_string()), self.schedule.to_value()),
+            (
+                Value::Str("voltage_log".to_string()),
+                self.voltage_log.to_value(),
+            ),
+            (
+                Value::Str("power_losses".to_string()),
+                self.power_losses.to_value(),
+            ),
+        ])
+    }
+}
+
+impl<S: Deserialize> Deserialize for Msp430<S> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let voltage_log: Vec<(SimTime, Volts)> = de::field(v, "voltage_log")?;
+        if voltage_log.len() > Self::VOLTAGE_LOG_CAP {
+            return Err(de::Error::custom(format!(
+                "msp430 voltage log holds {} samples, capacity is {}",
+                voltage_log.len(),
+                Self::VOLTAGE_LOG_CAP
+            )));
+        }
+        Ok(Msp430 {
+            rtc_base: de::field(v, "rtc_base")?,
+            rtc_set_at: de::field(v, "rtc_set_at")?,
+            schedule: de::field(v, "schedule")?,
+            voltage_log,
+            power_losses: de::field(v, "power_losses")?,
+        })
+    }
 }
 
 impl<S> Msp430<S> {

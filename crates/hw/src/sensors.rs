@@ -34,7 +34,7 @@ pub struct SensorReading {
 ///
 /// Sampling is driven by the MSP430 and "has negligible cost" (§III), so
 /// no power accounting is attached here.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BaseSensors {
     samples_taken: u64,
 }

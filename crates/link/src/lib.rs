@@ -32,4 +32,4 @@ pub use gprs::{AttachOutcome, GprsConfig, GprsLink, TransferOutcome};
 pub use loss::LossModel;
 pub use ppp::{DisconnectReason, PppRadioLink};
 pub use probe_radio::{BatchResult, ProbeRadioLink};
-pub use wan::{RelayWanLink, WanLink};
+pub use wan::{RelayWanLink, WanLink, WanState};

@@ -55,6 +55,12 @@ pub trait WanLink: fmt::Debug + Send {
     /// all communication with the base station would also cease").
     fn set_partner_up(&mut self, _up: bool) {}
 
+    /// The link's full state as a serializable [`WanState`], from which
+    /// [`WanState::into_link`] rebuilds an identically-behaving link.
+    /// Required (not defaulted) so a new `WanLink` implementation cannot
+    /// silently opt out of snapshotting.
+    fn snapshot_state(&self) -> WanState;
+
     /// [`connect_weathered`](Self::connect_weathered) plus telemetry:
     /// attach counters, a setup-time histogram, and a `wan_attach` event
     /// carrying the outcome. Identical link behaviour — the recorder
@@ -111,6 +117,38 @@ pub trait WanLink: fmt::Debug + Send {
     }
 }
 
+/// The serializable closed world of [`WanLink`] implementations.
+///
+/// `Box<dyn WanLink>` cannot be (de)serialized directly, so snapshots
+/// store this enum instead: [`WanLink::snapshot_state`] captures a live
+/// link and [`WanState::into_link`] reconstitutes it. The two variants
+/// are the paper's two §II architectures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WanState {
+    /// Independent per-station GPRS (the deployed architecture).
+    Gprs(GprsLink),
+    /// The Norway-style PPP relay through the reference station.
+    Relay(RelayWanLink),
+}
+
+impl WanState {
+    /// Rebuilds the live link this state was captured from.
+    pub fn into_link(self) -> Box<dyn WanLink> {
+        match self {
+            WanState::Gprs(link) => Box::new(link),
+            WanState::Relay(link) => Box::new(link),
+        }
+    }
+
+    /// The [`WanLink::label`] the reconstituted link will report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WanState::Gprs(_) => "gprs",
+            WanState::Relay(_) => "radio_modem",
+        }
+    }
+}
+
 impl WanLink for GprsLink {
     fn label(&self) -> &'static str {
         "gprs"
@@ -138,6 +176,10 @@ impl WanLink for GprsLink {
 
     fn disconnect(&mut self) {
         GprsLink::disconnect(self);
+    }
+
+    fn snapshot_state(&self) -> WanState {
+        WanState::Gprs(self.clone())
     }
 }
 
@@ -270,6 +312,10 @@ impl WanLink for RelayWanLink {
         if !up {
             self.connected = false;
         }
+    }
+
+    fn snapshot_state(&self) -> WanState {
+        WanState::Relay(self.clone())
     }
 }
 

@@ -55,6 +55,35 @@ use std::fmt;
 
 use glacsweb_sim::SimTime;
 
+/// Interns a label into the process-wide `&'static str` pool.
+///
+/// All telemetry keys ([`Origin`] halves, counter and event names, field
+/// keys) are `&'static str` so records stay `Copy`-cheap; a snapshot
+/// restore, however, starts from owned strings read off disk. This pool
+/// bridges the two: each distinct label is leaked exactly once and every
+/// later request returns the same `'static` reference. The set of labels
+/// in a deployment is a small closed vocabulary, so the leak is bounded.
+/// A `BTreeSet` (never a `HashMap`) keeps lookups deterministic, per the
+/// `glacsweb-analyze` rule.
+pub fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // set itself is still a valid set of leaked strings, so keep going.
+    let mut guard = match pool.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&existing) = guard.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
 /// Where a telemetry record came from: a component scoped to a station.
 ///
 /// Both halves are `&'static str` so records are cheap to build and the
@@ -178,6 +207,131 @@ impl Event {
     }
 }
 
+// Serde for the record types is hand-written because they carry
+// `&'static str` labels: serialization writes the label text, restore
+// routes it through [`intern`] to get the `'static` reference back.
+impl serde::Serialize for Origin {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("component".to_string()),
+                serde::Value::Str(self.component.to_string()),
+            ),
+            (
+                serde::Value::Str("station".to_string()),
+                serde::Value::Str(self.station.to_string()),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for Origin {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let component: String = serde::de::field(v, "component")?;
+        let station: String = serde::de::field(v, "station")?;
+        Ok(Origin {
+            component: intern(&component),
+            station: intern(&station),
+        })
+    }
+}
+
+// Externally tagged, matching the shape the vendored derive would emit
+// for a data-carrying enum: `{"U64": 3}`.
+impl serde::Serialize for Value {
+    fn to_value(&self) -> serde::Value {
+        let (tag, inner) = match self {
+            Value::U64(v) => ("U64", serde::Value::U64(*v)),
+            Value::I64(v) => ("I64", serde::Value::I64(*v)),
+            Value::F64(v) => ("F64", serde::Value::F64(*v)),
+            Value::Bool(v) => ("Bool", serde::Value::Bool(*v)),
+            Value::Str(v) => ("Str", serde::Value::Str(v.clone())),
+        };
+        serde::Value::Map(vec![(serde::Value::Str(tag.to_string()), inner)])
+    }
+}
+
+impl serde::Deserialize for Value {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let entry = v
+            .as_map()
+            .filter(|m| m.len() == 1)
+            .and_then(<[(serde::Value, serde::Value)]>::first)
+            .ok_or_else(|| {
+                serde::de::Error::custom("telemetry value must be a single-entry tagged map")
+            })?;
+        let (tag, inner) = entry;
+        match tag.as_str() {
+            Some("U64") => Ok(Value::U64(serde::Deserialize::from_value(inner)?)),
+            Some("I64") => Ok(Value::I64(serde::Deserialize::from_value(inner)?)),
+            Some("F64") => Ok(Value::F64(serde::Deserialize::from_value(inner)?)),
+            Some("Bool") => Ok(Value::Bool(serde::Deserialize::from_value(inner)?)),
+            Some("Str") => Ok(Value::Str(serde::Deserialize::from_value(inner)?)),
+            _ => Err(serde::de::Error::custom(format!(
+                "unknown telemetry value tag: {tag:?}"
+            ))),
+        }
+    }
+}
+
+impl serde::Serialize for Event {
+    fn to_value(&self) -> serde::Value {
+        let fields = self
+            .fields
+            .iter()
+            .map(|(k, val)| {
+                serde::Value::Seq(vec![serde::Value::Str((*k).to_string()), val.to_value()])
+            })
+            .collect();
+        serde::Value::Map(vec![
+            (serde::Value::Str("at".to_string()), self.at.to_value()),
+            (
+                serde::Value::Str("origin".to_string()),
+                self.origin.to_value(),
+            ),
+            (
+                serde::Value::Str("name".to_string()),
+                serde::Value::Str(self.name.to_string()),
+            ),
+            (
+                serde::Value::Str("fields".to_string()),
+                serde::Value::Seq(fields),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for Event {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let name: String = serde::de::field(v, "name")?;
+        let raw_fields = v
+            .get("fields")
+            .and_then(serde::Value::as_seq)
+            .ok_or_else(|| serde::de::Error::custom("event: missing `fields` sequence"))?;
+        let mut fields = Vec::with_capacity(raw_fields.len());
+        for pair in raw_fields {
+            let (key, val) = match pair.as_seq() {
+                Some([k, val]) => (k, val),
+                _ => {
+                    return Err(serde::de::Error::custom(
+                        "event field must be a [key, value] pair",
+                    ))
+                }
+            };
+            let key = key
+                .as_str()
+                .ok_or_else(|| serde::de::Error::custom("event field key must be a string"))?;
+            fields.push((intern(key), <Value as serde::Deserialize>::from_value(val)?));
+        }
+        Ok(Event {
+            at: serde::de::field(v, "at")?,
+            origin: serde::de::field(v, "origin")?,
+            name: intern(&name),
+            fields,
+        })
+    }
+}
+
 /// A sink for telemetry records.
 ///
 /// Implementations must be deterministic: same record sequence in, same
@@ -215,6 +369,13 @@ pub trait Recorder: fmt::Debug + Send {
     /// Takes the accumulated in-memory telemetry out of the recorder,
     /// leaving it empty. `None` for sinks that keep nothing.
     fn take_memory(&mut self) -> Option<MemoryRecorder> {
+        None
+    }
+
+    /// Borrows the accumulated in-memory telemetry without draining it —
+    /// what snapshotting uses to capture a running recorder through
+    /// `&self`. `None` for sinks that keep nothing.
+    fn memory(&self) -> Option<&MemoryRecorder> {
         None
     }
 }

@@ -328,6 +328,210 @@ impl Recorder for MemoryRecorder {
     fn take_memory(&mut self) -> Option<MemoryRecorder> {
         Some(std::mem::take(self))
     }
+
+    fn memory(&self) -> Option<&MemoryRecorder> {
+        Some(self)
+    }
+}
+
+// Hand-written (de)serialization: every map in the recorder is keyed by
+// `&'static str` labels, which restore routes through [`crate::intern`].
+// Each map section flattens to a sequence of `[key parts..., value]`
+// rows in `BTreeMap` order, so the wire form is as deterministic as the
+// JSON export.
+impl serde::Serialize for Histogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("counts".to_string()),
+                self.counts.to_value(),
+            ),
+            (
+                serde::Value::Str("total".to_string()),
+                self.total.to_value(),
+            ),
+            (serde::Value::Str("sum".to_string()), self.sum.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Histogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let counts: Vec<u64> = serde::de::field(v, "counts")?;
+        if !counts.is_empty() && counts.len() != BUCKET_BOUNDS.len() + 1 {
+            return Err(serde::de::Error::custom(format!(
+                "histogram has {} buckets, expected {} or none",
+                counts.len(),
+                BUCKET_BOUNDS.len() + 1
+            )));
+        }
+        let total: u64 = serde::de::field(v, "total")?;
+        if counts.iter().sum::<u64>() != total {
+            return Err(serde::de::Error::custom(
+                "histogram bucket counts do not sum to its total",
+            ));
+        }
+        Ok(Histogram {
+            counts,
+            total,
+            sum: serde::de::field(v, "sum")?,
+        })
+    }
+}
+
+impl serde::Serialize for MemoryRecorder {
+    fn to_value(&self) -> serde::Value {
+        let label = |s: &str| serde::Value::Str(s.to_string());
+        let counters = self
+            .counters
+            .iter()
+            .map(|((origin, name), v)| {
+                serde::Value::Seq(vec![origin.to_value(), label(name), v.to_value()])
+            })
+            .collect();
+        let daily = self
+            .daily
+            .iter()
+            .map(|((date, origin, name), v)| {
+                serde::Value::Seq(vec![
+                    date.to_value(),
+                    origin.to_value(),
+                    label(name),
+                    v.to_value(),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|((origin, name), (at, v))| {
+                serde::Value::Seq(vec![
+                    origin.to_value(),
+                    label(name),
+                    at.to_value(),
+                    v.to_value(),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|((origin, name), h)| {
+                serde::Value::Seq(vec![origin.to_value(), label(name), h.to_value()])
+            })
+            .collect();
+        serde::Value::Map(vec![
+            (label("events"), self.events.to_value()),
+            (
+                label("max_events"),
+                serde::Value::U64(self.max_events as u64),
+            ),
+            (label("events_dropped"), self.events_dropped.to_value()),
+            (label("counters"), serde::Value::Seq(counters)),
+            (label("daily"), serde::Value::Seq(daily)),
+            (label("gauges"), serde::Value::Seq(gauges)),
+            (label("histograms"), serde::Value::Seq(histograms)),
+        ])
+    }
+}
+
+/// Reads section `name` as a sequence of fixed-arity rows.
+fn rows<'v>(
+    v: &'v serde::Value,
+    name: &str,
+    arity: usize,
+) -> Result<Vec<&'v [serde::Value]>, serde::de::Error> {
+    v.get(name)
+        .and_then(serde::Value::as_seq)
+        .ok_or_else(|| serde::de::Error::custom(format!("telemetry: missing `{name}` sequence")))?
+        .iter()
+        .map(|row| {
+            row.as_seq().filter(|r| r.len() == arity).ok_or_else(|| {
+                serde::de::Error::custom(format!(
+                    "telemetry `{name}` row must have {arity} elements"
+                ))
+            })
+        })
+        .collect()
+}
+
+/// An interned label read from row position `idx`.
+fn label_at(row: &[serde::Value], idx: usize) -> Result<&'static str, serde::de::Error> {
+    row.get(idx)
+        .and_then(serde::Value::as_str)
+        .map(crate::intern)
+        .ok_or_else(|| serde::de::Error::custom("telemetry row label must be a string"))
+}
+
+/// A typed value read from row position `idx`.
+fn item_at<T: serde::Deserialize>(row: &[serde::Value], idx: usize) -> Result<T, serde::de::Error> {
+    let v = row
+        .get(idx)
+        .ok_or_else(|| serde::de::Error::custom("telemetry row is too short"))?;
+    T::from_value(v)
+}
+
+impl serde::Deserialize for MemoryRecorder {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let max_events: u64 = serde::de::field(v, "max_events")?;
+        let max_events = usize::try_from(max_events)
+            .map_err(|_| serde::de::Error::custom("telemetry max_events exceeds usize"))?;
+        let events: Vec<Event> = serde::de::field(v, "events")?;
+        if events.len() > max_events {
+            return Err(serde::de::Error::custom(format!(
+                "telemetry holds {} events over its cap of {max_events}",
+                events.len()
+            )));
+        }
+        let mut counters = BTreeMap::new();
+        for row in rows(v, "counters", 3)? {
+            let key = (item_at::<Origin>(row, 0)?, label_at(row, 1)?);
+            if counters.insert(key, item_at::<u64>(row, 2)?).is_some() {
+                return Err(serde::de::Error::custom("duplicate telemetry counter key"));
+            }
+        }
+        let mut daily = BTreeMap::new();
+        for row in rows(v, "daily", 4)? {
+            let key = (
+                item_at::<CivilDate>(row, 0)?,
+                item_at::<Origin>(row, 1)?,
+                label_at(row, 2)?,
+            );
+            if daily.insert(key, item_at::<u64>(row, 3)?).is_some() {
+                return Err(serde::de::Error::custom("duplicate telemetry daily key"));
+            }
+        }
+        let mut gauges = BTreeMap::new();
+        for row in rows(v, "gauges", 4)? {
+            let key = (item_at::<Origin>(row, 0)?, label_at(row, 1)?);
+            let at = item_at::<SimTime>(row, 2)?;
+            let value = item_at::<f64>(row, 3)?;
+            if gauges.insert(key, (at, value)).is_some() {
+                return Err(serde::de::Error::custom("duplicate telemetry gauge key"));
+            }
+        }
+        let mut histograms = BTreeMap::new();
+        for row in rows(v, "histograms", 3)? {
+            let key = (item_at::<Origin>(row, 0)?, label_at(row, 1)?);
+            if histograms
+                .insert(key, item_at::<Histogram>(row, 2)?)
+                .is_some()
+            {
+                return Err(serde::de::Error::custom(
+                    "duplicate telemetry histogram key",
+                ));
+            }
+        }
+        Ok(MemoryRecorder {
+            events,
+            max_events,
+            events_dropped: serde::de::field(v, "events_dropped")?,
+            counters,
+            daily,
+            gauges,
+            histograms,
+        })
+    }
 }
 
 /// Merges recorders in iteration order into one.

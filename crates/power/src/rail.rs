@@ -4,6 +4,7 @@ use std::cell::Cell;
 
 use glacsweb_env::Environment;
 use glacsweb_sim::{Amps, Celsius, SimDuration, SimTime, Volts, WattHours, Watts};
+use serde::{de, Deserialize, Serialize, Value};
 
 use crate::battery::LeadAcidBattery;
 use crate::charger::{controller_taper, Charger};
@@ -67,6 +68,74 @@ pub struct PowerRail {
     output_buf: Vec<f64>,
     /// Single-entry memo of the last taper solve (see [`TaperMemo`]).
     taper: TaperMemo,
+}
+
+/// Equality ignores the scratch buffer and the taper memo: both are
+/// derived per-sub-step state, rebuilt on the next `advance`, and a
+/// freshly restored rail must compare equal to the one it was saved from.
+impl PartialEq for PowerRail {
+    fn eq(&self, other: &Self) -> bool {
+        self.battery == other.battery
+            && self.chargers == other.chargers
+            && self.harvest_by == other.harvest_by
+            && self.loads == other.loads
+            && self.now == other.now
+            && self.harvested == other.harvested
+            && self.brownout_secs == other.brownout_secs
+    }
+}
+
+// Hand-written (de)serialization, following the `LoadSet` precedent: the
+// scratch output buffer and the taper memo are derived state and must not
+// appear on the wire. Restore re-checks the `chargers`/`harvest_by`
+// alignment invariant that `add_charger` maintains.
+impl Serialize for PowerRail {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (Value::Str("battery".to_string()), self.battery.to_value()),
+            (Value::Str("chargers".to_string()), self.chargers.to_value()),
+            (
+                Value::Str("harvest_by".to_string()),
+                self.harvest_by.to_value(),
+            ),
+            (Value::Str("loads".to_string()), self.loads.to_value()),
+            (Value::Str("now".to_string()), self.now.to_value()),
+            (
+                Value::Str("harvested".to_string()),
+                self.harvested.to_value(),
+            ),
+            (
+                Value::Str("brownout_secs".to_string()),
+                self.brownout_secs.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for PowerRail {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let chargers: Vec<Charger> = de::field(v, "chargers")?;
+        let harvest_by: Vec<WattHours> = de::field(v, "harvest_by")?;
+        if chargers.len() != harvest_by.len() {
+            // glacsweb: allow(perf-hygiene, reason = "restore-time error path; runs once per snapshot load, never per substep")
+            return Err(de::Error::custom(format!(
+                "power rail: {} chargers but {} harvest accumulators",
+                chargers.len(),
+                harvest_by.len()
+            )));
+        }
+        Ok(PowerRail {
+            battery: de::field(v, "battery")?,
+            chargers,
+            harvest_by,
+            loads: de::field(v, "loads")?,
+            now: de::field(v, "now")?,
+            harvested: de::field(v, "harvested")?,
+            brownout_secs: de::field(v, "brownout_secs")?,
+            output_buf: Vec::new(),
+            taper: TaperMemo::default(),
+        })
+    }
 }
 
 impl PowerRail {

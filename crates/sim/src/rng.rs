@@ -8,9 +8,14 @@
 //! deployment, which the integration tests assert.
 
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 /// A deterministic xoshiro256++ PRNG with the distributions the Glacsweb
 /// models need.
+///
+/// The generator state — the four xoshiro words, the cached Box–Muller
+/// spare, and the stream position — serializes losslessly, so a restored
+/// snapshot resumes the exact raw stream the saved run would have drawn.
 ///
 /// # Example
 ///
@@ -24,7 +29,7 @@ use rand::RngCore;
 /// let p = a.f64();
 /// assert!((0.0..1.0).contains(&p));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimRng {
     s: [u64; 4],
     /// Cached second output of the Box–Muller transform.

@@ -2,6 +2,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use serde::{de, Deserialize, Serialize, Value};
+
 use crate::time::SimTime;
 
 /// A timed event scheduler that keeps events **indexed by their instant**:
@@ -132,6 +134,14 @@ impl<E> EventWheel<E> {
     pub fn buckets(&self) -> usize {
         self.calendar.len()
     }
+
+    /// Visits every scheduled event in firing order (time, then arrival)
+    /// without disturbing the wheel.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.calendar
+            .iter()
+            .flat_map(|(&t, bucket)| bucket.iter().map(move |(_, e)| (t, e)))
+    }
 }
 
 impl<E> Default for EventWheel<E> {
@@ -153,6 +163,85 @@ impl<E> FromIterator<(SimTime, E)> for EventWheel<E> {
         let mut w = EventWheel::new();
         w.extend(iter);
         w
+    }
+}
+
+// Hand-written (de)serialization: the wheel is generic, which the vendored
+// derive does not support, and the FIFO arrival tags are load-bearing for
+// reproducibility — a snapshot must carry every `(instant, tag, event)`
+// triple plus the monotone arrival counter so a restored wheel pops in
+// exactly the order the saved one would have.
+impl<E: Serialize> Serialize for EventWheel<E> {
+    fn to_value(&self) -> Value {
+        let mut entries = Vec::with_capacity(self.len);
+        for (t, bucket) in &self.calendar {
+            for (tag, event) in bucket {
+                entries.push(Value::Seq(vec![
+                    t.to_value(),
+                    tag.to_value(),
+                    event.to_value(),
+                ]));
+            }
+        }
+        Value::Map(vec![
+            (Value::Str("seq".to_string()), self.seq.to_value()),
+            (Value::Str("entries".to_string()), Value::Seq(entries)),
+        ])
+    }
+}
+
+impl<E> Deserialize for EventWheel<E>
+where
+    E: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let seq: u64 = de::field(v, "seq")?;
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| de::Error::custom("event wheel: missing `entries` sequence"))?;
+        let mut wheel = EventWheel::new();
+        for entry in entries {
+            let s = entry
+                .as_seq()
+                .filter(|s| s.len() == 3)
+                .ok_or_else(|| de::Error::custom("event wheel entry must be [time, tag, event]"))?;
+            let (t_v, tag_v, event_v) = match s {
+                [t, tag, e] => (t, tag, e),
+                // Length was checked above; unreachable without panicking.
+                _ => return Err(de::Error::custom("event wheel entry must have 3 elements")),
+            };
+            let t = SimTime::from_value(t_v)?;
+            let tag = u64::from_value(tag_v)?;
+            if tag >= seq {
+                // glacsweb: allow(perf-hygiene, reason = "restore-time error path; runs once per snapshot load, never per substep")
+                return Err(de::Error::custom(format!(
+                    "event wheel entry tag {tag} not below arrival counter {seq}"
+                )));
+            }
+            wheel
+                .calendar
+                .entry(t)
+                .or_default()
+                .push_back((tag, E::from_value(event_v)?));
+            wheel.len += 1;
+        }
+        // Arrival tags must be strictly increasing within each bucket —
+        // anything else would replay events in an order the saved run
+        // never took.
+        for bucket in wheel.calendar.values() {
+            let ordered = bucket
+                .iter()
+                .zip(bucket.iter().skip(1))
+                .all(|((a, _), (b, _))| a < b);
+            if !ordered {
+                return Err(de::Error::custom(
+                    "event wheel bucket arrival tags out of FIFO order",
+                ));
+            }
+        }
+        wheel.seq = seq;
+        Ok(wheel)
     }
 }
 

@@ -42,5 +42,5 @@ pub use controller::{ControllerConfig, WindowReport};
 pub use data::{DataStore, FileKind, FilePayload, PendingFile};
 pub use power_state::{PolicyTable, PowerState};
 pub use schedule::Schedule;
-pub use station::{CommsPath, Station, StationConfig, StationRole, StationStatus};
+pub use station::{CommsPath, Station, StationConfig, StationRole, StationState, StationStatus};
 pub use uplink::{CodeUpdate, SpecialCommand, SpecialResult, StationId, Uplink, UploadItem};

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use glacsweb_env::Environment;
 use glacsweb_hw::{BaseSensors, CfCard, DGps, Gumstix, Msp430, Watchdog};
-use glacsweb_link::{DataCostMeter, GprsConfig, GprsLink, RelayWanLink, WanLink};
+use glacsweb_link::{DataCostMeter, GprsConfig, GprsLink, RelayWanLink, WanLink, WanState};
 use glacsweb_obs::{MemoryRecorder, NullRecorder, Origin, Recorder, Scope};
 use glacsweb_power::{Charger, LeadAcidBattery, MainsCharger, PowerRail, SolarPanel, WindTurbine};
 use glacsweb_probe::{FetchSession, ProbeFirmware, ProbeId};
@@ -270,6 +270,48 @@ pub struct Station {
     file_seq: u64,
 }
 
+/// The complete serializable state of one [`Station`], produced by
+/// [`Station::snapshot`] and consumed by [`Station::from_state`].
+///
+/// Two of the live station's fields are deliberately *not* stored:
+/// `wan_load` (a `&'static str` fully determined by the WAN variant) and
+/// the trait objects, which travel as their closed-world state types
+/// ([`WanState`]; `Option<MemoryRecorder>` for the telemetry sink — a
+/// `NullRecorder` round-trips as `None`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StationState {
+    config: StationConfig,
+    rail: PowerRail,
+    msp: Msp430<Schedule>,
+    gumstix: Gumstix,
+    dgps: DGps,
+    wan: WanState,
+    cost: DataCostMeter,
+    sensors: BaseSensors,
+    store: DataStore,
+    card: CfCard,
+    log: TraceLog,
+    rng: SimRng,
+    last_run: Option<SimTime>,
+    fetch_sessions: BTreeMap<ProbeId, FetchSession>,
+    pending_special_results: Vec<SpecialResult>,
+    sensor_batch: u64,
+    priority_event: bool,
+    conductivity_baselines: BTreeMap<ProbeId, f64>,
+    wired_probe_ok: bool,
+    gprs_degradation: f64,
+    stuck_transfer: bool,
+    clock_error_secs: f64,
+    drift_sign: f64,
+    last_drift_update: SimTime,
+    powered: bool,
+    obs: Option<MemoryRecorder>,
+    windows_run: u64,
+    windows_cut: u64,
+    recoveries: u64,
+    file_seq: u64,
+}
+
 impl Station {
     /// Builds a station at `start` simulated time.
     ///
@@ -361,6 +403,111 @@ impl Station {
             windows_cut: 0,
             recoveries: 0,
             file_seq: 0,
+        })
+    }
+
+    /// Captures the complete station state for a deployment snapshot.
+    ///
+    /// Everything that influences future behaviour is included: the power
+    /// rail, the MSP430 (RTC offsets, RAM schedule, voltage log), the WAN
+    /// link mid-session, partially-acked probe fetch sessions, retry and
+    /// clock-drift progress, and the accumulated telemetry (if a memory
+    /// recorder is installed). [`Station::from_state`] rebuilds a station
+    /// that continues bit-identically.
+    pub fn snapshot(&self) -> StationState {
+        StationState {
+            config: self.config.clone(),
+            rail: self.rail.clone(),
+            msp: self.msp.clone(),
+            gumstix: self.gumstix.clone(),
+            dgps: self.dgps.clone(),
+            wan: self.wan.snapshot_state(),
+            cost: self.cost,
+            sensors: self.sensors.clone(),
+            store: self.store.clone(),
+            card: self.card.clone(),
+            log: self.log.clone(),
+            rng: self.rng.clone(),
+            last_run: self.last_run,
+            fetch_sessions: self.fetch_sessions.clone(),
+            pending_special_results: self.pending_special_results.clone(),
+            sensor_batch: self.sensor_batch,
+            priority_event: self.priority_event,
+            conductivity_baselines: self.conductivity_baselines.clone(),
+            wired_probe_ok: self.wired_probe_ok,
+            gprs_degradation: self.gprs_degradation,
+            stuck_transfer: self.stuck_transfer,
+            clock_error_secs: self.clock_error_secs,
+            drift_sign: self.drift_sign,
+            last_drift_update: self.last_drift_update,
+            powered: self.powered,
+            obs: self.obs.memory().cloned(),
+            windows_run: self.windows_run,
+            windows_cut: self.windows_cut,
+            recoveries: self.recoveries,
+            file_seq: self.file_seq,
+        }
+    }
+
+    /// Rebuilds a station from a captured [`StationState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the embedded configuration fails
+    /// [`StationConfig::validate`] or the WAN link state does not match
+    /// the configured [`CommsPath`].
+    pub fn from_state(state: StationState) -> Result<Self, ConfigError> {
+        state.config.validate()?;
+        let wan_load = match (&state.config.comms, &state.wan) {
+            (CommsPath::DualGprs, WanState::Gprs(_)) => loads::GPRS,
+            (CommsPath::RelayViaReference, WanState::Relay(_)) => loads::RADIO_MODEM,
+            (comms, wan) => {
+                return Err(ConfigError::new(
+                    "station",
+                    "comms",
+                    format!(
+                        "comms path {comms:?} does not match WAN state {}",
+                        wan.label()
+                    ),
+                ))
+            }
+        };
+        let obs: Box<dyn Recorder> = match state.obs {
+            Some(memory) => Box::new(memory),
+            None => Box::new(NullRecorder),
+        };
+        Ok(Station {
+            config: state.config,
+            rail: state.rail,
+            msp: state.msp,
+            gumstix: state.gumstix,
+            dgps: state.dgps,
+            wan: state.wan.into_link(),
+            wan_load,
+            cost: state.cost,
+            sensors: state.sensors,
+            store: state.store,
+            card: state.card,
+            log: state.log,
+            rng: state.rng,
+            last_run: state.last_run,
+            fetch_sessions: state.fetch_sessions,
+            pending_special_results: state.pending_special_results,
+            sensor_batch: state.sensor_batch,
+            priority_event: state.priority_event,
+            conductivity_baselines: state.conductivity_baselines,
+            wired_probe_ok: state.wired_probe_ok,
+            gprs_degradation: state.gprs_degradation,
+            stuck_transfer: state.stuck_transfer,
+            clock_error_secs: state.clock_error_secs,
+            drift_sign: state.drift_sign,
+            last_drift_update: state.last_drift_update,
+            powered: state.powered,
+            obs,
+            windows_run: state.windows_run,
+            windows_cut: state.windows_cut,
+            recoveries: state.recoveries,
+            file_seq: state.file_seq,
         })
     }
 

@@ -1,22 +1,37 @@
-//! §IV in action: total battery exhaustion and automatic schedule reset.
+//! §IV in action: two kinds of power failure, two kinds of recovery.
 //!
-//! A base station with a storm-damaged wind generator and a badly
-//! undersized battery dies mid-winter. Spring sun revives it; the wake-up
-//! code notices the RTC reads 1970 (before the persisted `last_run`),
-//! re-syncs from GPS, rebuilds the RAM schedule in state 0, and climbs the
-//! Table II ladder as the battery recovers.
+//! **Act 1 — the station's own recovery (RTC reset).** A base station
+//! with a storm-damaged wind generator and a badly undersized battery
+//! dies mid-winter. Spring sun revives it; the wake-up code notices the
+//! RTC reads 1970 (before the persisted `last_run`), re-syncs from GPS,
+//! rebuilds the RAM schedule in state 0, and climbs the Table II ladder
+//! as the battery recovers. The *hardware* survives, but everything the
+//! schedule had learned is gone — that is the paper's restart story.
+//!
+//! **Act 2 — the deployment's recovery (snapshot resume).** The same
+//! failure mode can hit the gateway running the whole deployment: a
+//! crashed process takes every buffered reading with it. Contrast a
+//! cold restart (rebuild from configs; prior readings lost) with
+//! `Deployment::checkpoint`/`Deployment::resume`: the snapshot restores
+//! the exact simulation state, so the resumed run is **bit-identical**
+//! to one that never crashed and no reading is lost.
+//!
+//! Output is deterministic: same seed, same text, every run.
 //!
 //! ```text
 //! cargo run --example power_failure_recovery --release
 //! ```
 
-use glacsweb::DeploymentBuilder;
+use glacsweb::{Deployment, DeploymentBuilder, Scenario};
 use glacsweb_env::EnvConfig;
 use glacsweb_link::GprsConfig;
-use glacsweb_sim::{AmpHours, SimTime};
+use glacsweb_sim::{AmpHours, SimDuration, SimTime};
 use glacsweb_station::{StationConfig, StationId};
 
-fn main() {
+/// Act 1: the paper's own §IV timeline — death, spring revival, RTC
+/// reset, and the climb back up the Table II ladder.
+fn act1_rtc_reset() {
+    println!("== act 1: battery exhaustion and the §IV RTC-reset restart ==\n");
     let start = SimTime::from_ymd_hms(2008, 10, 1, 0, 0, 0);
     let mut base = StationConfig::base_2008();
     base.gprs = GprsConfig::field();
@@ -78,4 +93,106 @@ fn main() {
         s.power_losses >= 1 && s.recoveries >= 1,
         "the demo scenario must die and recover"
     );
+}
+
+/// Deployment horizon for act 2, sim-days.
+const HORIZON_DAYS: u64 = 30;
+
+/// The gateway "crashes" this many days in.
+const CRASH_DAY: u64 = 18;
+
+/// Checkpoint cadence, sim-days; the last checkpoint before the crash
+/// lands on day 14.
+const CHECKPOINT_EVERY: u64 = 7;
+
+/// The Iceland 2008 deployment act 2 replays three ways.
+fn iceland(seed: u64) -> Deployment {
+    Scenario::iceland_2008().seed(seed).build()
+}
+
+/// Act 2: a gateway process crash, recovered two ways.
+fn act2_snapshot_resume() {
+    println!("\n== act 2: gateway crash — cold restart vs snapshot resume ==\n");
+    let seed = 42;
+
+    // The run that never crashes: the yardstick both recoveries chase.
+    let mut straight = iceland(seed);
+    straight.run_days(HORIZON_DAYS);
+    let want = straight.summary();
+    println!(
+        "uninterrupted {HORIZON_DAYS}-day run: {} probe readings, {} windows, {} uploaded",
+        want.probe_readings_received, want.windows_run, want.data_uploaded
+    );
+
+    // The doomed process: checkpoints every CHECKPOINT_EVERY days, then
+    // crashes on day CRASH_DAY. Drop() plays the part of SIGKILL.
+    let snap = std::env::temp_dir().join(format!(
+        "glacsweb-power-failure-recovery-{}.snap",
+        std::process::id()
+    ));
+    {
+        let mut doomed = iceland(seed);
+        let start = doomed.start();
+        let mut day = 0;
+        while day + CHECKPOINT_EVERY <= CRASH_DAY {
+            day += CHECKPOINT_EVERY;
+            doomed.run_until(start + SimDuration::from_days(day));
+            doomed.checkpoint(&snap).expect("checkpoint the deployment");
+        }
+        doomed.run_until(start + SimDuration::from_days(CRASH_DAY));
+        let held = doomed.summary();
+        println!(
+            "\nday {CRASH_DAY}: gateway process crashes holding {} probe readings",
+            held.probe_readings_received
+        );
+    }
+
+    // Recovery A — the paper's only option: cold restart from configs.
+    // Everything the crashed process held is gone; the replacement only
+    // sees the remaining days.
+    let mut cold = iceland(seed);
+    cold.run_days(HORIZON_DAYS - CRASH_DAY);
+    let cold_summary = cold.summary();
+    let lost = want
+        .probe_readings_received
+        .saturating_sub(cold_summary.probe_readings_received);
+    println!(
+        "cold restart (no snapshot): {} probe readings survive — {lost} LOST",
+        cold_summary.probe_readings_received
+    );
+
+    // Recovery B — resume from the last checkpoint (day 14). The
+    // snapshot carries the full deployment state, so replaying to the
+    // horizon reproduces the uninterrupted run bit for bit.
+    let mut resumed = Deployment::resume(&snap).expect("resume from the last checkpoint");
+    resumed.run_until(resumed.start() + SimDuration::from_days(HORIZON_DAYS));
+    let got = resumed.summary();
+    println!(
+        "snapshot resume (from day {}): {} probe readings — 0 lost",
+        CRASH_DAY / CHECKPOINT_EVERY * CHECKPOINT_EVERY,
+        got.probe_readings_received
+    );
+
+    let identical = got == want;
+    println!(
+        "resumed run vs uninterrupted run: {}",
+        if identical {
+            "BIT-IDENTICAL"
+        } else {
+            "DIVERGED"
+        }
+    );
+    assert!(identical, "snapshot resume must reproduce the straight run");
+    assert!(
+        lost > 0,
+        "the cold restart must actually lose readings for the contrast to mean anything"
+    );
+    let _ = std::fs::remove_file(&snap);
+
+    println!("\nthe §IV ladder heals the station; the snapshot heals the deployment.");
+}
+
+fn main() {
+    act1_rtc_reset();
+    act2_snapshot_resume();
 }

@@ -115,3 +115,175 @@ fn sim_time_serialises_compactly() {
     let d = SimDuration::from_hours(2);
     assert_eq!(serde_json::to_string(&d).expect("serialize"), "7200");
 }
+
+/// Property round-trips through the *binary snapshot codec* — the path a
+/// checkpoint actually takes to disk. JSON tolerates float re-formatting;
+/// the snapshot format must not, so these assert on bits, sequence
+/// numbers and cache keys, not just `PartialEq`.
+mod snapshot_fidelity {
+    use glacsweb::Deployment;
+    use glacsweb_env::{EnvConfig, Environment};
+    use glacsweb_sim::{EventWheel, SimDuration, SimRng, SimTime};
+    use proptest::prelude::*;
+
+    /// One trip through the snapshot wire format.
+    fn snap_round_trip<T>(value: &T) -> T
+    where
+        T: serde::Serialize + serde::Deserialize,
+    {
+        let bytes = glacsweb_snapshot::to_bytes(value);
+        glacsweb_snapshot::from_bytes(&bytes).expect("decode")
+    }
+
+    /// Encode → decode → encode must be byte-stable: a second checkpoint
+    /// of an untouched restore is the same file.
+    fn assert_bytes_stable<T>(value: &T)
+    where
+        T: serde::Serialize + serde::Deserialize,
+    {
+        let first = glacsweb_snapshot::to_bytes(value);
+        let back: T = glacsweb_snapshot::from_bytes(&first).expect("decode");
+        let second = glacsweb_snapshot::to_bytes(&back);
+        assert_eq!(first, second, "snapshot bytes must be stable");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// A mid-stream RNG keeps its exact counter position: the clone
+        /// resumed from a snapshot produces the same raw stream, bit for
+        /// bit, and reports the same `position()`.
+        #[test]
+        fn sim_rng_round_trips_mid_stream(
+            seed in 0u64..10_000,
+            draws in 0u64..400,
+            stream in 0u64..64,
+        ) {
+            let mut rng = SimRng::seed_from(seed);
+            for _ in 0..draws {
+                let _ = rng.f64();
+            }
+            // Forking mutates the parent's counter too; include it.
+            let mut forked = rng.fork(stream);
+            let _ = forked.normal(0.0, 1.0);
+
+            for original in [&mut rng, &mut forked] {
+                let mut thawed = snap_round_trip(original);
+                prop_assert_eq!(&thawed, original);
+                prop_assert_eq!(thawed.position(), original.position());
+                for _ in 0..16 {
+                    prop_assert_eq!(
+                        thawed.f64().to_bits(),
+                        original.f64().to_bits(),
+                        "post-restore draws must match bit for bit"
+                    );
+                }
+            }
+            assert_bytes_stable(&rng);
+        }
+
+        /// The event wheel keeps its FIFO sequence counter across the
+        /// wire: same-time events pop in arrival order after a restore,
+        /// even when the wheel was half-drained before the snapshot.
+        #[test]
+        fn event_wheel_round_trips_seq_and_order(
+            offsets in proptest::collection::vec(0u64..600, 1..40),
+            drain in 0usize..10,
+        ) {
+            let start = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
+            let mut wheel: EventWheel<u64> = EventWheel::new();
+            for (i, off) in offsets.iter().enumerate() {
+                // Coarse buckets (minute granularity) force plenty of
+                // same-time collisions so the FIFO tag does real work.
+                wheel.push(start + SimDuration::from_mins(*off / 60), i as u64);
+            }
+            for _ in 0..drain.min(wheel.len().saturating_sub(1)) {
+                let _ = wheel.pop();
+            }
+            assert_bytes_stable(&wheel);
+            let mut thawed = snap_round_trip(&wheel);
+            prop_assert_eq!(thawed.len(), wheel.len());
+            while let Some(expect) = wheel.pop() {
+                prop_assert_eq!(thawed.pop(), Some(expect), "pop order must survive");
+            }
+            prop_assert_eq!(thawed.pop(), None);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The environment round-trips losslessly mid-run: the step-cache
+        /// *keys* (day numbers, second-of-day entries) are derived state
+        /// that refills identically, so queries after a restore are
+        /// bit-identical to queries that never crossed the wire.
+        #[test]
+        fn environment_round_trips_bit_identically(
+            seed in 0u64..1_000,
+            hours in 1u64..200,
+        ) {
+            let start = SimTime::from_ymd_hms(2008, 9, 1, 0, 0, 0);
+            let mut env = Environment::new(EnvConfig::vatnajokull(), seed);
+            env.advance_to(start);
+            for h in 1..=hours {
+                env.advance_to(start + SimDuration::from_hours(h));
+            }
+            let mut thawed = snap_round_trip(&env);
+            prop_assert_eq!(&thawed, &env, "restored environment must compare equal");
+            assert_bytes_stable(&env);
+
+            // Warm caches on one side only, then advance both: the memo
+            // contents are derived, so trajectories cannot diverge.
+            let t = env.now();
+            let _ = env.temperature_c(t);
+            for h in 1..=6u64 {
+                let t = start + SimDuration::from_hours(hours + h);
+                env.advance_to(t);
+                thawed.advance_to(t);
+                prop_assert_eq!(
+                    env.temperature_c(t).to_bits(),
+                    thawed.temperature_c(t).to_bits()
+                );
+                prop_assert_eq!(
+                    env.wind_speed_ms(t).to_bits(),
+                    thawed.wind_speed_ms(t).to_bits()
+                );
+                prop_assert_eq!(
+                    env.water_pressure(t).to_bits(),
+                    thawed.water_pressure(t).to_bits()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// A whole deployment's snapshot is byte-stable and restores to a
+        /// controller that finishes the run exactly like the original —
+        /// whatever day the checkpoint lands on.
+        #[test]
+        fn deployment_state_round_trips_losslessly(
+            seed in 0u64..100,
+            checkpoint_day in 1u64..4,
+        ) {
+            let horizon = 5u64;
+            let mut straight = glacsweb::Scenario::lab_bringup().seed(seed).observe().build();
+            straight.run_days(horizon);
+
+            let mut split = glacsweb::Scenario::lab_bringup().seed(seed).observe().build();
+            split.run_days(checkpoint_day);
+            let state = split.snapshot();
+            assert_bytes_stable(&state);
+            let mut resumed = Deployment::restore(snap_round_trip(&state)).expect("restore");
+            resumed.run_until(resumed.start() + SimDuration::from_days(horizon));
+
+            prop_assert_eq!(resumed.summary(), straight.summary());
+            // Telemetry registries ride the snapshot too: the restored
+            // process exports the full history, byte for byte.
+            let a = straight.telemetry().expect("observed").to_json();
+            let b = resumed.telemetry().expect("observed").to_json();
+            prop_assert_eq!(a, b, "telemetry export must survive the round-trip");
+        }
+    }
+}
