@@ -165,14 +165,17 @@ pub fn numeric_scope(rel: &str) -> bool {
 
 /// `true` if the perf-hygiene rule applies to this file: the modules the
 /// O(events) kernel rewrite made allocation-free, where every substep of
-/// every simulated half-hour executes. A stray `format!` or defensive
-/// `.clone()` here is a per-tick heap allocation that whole-run
-/// throughput hides until it has already regressed.
+/// every simulated half-hour executes — plus the fleet event kernel,
+/// whose wake handler runs a million times per simulated fleet-month. A
+/// stray `format!` or defensive `.clone()` here is a per-tick heap
+/// allocation that whole-run throughput hides until it has already
+/// regressed.
 pub fn perf_scope(rel: &str) -> bool {
     rel.starts_with("crates/env/src/")
         || rel.starts_with("crates/power/src/")
         || rel == "crates/sim/src/event.rs"
         || rel == "crates/sim/src/wheel.rs"
+        || rel == "crates/fleet/src/kernel.rs"
 }
 
 fn in_scope(scope: &FileScope, crates: &[&str]) -> bool {

@@ -5,11 +5,11 @@
 //! ```text
 //! cargo run -p glacsweb-bench --bin perf --release -- \
 //!     [--days N] [--cells K] [--threads N] [--repeat R] \
-//!     [--label S] [--out PATH] [--check] \
+//!     [--label S] [--out PATH] [--check] [--fleet-out PATH] \
 //!     [--checkpoint-every D] [--snapshot PATH] [--restore PATH]
 //! ```
 //!
-//! Four measurements:
+//! Five measurements:
 //!
 //! 1. **Single-run hot path** — one standard two-station deployment with
 //!    probes over `--days` simulated days, reported as sim-days/second.
@@ -18,9 +18,10 @@
 //! 2. **Sweep throughput** — `--cells` independent deployment cells run
 //!    serially and then on the resolved thread count (`--threads`,
 //!    `GLACSWEB_THREADS`, or the machine's parallelism), reported as
-//!    cells/second each plus the speedup ratio. The parallel pass
-//!    re-checks that its per-cell results equal the serial pass bit for
-//!    bit — the sweep engine's determinism contract — and aborts loudly
+//!    cells/second each plus the speedup ratio, and a thread-scaling
+//!    table at 1/2/4/8 workers over the same cells. The parallel passes
+//!    re-check that their per-cell results equal the serial pass bit for
+//!    bit — the sweep engine's determinism contract — and abort loudly
 //!    if they ever diverge.
 //! 3. **Kernel breakdown** — where a simulated minute goes: the
 //!    environment tick loop, the power-rail integration (charge-taper
@@ -31,6 +32,12 @@
 //!    restore, and the warm-start sweep speedup (every cell resumed from
 //!    a mid-run checkpoint vs run from scratch, with the resumed
 //!    fingerprints checked against the cold ones bit for bit).
+//! 5. **Fleet scaling** — the `glacsweb-fleet` kernel at 1k/10k/100k
+//!    stations: station-days/second with quiescent-station leaping
+//!    against the naive per-tick reference kernel (naive measured where
+//!    affordable; the two are asserted digest-identical first). The
+//!    table also lands in `--fleet-out PATH` as a standalone artifact
+//!    for CI upload.
 //!
 //! # Checkpointing the measured run
 //!
@@ -53,9 +60,13 @@
 //!
 //! # The CI regression gate
 //!
-//! `--check` runs only the single-run measurement and compares it against
-//! the **last record** in `--out`: the process exits non-zero when fresh
-//! throughput drops more than 20 % below that record. Absolute
+//! `--check` runs the single-run measurement and the fleet gate row and
+//! compares each against its **like-for-like** counterpart in the last
+//! record of `--out`: the process exits non-zero when fresh throughput
+//! drops more than 20 % below that record. A schema-3 baseline carries
+//! no fleet record, so the fleet comparison is skipped (with a note)
+//! until a schema-4 record exists — the gate never fails on a
+//! measurement the baseline binary could not produce. Absolute
 //! sim-days/sec are hardware-dependent, so the comparison is only
 //! meaningful when both numbers come from the same machine. CI therefore
 //! never checks against the committed `BENCH_PERF.json` (recorded on
@@ -72,14 +83,16 @@ use std::time::Instant;
 
 use glacsweb::{Deployment, DeploymentBuilder};
 use glacsweb_env::{EnvConfig, Environment};
+use glacsweb_fleet::{Fleet, FleetConfig};
 use glacsweb_link::GprsConfig;
 use glacsweb_power::{Charger, LeadAcidBattery, PowerRail, SolarPanel, WindTurbine};
 use glacsweb_sim::{AmpHours, EventWheel, SimDuration, SimTime, Watts};
 use glacsweb_station::StationConfig;
 use serde::{Serialize, Value};
 
-/// Schema version stamped on each appended record (3 adds `snapshot`).
-const SCHEMA: u64 = 3;
+/// Schema version stamped on each appended record (3 adds `snapshot`,
+/// 4 adds the sweep thread-scaling table and the `fleet` record).
+const SCHEMA: u64 = 4;
 
 /// One `BENCH_PERF.json` record.
 #[derive(Serialize)]
@@ -90,6 +103,7 @@ struct PerfRecord {
     sweep: Sweep,
     kernel: Kernel,
     snapshot: SnapshotPerf,
+    fleet: FleetPerf,
 }
 
 #[derive(Serialize)]
@@ -110,6 +124,50 @@ struct Sweep {
     parallel_seconds: f64,
     parallel_cells_per_sec: f64,
     speedup: f64,
+    /// Thread-scaling table over the same cells at 1/2/4/8 workers.
+    scaling: Vec<ScalingRow>,
+}
+
+/// One row of the sweep thread-scaling table.
+#[derive(Serialize)]
+struct ScalingRow {
+    threads: usize,
+    seconds: f64,
+    cells_per_sec: f64,
+    /// Speedup over this table's single-thread row.
+    speedup: f64,
+}
+
+/// Fleet-kernel scaling: the headline record of the schema-4 format.
+#[derive(Serialize)]
+struct FleetPerf {
+    /// Worker threads the fleet sharded over.
+    threads: usize,
+    /// Stations in the gate row (the one `--check` compares).
+    gate_stations: u64,
+    /// Simulated days in the gate row.
+    gate_days: u64,
+    /// Leap-mode throughput of the gate row, station-days/second.
+    gate_station_days_per_sec: f64,
+    /// Scaling table, smallest fleet first.
+    rows: Vec<FleetRow>,
+}
+
+/// One fleet scale point. Naive figures are absent where the per-tick
+/// reference kernel is too slow to measure routinely; wherever both
+/// kernels run, their state digests are asserted equal first.
+#[derive(Serialize)]
+struct FleetRow {
+    sites: u32,
+    stations_per_site: u32,
+    stations: u64,
+    days: u64,
+    leap_seconds: f64,
+    leap_station_days_per_sec: f64,
+    naive_seconds: Option<f64>,
+    naive_station_days_per_sec: Option<f64>,
+    /// Leap over naive throughput, where naive was measured.
+    speedup: Option<f64>,
 }
 
 /// Component timings over the single run's horizon: where a simulated
@@ -175,6 +233,7 @@ struct Args {
     checkpoint_every: Option<u64>,
     snapshot: String,
     restore: Option<String>,
+    fleet_out: Option<String>,
 }
 
 fn parse(mut argv: impl Iterator<Item = String>) -> Args {
@@ -189,6 +248,7 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Args {
         checkpoint_every: None,
         snapshot: "glacsweb-perf.snap".to_string(),
         restore: None,
+        fleet_out: None,
     };
     while let Some(arg) = argv.next() {
         let mut value = |flag: &str| {
@@ -223,9 +283,10 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Args {
             }
             "--snapshot" => args.snapshot = value("--snapshot"),
             "--restore" => args.restore = Some(value("--restore")),
+            "--fleet-out" => args.fleet_out = Some(value("--fleet-out")),
             other => panic!(
                 "unknown argument {other:?}; perf [--days N] [--cells K] [--threads N] \
-                 [--repeat R] [--label S] [--out PATH] [--check] \
+                 [--repeat R] [--label S] [--out PATH] [--check] [--fleet-out PATH] \
                  [--checkpoint-every D] [--snapshot PATH] [--restore PATH]"
             ),
         }
@@ -374,6 +435,153 @@ fn measure_snapshot(days: u64, cells: usize, threads: usize) -> SnapshotPerf {
     }
 }
 
+/// Fleet scale points: (sites, stations/site, days, measure naive too).
+/// Naive stepping at 100k stations costs minutes per run, so the largest
+/// point is leap-only — the equivalence is already pinned at the smaller
+/// scales (digest-asserted here) and in the fleet crate's tests.
+const FLEET_SCALES: [(u32, u32, u64, bool); 3] = [
+    (4, 250, 30, true),
+    (10, 1_000, 30, true),
+    (100, 1_000, 30, false),
+];
+
+/// Index into [`FLEET_SCALES`] of the row `--check` gates on.
+const FLEET_GATE: usize = 1;
+
+fn fleet_config(sites: u32, per_site: u32, leaping: bool) -> FleetConfig {
+    FleetConfig::new(sites, per_site)
+        .seed(2010)
+        .leaping(leaping)
+}
+
+/// Measures one fleet scale point: leap mode always, naive mode when
+/// affordable, with the two asserted digest-identical.
+fn measure_fleet_row(
+    sites: u32,
+    per_site: u32,
+    days: u64,
+    with_naive: bool,
+    threads: usize,
+    repeat: u64,
+) -> FleetRow {
+    let stations = u64::from(sites) * u64::from(per_site);
+    // Fastest of `repeat` runs, like the single-run measurement: one
+    // fleet month is short enough that scheduler noise dominates a
+    // single sample, and the gate compares against a committed baseline.
+    let mut leap_seconds = f64::INFINITY;
+    let mut leap = None;
+    for _ in 0..repeat {
+        let mut fleet =
+            Fleet::new(fleet_config(sites, per_site, true)).expect("valid fleet config");
+        fleet.set_threads(threads);
+        let started = Instant::now();
+        fleet.run_days(days);
+        leap_seconds = leap_seconds.min(started.elapsed().as_secs_f64());
+        leap = Some(fleet);
+    }
+    let leap = leap.expect("at least one repeat");
+    let station_days = (stations * days) as f64;
+    let leap_rate = station_days / leap_seconds;
+    let (naive_seconds, naive_rate, speedup) = if with_naive {
+        let mut secs = f64::INFINITY;
+        let mut naive = None;
+        for _ in 0..repeat {
+            let mut fleet =
+                Fleet::new(fleet_config(sites, per_site, false)).expect("valid fleet config");
+            fleet.set_threads(threads);
+            let started = Instant::now();
+            fleet.run_days(days);
+            secs = secs.min(started.elapsed().as_secs_f64());
+            naive = Some(fleet);
+        }
+        let naive = naive.expect("at least one repeat");
+        assert_eq!(
+            leap.state_digest(),
+            naive.state_digest(),
+            "leap and naive fleet kernels diverged at {sites}x{per_site}"
+        );
+        let rate = station_days / secs;
+        (Some(secs), Some(rate), Some(leap_rate / rate))
+    } else {
+        (None, None, None)
+    };
+    FleetRow {
+        sites,
+        stations_per_site: per_site,
+        stations,
+        days,
+        leap_seconds,
+        leap_station_days_per_sec: leap_rate,
+        naive_seconds,
+        naive_station_days_per_sec: naive_rate,
+        speedup,
+    }
+}
+
+/// The full fleet scaling table (see [`FleetPerf`]).
+fn measure_fleet(threads: usize, repeat: u64) -> FleetPerf {
+    let mut rows = Vec::new();
+    for (sites, per_site, days, with_naive) in FLEET_SCALES {
+        let row = measure_fleet_row(sites, per_site, days, with_naive, threads, repeat);
+        match (row.naive_station_days_per_sec, row.speedup) {
+            (Some(naive), Some(speedup)) => println!(
+                "fleet: {}x{} = {} stations, {} days: leap {:.3}s ({:.2} M station-days/sec), \
+                 naive {:.3}s ({:.2} M), speedup {speedup:.1}x",
+                row.sites,
+                row.stations_per_site,
+                row.stations,
+                row.days,
+                row.leap_seconds,
+                row.leap_station_days_per_sec / 1e6,
+                row.naive_seconds.unwrap_or(0.0),
+                naive / 1e6,
+            ),
+            _ => println!(
+                "fleet: {}x{} = {} stations, {} days: leap {:.3}s ({:.2} M station-days/sec), \
+                 naive skipped (too slow to measure routinely at this scale)",
+                row.sites,
+                row.stations_per_site,
+                row.stations,
+                row.days,
+                row.leap_seconds,
+                row.leap_station_days_per_sec / 1e6,
+            ),
+        }
+        rows.push(row);
+    }
+    let gate = &rows[FLEET_GATE];
+    FleetPerf {
+        threads,
+        gate_stations: gate.stations,
+        gate_days: gate.days,
+        gate_station_days_per_sec: gate.leap_station_days_per_sec,
+        rows,
+    }
+}
+
+/// The fleet measurement `--check` gates on: the gate row, leap only.
+fn measure_fleet_gate(threads: usize, repeat: u64) -> f64 {
+    let (sites, per_site, days, _) = FLEET_SCALES[FLEET_GATE];
+    let row = measure_fleet_row(sites, per_site, days, false, threads, repeat);
+    row.leap_station_days_per_sec
+}
+
+/// Writes the standalone fleet-scaling artifact for CI upload.
+fn write_fleet_artifact(path: &str, label: &str, fleet: &FleetPerf) {
+    let key = |s: &str| Value::Str(s.to_string());
+    let doc = Value::Map(vec![
+        (key("schema"), key("glacsweb-fleet-scaling/1")),
+        (key("label"), key(label)),
+        (key("fleet"), fleet.to_value()),
+    ]);
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("serializable"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote fleet-scaling artifact to {path}");
+}
+
 /// Component timings in isolation (see [`Kernel`]).
 fn measure_kernel(days: u64) -> Kernel {
     let t0 = SimTime::from_ymd_hms(2009, 6, 1, 0, 0, 0);
@@ -463,6 +671,41 @@ fn baseline_sim_days_per_sec(history: &[Value]) -> Option<f64> {
         .as_f64()
 }
 
+/// The baseline fleet gate, where the last record is new enough to carry
+/// one: `(stations, days, station_days_per_sec)`.
+fn baseline_fleet_gate(history: &[Value]) -> Option<(u64, u64, f64)> {
+    let fleet = history.last()?.get("fleet")?;
+    Some((
+        fleet.get("gate_stations")?.as_u64()?,
+        fleet.get("gate_days")?.as_u64()?,
+        fleet.get("gate_station_days_per_sec")?.as_f64()?,
+    ))
+}
+
+/// One `--check` comparison: fails (or warns under the override) when
+/// `fresh` is more than the tolerance below `baseline`.
+fn gate(name: &str, unit: &str, fresh: f64, baseline: f64) -> bool {
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    println!("bench-perf check [{name}]: fresh {fresh:.1} {unit} vs baseline {baseline:.1} (floor {floor:.1})");
+    if fresh >= floor {
+        return true;
+    }
+    if std::env::var(OVERRIDE_VAR).is_ok() {
+        println!(
+            "REGRESSION [{name}] ({:.0} % below baseline) — allowed by {OVERRIDE_VAR}",
+            (1.0 - fresh / baseline) * 100.0
+        );
+        true
+    } else {
+        eprintln!(
+            "REGRESSION [{name}]: {fresh:.1} {unit} is more than {:.0} % below the \
+             baseline {baseline:.1}; set {OVERRIDE_VAR}=1 to override",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        false
+    }
+}
+
 fn main() {
     let args = parse(std::env::args().skip(1));
 
@@ -477,25 +720,33 @@ fn main() {
         };
         let (secs, fingerprint) = measure_single(args.days, args.repeat, &args);
         let fresh = args.days as f64 / secs;
-        let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
-        println!(
-            "bench-perf check: fresh {fresh:.1} sim-days/sec vs baseline {baseline:.1} \
-             (floor {floor:.1}, summary {fingerprint:?})"
-        );
-        if fresh < floor {
-            if std::env::var(OVERRIDE_VAR).is_ok() {
-                println!(
-                    "REGRESSION ({:.0} % below baseline) — allowed by {OVERRIDE_VAR}",
-                    (1.0 - fresh / baseline) * 100.0
-                );
-            } else {
-                eprintln!(
-                    "REGRESSION: {fresh:.1} sim-days/sec is more than {:.0} % below the \
-                     committed baseline {baseline:.1}; set {OVERRIDE_VAR}=1 to override",
-                    REGRESSION_TOLERANCE * 100.0
-                );
-                std::process::exit(1);
+        println!("bench-perf check: single-run summary {fingerprint:?}");
+        let mut ok = gate("single-run", "sim-days/sec", fresh, baseline);
+        // Fleet gate, like-for-like only: a schema-3 baseline (recorded
+        // by a binary that predates the fleet kernel) carries no fleet
+        // record, so there is nothing comparable to gate against.
+        match baseline_fleet_gate(&history) {
+            Some((stations, days, fleet_baseline)) => {
+                let (s, p, d, _) = FLEET_SCALES[FLEET_GATE];
+                let comparable = stations == u64::from(s) * u64::from(p) && days == d;
+                if comparable {
+                    let threads = glacsweb_sweep::resolve_threads(args.threads);
+                    let fleet_fresh = measure_fleet_gate(threads, args.repeat);
+                    ok &= gate("fleet", "station-days/sec", fleet_fresh, fleet_baseline);
+                } else {
+                    println!(
+                        "bench-perf check: baseline fleet gate covers {stations} stations x \
+                         {days} days, current gate differs — skipping fleet comparison"
+                    );
+                }
             }
+            None => println!(
+                "bench-perf check: baseline record predates the fleet kernel (schema < 4); \
+                 skipping fleet comparison"
+            ),
+        }
+        if !ok {
+            std::process::exit(1);
         }
         return;
     }
@@ -544,6 +795,34 @@ fn main() {
         speedup,
     );
 
+    // Thread-scaling table over the same cells (the serial pass above is
+    // the 1-thread row; every row re-checks bit-identity against it).
+    let mut scaling = vec![ScalingRow {
+        threads: 1,
+        seconds: serial_secs,
+        cells_per_sec: serial_cells_per_sec,
+        speedup: 1.0,
+    }];
+    for n in [2usize, 4, 8] {
+        let seeds: Vec<u64> = (0..args.cells as u64).collect();
+        let started = Instant::now();
+        let results = glacsweb_sweep::run_cells(seeds, n, |seed| run_cell(seed, CELL_DAYS));
+        let secs = started.elapsed().as_secs_f64();
+        assert_eq!(serial, results, "sweep diverged at {n} threads");
+        scaling.push(ScalingRow {
+            threads: n,
+            seconds: secs,
+            cells_per_sec: args.cells as f64 / secs,
+            speedup: serial_secs / secs,
+        });
+    }
+    let table = scaling
+        .iter()
+        .map(|r| format!("{}t {:.2}s ({:.2}x)", r.threads, r.seconds, r.speedup))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("sweep scaling: {table}");
+
     // 3. Kernel breakdown.
     let kernel = measure_kernel(args.days);
     println!(
@@ -572,6 +851,12 @@ fn main() {
         snapshot.warm_start_speedup,
     );
 
+    // 5. Fleet-kernel scaling (prints each row as it lands).
+    let fleet = measure_fleet(threads, args.repeat);
+    if let Some(path) = &args.fleet_out {
+        write_fleet_artifact(path, &args.label, &fleet);
+    }
+
     let record = PerfRecord {
         schema: SCHEMA,
         label: args.label,
@@ -590,9 +875,11 @@ fn main() {
             parallel_seconds: parallel_secs,
             parallel_cells_per_sec,
             speedup,
+            scaling,
         },
         kernel,
         snapshot,
+        fleet,
     };
     let mut history = read_history(&args.out);
     history.push(record.to_value());

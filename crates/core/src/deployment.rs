@@ -59,6 +59,7 @@ pub struct DeploymentBuilder {
     probe_interval: SimDuration,
     fault_plan: FaultPlan,
     observe: bool,
+    leaping: bool,
 }
 
 impl DeploymentBuilder {
@@ -75,6 +76,7 @@ impl DeploymentBuilder {
             probe_interval: SimDuration::from_hours(1),
             fault_plan: FaultPlan::new(),
             observe: false,
+            leaping: true,
         }
     }
 
@@ -126,6 +128,18 @@ impl DeploymentBuilder {
     /// collect the result with [`Deployment::telemetry`].
     pub fn observe(mut self) -> Self {
         self.observe = true;
+        self
+    }
+
+    /// Enables or disables event-stream leaping (default: enabled).
+    ///
+    /// Leaping elides world events that provably cannot change the
+    /// trajectory — currently the hourly probe sweep once every probe is
+    /// dead (a dead probe draws no randomness and answers no queries).
+    /// Runs with leaping on and off are bit-identical; the
+    /// `leap_equivalence` integration tests pin that contract.
+    pub fn leaping(mut self, on: bool) -> Self {
+        self.leaping = on;
         self
     }
 
@@ -233,6 +247,7 @@ impl DeploymentBuilder {
             metrics: Metrics::new(),
             fault_plan: self.fault_plan,
             world_obs,
+            leaping: self.leaping,
         }
     }
 }
@@ -281,6 +296,7 @@ pub struct DeploymentState {
     metrics: Metrics,
     fault_plan: FaultPlan,
     world_obs: Option<MemoryRecorder>,
+    leaping: bool,
 }
 
 /// A running Glacsweb deployment.
@@ -300,6 +316,7 @@ pub struct Deployment {
     fault_plan: FaultPlan,
     /// World-level telemetry (fault activations, window classes).
     world_obs: Box<dyn Recorder>,
+    leaping: bool,
 }
 
 impl Deployment {
@@ -363,6 +380,32 @@ impl Deployment {
     /// probe sweeps, fault transitions).
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Whether event-stream leaping is enabled (see
+    /// [`DeploymentBuilder::leaping`]).
+    pub fn leaping(&self) -> bool {
+        self.leaping
+    }
+
+    /// Enables or disables event-stream leaping mid-run. Safe at any
+    /// point: leaping only ever elides provably inert events, so the
+    /// trajectory is unchanged either way.
+    pub fn set_leaping(&mut self, on: bool) {
+        self.leaping = on;
+        if on {
+            return;
+        }
+        // Re-arm the probe sweep if leaping had already dropped it.
+        if !self.probes.is_empty()
+            && !self
+                .queue
+                .iter()
+                .any(|(_, e)| matches!(e, WorldEvent::ProbeSample))
+        {
+            self.queue
+                .push(self.now + self.probe_interval, WorldEvent::ProbeSample);
+        }
     }
 
     /// Runs the event loop until `until`.
@@ -498,6 +541,7 @@ impl Deployment {
             metrics: self.metrics.clone(),
             fault_plan: self.fault_plan.clone(),
             world_obs: self.world_obs.memory().cloned(),
+            leaping: self.leaping,
         }
     }
 
@@ -593,6 +637,7 @@ impl Deployment {
             metrics: state.metrics,
             fault_plan: state.fault_plan,
             world_obs,
+            leaping: state.leaping,
         })
     }
 
@@ -890,8 +935,18 @@ impl Deployment {
             }
             probe.sample(&self.env, t, &mut self.probe_rng);
         }
-        self.queue
-            .push(t + self.probe_interval, WorldEvent::ProbeSample);
+        // Stream leap: once every probe is dead the sweep is pure event
+        // churn — a dead probe draws no randomness, answers no queries and
+        // records nothing, and `env.advance_to` lands on the same internal
+        // grid whether or not it is poked hourly. Dropping the reschedule
+        // is therefore bit-identical to keeping it (pinned by the
+        // `leap_equivalence` tests); it turns a fully-dead cohort from an
+        // O(hours) event load into zero events.
+        let leapable = self.leaping && self.probes.iter().all(ProbeFirmware::is_dead);
+        if !leapable {
+            self.queue
+                .push(t + self.probe_interval, WorldEvent::ProbeSample);
+        }
     }
 }
 

@@ -94,6 +94,21 @@ impl OuStepCache {
         value
     }
 
+    /// The cached decay factor raised to `n` — the O(log n) closed form
+    /// `decay(dt)ⁿ`.
+    ///
+    /// This is **not** bit-identical to `n` iterated multiplies (see
+    /// [`OuStepCache::decay_leap`] for that contract); it is the
+    /// primitive for recurrences that are *defined* anchor-style, like
+    /// the fleet kernel's sleeping microclimate anomaly
+    /// `x(k) = x₀·decayᵏ`: a per-tick evaluator and a whole-window leap
+    /// both call this with their own `k`, so they agree bit-for-bit by
+    /// construction at any split of the window.
+    pub fn decay_pow(&mut self, n: u32, dt: f64, theta: f64, stationary_sd: f64) -> f64 {
+        let (decay, _) = self.coeffs(dt, theta, stationary_sd);
+        decay.powi(i32::try_from(n).unwrap_or(i32::MAX))
+    }
+
     /// Advances a noise-free exponential decay by `n_steps` ticks.
     ///
     /// Replays `x ← x·decay` per step (not `x·decayⁿ` via `powi`, which
@@ -233,6 +248,29 @@ mod tests {
         }
         assert_eq!(leapt.to_bits(), stepped.to_bits());
         assert_eq!(rng_leap, rng_step);
+    }
+
+    #[test]
+    fn decay_pow_is_the_closed_power() {
+        let mut c = OuStepCache::default();
+        let (decay, _) = c.coeffs(0.5, 1.0 / 8.0, 0.15);
+        assert_eq!(
+            c.decay_pow(1, 0.5, 1.0 / 8.0, 0.15).to_bits(),
+            decay.to_bits()
+        );
+        assert_eq!(
+            c.decay_pow(48, 0.5, 1.0 / 8.0, 0.15).to_bits(),
+            decay.powi(48).to_bits()
+        );
+        assert_eq!(
+            c.decay_pow(0, 0.5, 1.0 / 8.0, 0.15).to_bits(),
+            1.0f64.to_bits()
+        );
+        // Splitting a window re-derives from the same anchor expression,
+        // so pow(a)·pow(b) need not equal pow(a+b) — anchor-style users
+        // never multiply two pows together.
+        let whole = c.decay_pow(48, 0.5, 1.0 / 8.0, 0.15);
+        assert!((whole - decay.powi(24) * decay.powi(24)).abs() < 1e-15);
     }
 
     #[test]

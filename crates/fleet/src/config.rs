@@ -1,0 +1,176 @@
+//! Fleet configuration and validation.
+
+use std::fmt;
+
+use glacsweb_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a [`Fleet`](crate::Fleet): how many sites and
+/// stations, the seed, and the fleet-level disturbance schedule.
+///
+/// Build one with [`FleetConfig::new`] and the chained setters, then
+/// hand it to [`Fleet::new`](crate::Fleet::new), which validates it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of independent glacier sites.
+    pub sites: u32,
+    /// Stations deployed per site.
+    pub stations_per_site: u32,
+    /// Master seed; every site and station stream forks from it.
+    pub seed: u64,
+    /// Simulation start instant (tick-grid aligned by the builder).
+    pub start: SimTime,
+    /// Server-side base-station-hopping period in days (`0` disables):
+    /// every `rotation_days` days at 03:00 the server overrides every
+    /// station's schedule to rotate its comms-relay role.
+    pub rotation_days: u32,
+    /// Mean gap between storms per site, in days (`0.0` disables storms).
+    pub storm_mean_gap_days: f64,
+    /// Mean storm duration in hours.
+    pub storm_mean_hours: f64,
+    /// Quiescent-station leaping. `true` (the default) advances sleeping
+    /// stations with the closed-form leap calls; `false` runs the naive
+    /// per-tick reference kernel. Both produce bit-identical telemetry.
+    pub leaping: bool,
+}
+
+impl FleetConfig {
+    /// A fleet of `sites` glaciers with `stations_per_site` stations
+    /// each, with the default disturbance schedule: a storm roughly
+    /// every five days lasting about twelve hours, and a fourteen-day
+    /// role-rotation override.
+    pub fn new(sites: u32, stations_per_site: u32) -> Self {
+        FleetConfig {
+            sites,
+            stations_per_site,
+            seed: 0,
+            start: SimTime::from_ymd_hms(2008, 9, 1, 0, 0, 0),
+            rotation_days: 14,
+            storm_mean_gap_days: 5.0,
+            storm_mean_hours: 12.0,
+            leaping: true,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the start instant (snapped down to the half-hour tick grid).
+    #[must_use]
+    pub fn start(mut self, start: SimTime) -> Self {
+        let tick = crate::site::TICK.as_secs();
+        self.start = SimTime::from_unix((start.unix() / tick) * tick);
+        self
+    }
+
+    /// Sets the base-station-hopping rotation period (`0` disables).
+    #[must_use]
+    pub fn rotation_days(mut self, days: u32) -> Self {
+        self.rotation_days = days;
+        self
+    }
+
+    /// Sets the storm schedule (`gap_days == 0.0` disables storms).
+    #[must_use]
+    pub fn storms(mut self, gap_days: f64, mean_hours: f64) -> Self {
+        self.storm_mean_gap_days = gap_days;
+        self.storm_mean_hours = mean_hours;
+        self
+    }
+
+    /// Enables or disables quiescent-station leaping.
+    #[must_use]
+    pub fn leaping(mut self, on: bool) -> Self {
+        self.leaping = on;
+        self
+    }
+
+    /// Checks every cross-field invariant the kernel relies on.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.sites == 0 {
+            return Err(FleetConfigError::NoSites);
+        }
+        if self.stations_per_site == 0 {
+            return Err(FleetConfigError::NoStations);
+        }
+        let total = u64::from(self.sites) * u64::from(self.stations_per_site);
+        if total > 10_000_000 {
+            return Err(FleetConfigError::TooManyStations { total });
+        }
+        if !self.storm_mean_gap_days.is_finite()
+            || self.storm_mean_gap_days < 0.0
+            || !self.storm_mean_hours.is_finite()
+            || self.storm_mean_hours < 0.0
+        {
+            return Err(FleetConfigError::BadStormSchedule {
+                gap_days: self.storm_mean_gap_days,
+                mean_hours: self.storm_mean_hours,
+            });
+        }
+        if self.storm_mean_gap_days > 0.0 && self.storm_mean_hours <= 0.0 {
+            return Err(FleetConfigError::BadStormSchedule {
+                gap_days: self.storm_mean_gap_days,
+                mean_hours: self.storm_mean_hours,
+            });
+        }
+        if !self.start.unix().is_multiple_of(crate::site::TICK.as_secs()) {
+            return Err(FleetConfigError::UnalignedStart { start: self.start });
+        }
+        Ok(())
+    }
+}
+
+/// A [`FleetConfig`] that cannot describe a runnable fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetConfigError {
+    /// `sites == 0`.
+    NoSites,
+    /// `stations_per_site == 0`.
+    NoStations,
+    /// The station count exceeds the kernel's sanity ceiling.
+    TooManyStations {
+        /// Requested total station count.
+        total: u64,
+    },
+    /// Storm gap/duration are negative, non-finite, or inconsistent.
+    BadStormSchedule {
+        /// Configured mean gap in days.
+        gap_days: f64,
+        /// Configured mean duration in hours.
+        mean_hours: f64,
+    },
+    /// The start instant does not lie on the half-hour tick grid.
+    UnalignedStart {
+        /// Configured start.
+        start: SimTime,
+    },
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::NoSites => write!(f, "fleet has no sites"),
+            FleetConfigError::NoStations => write!(f, "fleet sites have no stations"),
+            FleetConfigError::TooManyStations { total } => {
+                write!(f, "{total} stations exceeds the 10M kernel ceiling")
+            }
+            FleetConfigError::BadStormSchedule {
+                gap_days,
+                mean_hours,
+            } => write!(
+                f,
+                "storm schedule gap {gap_days} days / duration {mean_hours} h is not usable"
+            ),
+            FleetConfigError::UnalignedStart { start } => write!(
+                f,
+                "start {start:?} is not aligned to the half-hour tick grid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}

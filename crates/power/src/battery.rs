@@ -220,6 +220,58 @@ impl LeadAcidBattery {
         last
     }
 
+    /// Opens a constant-current **sleep glide** anchored at the bank's
+    /// current state: the closed-form sleep-window integrator the fleet
+    /// kernel leaps on.
+    ///
+    /// Where [`LeadAcidBattery::leap`] *replays* the stepped recurrence
+    /// (bit-identical to `n × step`, but O(n)), a glide *defines* the
+    /// sleep trajectory as an exact closed form: the leak and rest
+    /// voltage are linearised at the anchor, so the state after `k`
+    /// ticks is `clamp(soc₀ + k·δ)` — one multiply-add whatever `k` is.
+    /// A per-tick stepper and a whole-window leap evaluate the *same
+    /// expression* at `k = 1, 2, …` versus once at `k = n`, which is
+    /// what makes leaping bit-identical to ticking **by construction**
+    /// rather than by replay. The linearisation is the physics of a
+    /// sleeping node: microamp-scale drift over hours moves the state
+    /// of charge so little that the leak and OCV are constant to first
+    /// order, exactly like the MSP430's own coulomb bookkeeping.
+    ///
+    /// The glide owns the anchor meters, so committing at `j` and later
+    /// at `k > j` leaves the bank bit-identical to committing once at
+    /// `k` — mid-window digests and snapshots are safe (asserted by
+    /// proptests).
+    pub fn glide(&self, dt: SimDuration, current: Amps, temp: Celsius) -> SleepGlide {
+        let hours = dt.as_hours_f64();
+        let cap = self.effective_capacity(temp).value();
+        let mut delta_ah = current.value() * hours;
+        if delta_ah > 0.0 {
+            delta_ah *= self.charge_efficiency;
+        }
+        let leak = self.soc * self.self_discharge_per_month * (hours / (30.0 * 24.0));
+        let delta = if hours > 0.0 {
+            delta_ah / cap - leak
+        } else {
+            0.0
+        };
+        let v0 = self.open_circuit_voltage().value();
+        // Wh metered per unit of SoC movement, at the anchor rest
+        // voltage: gross-of-inefficiency when charging, direct when
+        // discharging (leak is part of the net movement).
+        let scale = if delta >= 0.0 {
+            cap / self.charge_efficiency * v0
+        } else {
+            cap * v0
+        };
+        SleepGlide {
+            soc0: self.soc,
+            charged0: self.charged.value(),
+            discharged0: self.discharged.value(),
+            delta,
+            scale,
+        }
+    }
+
     /// Recharges instantly to full — used by scenario setup, not by the
     /// simulation loop.
     pub fn reset_full(&mut self) {
@@ -256,6 +308,79 @@ impl VoltageCurve {
             0.0
         };
         Volts((self.ocv + ohmic + absorption).clamp(9.0, 15.0))
+    }
+}
+
+/// The closed-form trajectory of a bank sleeping at constant current,
+/// anchored at one battery state (see [`LeadAcidBattery::glide`]).
+///
+/// Every accessor is a pure function of the anchor and the tick index
+/// `k`, so evaluating the trajectory tick-by-tick and leaping straight
+/// to `k = n` produce the same bits — there is no accumulated state to
+/// replay. Clamping at empty/full is exact: the affine extrapolation is
+/// clamped, which for a constant-sign `δ` equals the iterated clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepGlide {
+    /// State of charge at the anchor.
+    soc0: f64,
+    /// Charged-energy meter at the anchor, Wh.
+    charged0: f64,
+    /// Discharged-energy meter at the anchor, Wh.
+    discharged0: f64,
+    /// Net per-tick SoC movement (efficiency-applied, leak-inclusive).
+    delta: f64,
+    /// Wh metered per unit of SoC movement, at the anchor rest voltage.
+    scale: f64,
+}
+
+impl SleepGlide {
+    /// State of charge after `k` ticks: `clamp(soc₀ + k·δ)`.
+    pub fn soc_at(&self, k: u32) -> f64 {
+        (self.soc0 + f64::from(k) * self.delta).clamp(0.0, 1.0)
+    }
+
+    /// Charged-energy meter after `k` ticks, Wh. Only a charging glide
+    /// (`δ ≥ 0`) moves it; clamping at full truncates it exactly.
+    pub fn charged_at(&self, k: u32) -> f64 {
+        if self.delta >= 0.0 {
+            self.charged0 + (self.soc_at(k) - self.soc0) * self.scale
+        } else {
+            self.charged0
+        }
+    }
+
+    /// Discharged-energy meter after `k` ticks, Wh. Only a discharging
+    /// glide (`δ < 0`) moves it; clamping at empty truncates it exactly.
+    pub fn discharged_at(&self, k: u32) -> f64 {
+        if self.delta >= 0.0 {
+            self.discharged0
+        } else {
+            self.discharged0 + (self.soc0 - self.soc_at(k)) * self.scale
+        }
+    }
+
+    /// Writes the state at tick `k` back into a bank — O(1) for any `k`.
+    ///
+    /// Commits are *re-derivations from the anchor*, not increments:
+    /// `commit(j)` followed by `commit(k)` is bit-identical to a single
+    /// `commit(k)`, which is what lets a leap kernel settle a partial
+    /// window at a digest/snapshot horizon and keep going.
+    pub fn commit(&self, battery: &mut LeadAcidBattery, k: u32) {
+        battery.soc = self.soc_at(k);
+        battery.charged = WattHours(self.charged_at(k));
+        battery.discharged = WattHours(self.discharged_at(k));
+    }
+
+    /// The anchor fields as raw bit patterns, in declaration order —
+    /// feed for canonical state digests.
+    pub fn digest_bits(&self) -> [u64; 5] {
+        [
+            self.soc0.to_bits(),
+            self.charged0.to_bits(),
+            self.discharged0.to_bits(),
+            self.delta.to_bits(),
+            self.scale.to_bits(),
+        ]
     }
 }
 
@@ -395,6 +520,122 @@ mod tests {
                     "soc {soc} current {i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn glide_is_anchored_at_the_current_state() {
+        let b = LeadAcidBattery::with_state(AmpHours(36.0), 0.62);
+        let g = b.glide(SimDuration::from_mins(10), Amps(-0.01), Celsius(-5.0));
+        assert_eq!(g.soc_at(0).to_bits(), 0.62f64.to_bits());
+        assert_eq!(
+            g.charged_at(0).to_bits(),
+            b.total_charged().value().to_bits()
+        );
+        assert!(g.soc_at(144) < 0.62, "a net drain glides downward");
+    }
+
+    #[test]
+    fn glide_clamps_exactly_at_empty_and_full() {
+        let low = LeadAcidBattery::with_state(AmpHours(10.0), 0.02);
+        let g = low.glide(SimDuration::from_mins(10), Amps(-3.0), Celsius(25.0));
+        assert_eq!(g.soc_at(10_000), 0.0, "drain clamps at empty");
+        let hi = LeadAcidBattery::with_state(AmpHours(10.0), 0.99);
+        let gc = hi.glide(SimDuration::from_mins(10), Amps(3.0), Celsius(25.0));
+        assert_eq!(gc.soc_at(10_000), 1.0, "charge clamps at full");
+        // Meters truncate with the clamp: no energy flows past the rail.
+        assert_eq!(
+            gc.charged_at(10_000).to_bits(),
+            gc.charged_at(20_000).to_bits()
+        );
+    }
+
+    #[test]
+    fn glide_cold_capacity_slows_the_slide() {
+        let b = LeadAcidBattery::with_state(AmpHours(36.0), 0.8);
+        let warm = b.glide(SimDuration::from_mins(10), Amps(-0.1), Celsius(25.0));
+        let cold = b.glide(SimDuration::from_mins(10), Amps(-0.1), Celsius(-20.0));
+        // Same amp-hours out of a smaller effective bank: SoC falls faster.
+        assert!(cold.soc_at(144) < warm.soc_at(144));
+    }
+
+    proptest! {
+        /// `commit(j)` then `commit(k)` from the same glide leaves the
+        /// bank bit-identical to a single `commit(k)` — the property
+        /// that makes mid-window digest/snapshot horizons safe.
+        #[test]
+        fn glide_commits_are_path_independent(
+            soc0 in 0.0f64..1.0,
+            current in -3.0f64..3.0,
+            temp in -30.0f64..30.0,
+            j in 0u32..500,
+            extra in 0u32..500,
+        ) {
+            let anchor = LeadAcidBattery::with_state(AmpHours(36.0), soc0);
+            let g = anchor.glide(SimDuration::from_mins(10), Amps(current), Celsius(temp));
+            let k = j + extra;
+            let mut direct = anchor.clone();
+            g.commit(&mut direct, k);
+            let mut staged = anchor.clone();
+            g.commit(&mut staged, j);
+            g.commit(&mut staged, k);
+            prop_assert_eq!(
+                direct.state_of_charge().to_bits(),
+                staged.state_of_charge().to_bits()
+            );
+            prop_assert_eq!(
+                direct.total_charged().value().to_bits(),
+                staged.total_charged().value().to_bits()
+            );
+            prop_assert_eq!(
+                direct.total_discharged().value().to_bits(),
+                staged.total_discharged().value().to_bits()
+            );
+        }
+
+        /// Glide invariants: SoC stays in `[0, 1]`, both lifetime meters
+        /// are monotone in `k`, and only one of them ever moves.
+        #[test]
+        fn glide_meters_are_monotone_and_exclusive(
+            soc0 in 0.0f64..1.0,
+            current in -3.0f64..3.0,
+            temp in -30.0f64..30.0,
+            k in 1u32..2000,
+        ) {
+            let b = LeadAcidBattery::with_state(AmpHours(36.0), soc0);
+            let g = b.glide(SimDuration::from_mins(10), Amps(current), Celsius(temp));
+            prop_assert!((0.0..=1.0).contains(&g.soc_at(k)));
+            prop_assert!(g.charged_at(k) >= g.charged_at(k - 1));
+            prop_assert!(g.discharged_at(k) >= g.discharged_at(k - 1));
+            let charged_moved = g.charged_at(k) > g.charged_at(0);
+            let discharged_moved = g.discharged_at(k) > g.discharged_at(0);
+            prop_assert!(!(charged_moved && discharged_moved));
+        }
+
+        /// Over short windows the glide tracks the stepped integrator
+        /// closely (the linearisation is first-order in the leak): the
+        /// physics check that a glide is `step` with a frozen leak, not
+        /// a different battery.
+        #[test]
+        fn glide_tracks_step_over_short_windows(
+            soc0 in 0.1f64..0.9,
+            current in -0.05f64..0.05,
+            temp in -20.0f64..20.0,
+            n in 1u32..144,
+        ) {
+            let anchor = LeadAcidBattery::with_state(AmpHours(36.0), soc0);
+            let g = anchor.glide(SimDuration::from_mins(10), Amps(current), Celsius(temp));
+            let mut stepped = anchor.clone();
+            for _ in 0..n {
+                stepped.step(SimDuration::from_mins(10), Amps(current), Celsius(temp));
+            }
+            prop_assert!(
+                (g.soc_at(n) - stepped.state_of_charge()).abs() < 1e-4,
+                "glide {} vs stepped {} after {} ticks",
+                g.soc_at(n),
+                stepped.state_of_charge(),
+                n
+            );
         }
     }
 

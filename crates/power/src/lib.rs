@@ -39,7 +39,7 @@ mod charger;
 mod load;
 mod rail;
 
-pub use battery::{LeadAcidBattery, VoltageCurve};
+pub use battery::{LeadAcidBattery, SleepGlide, VoltageCurve};
 pub use charger::{Charger, MainsCharger, SolarPanel, WindTurbine};
 pub use load::{LoadSet, LoadSnapshot};
 pub use rail::PowerRail;
