@@ -1,0 +1,476 @@
+//! The incremental analysis cache (`ANALYSIS_CACHE.json`).
+//!
+//! Per-file analysis is a pure function of the file's text, so results
+//! are cached keyed by an FNV-1a content hash: a warm run over an
+//! unchanged workspace re-analyzes zero files and still produces a
+//! byte-identical report. The cache stores *pristine* per-file results —
+//! findings before suppression matching, ledger entries with `used`
+//! unset — because suppression matching is a whole-run operation (a
+//! semantic finding produced by another file's facts can be silenced by
+//! this file's ledger).
+//!
+//! Robustness over cleverness: a missing, truncated, or
+//! version-mismatched cache file is simply a cold run, and any entry
+//! that fails to decode is dropped individually.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::{parse, Jv};
+use crate::rules::{Finding, RuleId};
+use crate::semantic::{DrawTree, FieldFact, FileFacts, FnFact, ImplFact, StructFact};
+use crate::suppress::Suppression;
+use crate::FileAnalysis;
+
+/// Cache format version; bump on any codec or rule-pack change so stale
+/// caches from older binaries are discarded wholesale.
+pub const CACHE_SCHEMA: u64 = 2;
+
+/// FNV-1a 64-bit hash of the file's bytes.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content hash as stored in the cache file.
+pub fn hash_hex(source: &str) -> String {
+    format!("{:016x}", fnv64(source.as_bytes()))
+}
+
+/// Loads the cache: rel path -> (content hash, pristine analysis). Any
+/// read or parse problem yields an empty map (a cold run), never an
+/// error.
+pub fn load(path: &Path) -> BTreeMap<String, (String, FileAnalysis)> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let Some(doc) = parse(&text) else {
+        return out;
+    };
+    if doc.get("schema").and_then(Jv::as_u64) != Some(CACHE_SCHEMA) {
+        return out;
+    }
+    let Some(files) = doc.get("files").and_then(Jv::as_arr) else {
+        return out;
+    };
+    for entry in files {
+        let Some((hash, fa)) = decode_entry(entry) else {
+            continue;
+        };
+        out.insert(fa.rel.clone(), (hash, fa));
+    }
+    out
+}
+
+/// Serializes the cache document. `entries` must be sorted by rel path
+/// for deterministic output.
+pub fn render(entries: &[(String, &FileAnalysis)]) -> String {
+    let files: Vec<Jv> = entries
+        .iter()
+        .map(|(hash, fa)| encode_entry(hash, fa))
+        .collect();
+    Jv::Obj(vec![
+        ("schema".into(), Jv::Num(CACHE_SCHEMA as f64)),
+        ("files".into(), Jv::Arr(files)),
+    ])
+    .emit()
+}
+
+// ---------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------
+
+fn num(n: u64) -> Jv {
+    Jv::Num(n as f64)
+}
+
+fn strs(items: &[String]) -> Jv {
+    Jv::Arr(items.iter().map(|s| Jv::Str(s.clone())).collect())
+}
+
+fn encode_entry(hash: &str, fa: &FileAnalysis) -> Jv {
+    Jv::Obj(vec![
+        ("rel".into(), Jv::Str(fa.rel.clone())),
+        ("hash".into(), Jv::Str(hash.to_string())),
+        (
+            "findings".into(),
+            Jv::Arr(fa.findings.iter().map(encode_finding).collect()),
+        ),
+        (
+            "sups".into(),
+            Jv::Arr(fa.sups.iter().map(encode_sup).collect()),
+        ),
+        ("facts".into(), encode_facts(&fa.facts)),
+    ])
+}
+
+fn encode_finding(f: &Finding) -> Jv {
+    Jv::Obj(vec![
+        ("rule".into(), Jv::Str(f.rule.name().to_string())),
+        ("file".into(), Jv::Str(f.file.clone())),
+        ("line".into(), num(u64::from(f.line))),
+        ("message".into(), Jv::Str(f.message.clone())),
+    ])
+}
+
+fn encode_sup(s: &Suppression) -> Jv {
+    Jv::Obj(vec![
+        ("rule".into(), Jv::Str(s.rule.name().to_string())),
+        ("file".into(), Jv::Str(s.file.clone())),
+        ("line".into(), num(u64::from(s.line))),
+        ("reason".into(), Jv::Str(s.reason.clone())),
+    ])
+}
+
+fn encode_facts(facts: &FileFacts) -> Jv {
+    Jv::Obj(vec![
+        ("rel".into(), Jv::Str(facts.rel.clone())),
+        (
+            "structs".into(),
+            Jv::Arr(
+                facts
+                    .structs
+                    .iter()
+                    .map(|s| {
+                        Jv::Obj(vec![
+                            ("name".into(), Jv::Str(s.name.clone())),
+                            ("line".into(), num(u64::from(s.line))),
+                            ("derives".into(), strs(&s.derives)),
+                            (
+                                "fields".into(),
+                                Jv::Arr(
+                                    s.fields
+                                        .iter()
+                                        .map(|f| {
+                                            Jv::Obj(vec![
+                                                ("name".into(), Jv::Str(f.name.clone())),
+                                                ("line".into(), num(u64::from(f.line))),
+                                                ("ty".into(), strs(&f.ty)),
+                                                ("ann".into(), Jv::Bool(f.annotated)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "impls".into(),
+            Jv::Arr(
+                facts
+                    .impls
+                    .iter()
+                    .map(|im| {
+                        Jv::Obj(vec![
+                            ("trait".into(), Jv::Str(im.trait_name.clone())),
+                            ("ty".into(), Jv::Str(im.ty.clone())),
+                            ("line".into(), num(u64::from(im.line))),
+                            (
+                                "idents".into(),
+                                Jv::Arr(im.idents.iter().map(|s| Jv::Str(s.clone())).collect()),
+                            ),
+                            ("null".into(), Jv::Bool(im.mentions_null)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "fns".into(),
+            Jv::Arr(
+                facts
+                    .fns
+                    .iter()
+                    .map(|f| {
+                        Jv::Obj(vec![
+                            ("name".into(), Jv::Str(f.name.clone())),
+                            (
+                                "ty".into(),
+                                f.ty.as_ref().map_or(Jv::Null, |t| Jv::Str(t.clone())),
+                            ),
+                            ("line".into(), num(u64::from(f.line))),
+                            ("budget".into(), f.budget.map_or(Jv::Null, num)),
+                            ("tree".into(), encode_tree(&f.tree)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("marks".into(), strs(&facts.macro_marks)),
+    ])
+}
+
+fn encode_tree(tree: &DrawTree) -> Jv {
+    match tree {
+        DrawTree::Seq(children) => Jv::Obj(vec![
+            ("t".into(), Jv::Str("seq".into())),
+            (
+                "c".into(),
+                Jv::Arr(children.iter().map(encode_tree).collect()),
+            ),
+        ]),
+        DrawTree::Branch(arms) => Jv::Obj(vec![
+            ("t".into(), Jv::Str("br".into())),
+            ("c".into(), Jv::Arr(arms.iter().map(encode_tree).collect())),
+        ]),
+        DrawTree::Leaf { lo, hi, line } => Jv::Obj(vec![
+            ("t".into(), Jv::Str("leaf".into())),
+            ("lo".into(), num(*lo)),
+            ("hi".into(), num(*hi)),
+            ("line".into(), num(u64::from(*line))),
+        ]),
+        DrawTree::Call { name, line } => Jv::Obj(vec![
+            ("t".into(), Jv::Str("call".into())),
+            ("name".into(), Jv::Str(name.clone())),
+            ("line".into(), num(u64::from(*line))),
+        ]),
+        DrawTree::Balance { line } => Jv::Obj(vec![
+            ("t".into(), Jv::Str("bal".into())),
+            ("line".into(), num(u64::from(*line))),
+        ]),
+        DrawTree::Loop { body, line } => Jv::Obj(vec![
+            ("t".into(), Jv::Str("loop".into())),
+            ("body".into(), encode_tree(body)),
+            ("line".into(), num(u64::from(*line))),
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------
+
+fn line_of(v: &Jv) -> Option<u32> {
+    v.get("line").and_then(Jv::as_u64).map(|n| n as u32)
+}
+
+fn str_vec(v: Option<&Jv>) -> Option<Vec<String>> {
+    v?.as_arr()?
+        .iter()
+        .map(|s| s.as_str().map(str::to_string))
+        .collect()
+}
+
+fn decode_entry(v: &Jv) -> Option<(String, FileAnalysis)> {
+    let rel = v.get("rel")?.as_str()?.to_string();
+    let hash = v.get("hash")?.as_str()?.to_string();
+    let findings = v
+        .get("findings")?
+        .as_arr()?
+        .iter()
+        .map(decode_finding)
+        .collect::<Option<Vec<_>>>()?;
+    let sups = v
+        .get("sups")?
+        .as_arr()?
+        .iter()
+        .map(decode_sup)
+        .collect::<Option<Vec<_>>>()?;
+    let facts = decode_facts(v.get("facts")?)?;
+    Some((
+        hash,
+        FileAnalysis {
+            rel,
+            findings,
+            sups,
+            facts,
+        },
+    ))
+}
+
+fn decode_finding(v: &Jv) -> Option<Finding> {
+    Some(Finding {
+        rule: RuleId::from_name(v.get("rule")?.as_str()?)?,
+        file: v.get("file")?.as_str()?.to_string(),
+        line: line_of(v)?,
+        message: v.get("message")?.as_str()?.to_string(),
+        suppressed: false,
+    })
+}
+
+fn decode_sup(v: &Jv) -> Option<Suppression> {
+    Some(Suppression {
+        rule: RuleId::from_name(v.get("rule")?.as_str()?)?,
+        file: v.get("file")?.as_str()?.to_string(),
+        line: line_of(v)?,
+        reason: v.get("reason")?.as_str()?.to_string(),
+        used: false,
+    })
+}
+
+fn decode_facts(v: &Jv) -> Option<FileFacts> {
+    let structs = v
+        .get("structs")?
+        .as_arr()?
+        .iter()
+        .map(|s| {
+            Some(StructFact {
+                name: s.get("name")?.as_str()?.to_string(),
+                line: line_of(s)?,
+                derives: str_vec(s.get("derives"))?,
+                fields: s
+                    .get("fields")?
+                    .as_arr()?
+                    .iter()
+                    .map(|f| {
+                        Some(FieldFact {
+                            name: f.get("name")?.as_str()?.to_string(),
+                            line: line_of(f)?,
+                            ty: str_vec(f.get("ty"))?,
+                            annotated: f.get("ann")?.as_bool()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let impls = v
+        .get("impls")?
+        .as_arr()?
+        .iter()
+        .map(|im| {
+            Some(ImplFact {
+                trait_name: im.get("trait")?.as_str()?.to_string(),
+                ty: im.get("ty")?.as_str()?.to_string(),
+                line: line_of(im)?,
+                idents: str_vec(im.get("idents"))?.into_iter().collect(),
+                mentions_null: im.get("null")?.as_bool()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let fns = v
+        .get("fns")?
+        .as_arr()?
+        .iter()
+        .map(|f| {
+            Some(FnFact {
+                name: f.get("name")?.as_str()?.to_string(),
+                ty: match f.get("ty")? {
+                    Jv::Null => None,
+                    other => Some(other.as_str()?.to_string()),
+                },
+                line: line_of(f)?,
+                budget: match f.get("budget")? {
+                    Jv::Null => None,
+                    other => Some(other.as_u64()?),
+                },
+                tree: decode_tree(f.get("tree")?, 0)?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(FileFacts {
+        rel: v.get("rel")?.as_str()?.to_string(),
+        structs,
+        impls,
+        fns,
+        macro_marks: str_vec(v.get("marks"))?,
+    })
+}
+
+fn decode_tree(v: &Jv, depth: usize) -> Option<DrawTree> {
+    if depth > 200 {
+        return None;
+    }
+    match v.get("t")?.as_str()? {
+        "seq" => Some(DrawTree::Seq(
+            v.get("c")?
+                .as_arr()?
+                .iter()
+                .map(|c| decode_tree(c, depth + 1))
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        "br" => Some(DrawTree::Branch(
+            v.get("c")?
+                .as_arr()?
+                .iter()
+                .map(|c| decode_tree(c, depth + 1))
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        "leaf" => Some(DrawTree::Leaf {
+            lo: v.get("lo")?.as_u64()?,
+            hi: v.get("hi")?.as_u64()?,
+            line: line_of(v)?,
+        }),
+        "call" => Some(DrawTree::Call {
+            name: v.get("name")?.as_str()?.to_string(),
+            line: line_of(v)?,
+        }),
+        "bal" => Some(DrawTree::Balance { line: line_of(v)? }),
+        "loop" => Some(DrawTree::Loop {
+            body: Box::new(decode_tree(v.get("body")?, depth + 1)?),
+            line: line_of(v)?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(hash_hex("x"), hash_hex("y"));
+    }
+
+    #[test]
+    fn analysis_round_trips_through_the_codec() {
+        let fa = crate::analyze_file(
+            "crates/power/src/fixture.rs",
+            "/// glacsweb: draw-budget(2)\n\
+             fn f(&mut self) { let rng = &mut self.rng;\n\
+               if rng.f64() < 0.5 { self.helper(); } else { rng.skip_raw(2); }\n\
+               for _ in 0..3 { }\n\
+             }\n\
+             struct TaperMemo { v: f64 }\n\
+             struct Rail { a: u32, taper: TaperMemo }\n\
+             // glacsweb: allow(perf-hygiene, reason = \"fixture entry for codec test\")\n\
+             impl Serialize for Rail { fn to_value(&self) -> Value { Value::Null } }\n",
+        );
+        let text = render(&[(hash_hex("src"), &fa)]);
+        let loaded = load_from_text(&text);
+        let (hash, back) = loaded.get("crates/power/src/fixture.rs").expect("entry");
+        assert_eq!(*hash, hash_hex("src"));
+        assert_eq!(back.findings.len(), fa.findings.len());
+        assert_eq!(back.sups.len(), fa.sups.len());
+        assert_eq!(back.facts, fa.facts);
+    }
+
+    #[test]
+    fn corrupt_cache_text_is_a_cold_run() {
+        for bad in ["", "{", "{\"schema\": 1, \"files\": []}", "[1,2,3]"] {
+            assert!(load_from_text(bad).is_empty(), "{bad:?}");
+        }
+    }
+
+    /// Test-only variant of [`load`] over in-memory text.
+    fn load_from_text(text: &str) -> BTreeMap<String, (String, FileAnalysis)> {
+        let mut out = BTreeMap::new();
+        let Some(doc) = parse(text) else {
+            return out;
+        };
+        if doc.get("schema").and_then(Jv::as_u64) != Some(CACHE_SCHEMA) {
+            return out;
+        }
+        let Some(files) = doc.get("files").and_then(Jv::as_arr) else {
+            return out;
+        };
+        for entry in files {
+            if let Some((hash, fa)) = decode_entry(entry) {
+                out.insert(fa.rel.clone(), (hash, fa));
+            }
+        }
+        out
+    }
+}

@@ -7,6 +7,11 @@
 //! string bodies is what makes the rules immune to the classic grep
 //! failure modes (`// never call unwrap()` firing the panic rule, or a
 //! log message containing `HashMap` firing the determinism rule).
+//!
+//! Every token carries its byte span (`lo..hi`) so the item parser can
+//! report exact source extents. String and byte-string bodies are fully
+//! opaque: a `}` inside `b"..."` or `br#"..."#` never reaches the
+//! brace-matching layer, which is what keeps item extraction honest.
 
 /// The coarse class of one token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +32,7 @@ pub enum TokKind {
     Punct,
 }
 
-/// One lexed token with its source line (1-based).
+/// One lexed token with its source line (1-based) and byte span.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// Token class.
@@ -37,6 +42,10 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub lo: u32,
+    /// Byte offset one past the token's last byte.
+    pub hi: u32,
 }
 
 impl Tok {
@@ -68,6 +77,17 @@ fn is_ident_continue(c: char) -> bool {
 /// Tokenizes `src`, discarding comments and whitespace.
 pub fn lex(src: &str) -> Vec<Tok> {
     let chars: Vec<char> = src.chars().collect();
+    // Char index -> byte offset, with a final sentinel at src.len() so
+    // `byte_at(chars.len())` is the end of the source.
+    let mut byte_of: Vec<u32> = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0u32;
+    for c in &chars {
+        byte_of.push(b);
+        b += c.len_utf8() as u32;
+    }
+    byte_of.push(b);
+    let byte_at = |i: usize| byte_of[i.min(byte_of.len() - 1)];
+
     let mut toks = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
@@ -91,7 +111,10 @@ pub fn lex(src: &str) -> Vec<Tok> {
             }
             continue;
         }
-        // Block comment, nested.
+        // Block comment, nested. A `"` or `'` inside is comment text, so
+        // the depth scan deliberately ignores string delimiters — but a
+        // `/*` or `*/` inside a comment still nests/closes, exactly as
+        // rustc lexes it.
         if c == '/' && at(i + 1) == '*' {
             let mut depth = 1usize;
             i += 2;
@@ -113,32 +136,22 @@ pub fn lex(src: &str) -> Vec<Tok> {
         }
         // Plain string literal.
         if c == '"' {
+            let start = i;
             let start_line = line;
             i += 1;
-            while i < chars.len() {
-                match chars[i] {
-                    '\\' => i += 2,
-                    '"' => {
-                        i += 1;
-                        break;
-                    }
-                    ch => {
-                        if ch == '\n' {
-                            line += 1;
-                        }
-                        i += 1;
-                    }
-                }
-            }
+            scan_quoted(&chars, &mut i, &mut line, '"');
             toks.push(Tok {
                 kind: TokKind::Str,
                 text: String::new(),
                 line: start_line,
+                lo: byte_at(start),
+                hi: byte_at(i),
             });
             continue;
         }
         // Lifetime or char literal.
         if c == '\'' {
+            let start = i;
             let start_line = line;
             let n1 = at(i + 1);
             let n2 = at(i + 2);
@@ -148,32 +161,27 @@ pub fn lex(src: &str) -> Vec<Tok> {
             {
                 // Char literal: consume to the closing quote.
                 i += 1;
-                while i < chars.len() {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '\'' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
+                scan_quoted(&chars, &mut i, &mut line, '\'');
                 toks.push(Tok {
                     kind: TokKind::Char,
                     text: String::new(),
                     line: start_line,
+                    lo: byte_at(start),
+                    hi: byte_at(i),
                 });
             } else {
                 // Lifetime: `'` followed by an identifier.
                 i += 1;
-                let start = i;
+                let name_start = i;
                 while i < chars.len() && is_ident_continue(chars[i]) {
                     i += 1;
                 }
                 toks.push(Tok {
                     kind: TokKind::Lifetime,
-                    text: chars[start..i].iter().collect(),
+                    text: chars[name_start..i].iter().collect(),
                     line: start_line,
+                    lo: byte_at(start),
+                    hi: byte_at(i),
                 });
             }
             continue;
@@ -196,57 +204,42 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     kind: TokKind::Str,
                     text: String::new(),
                     line: start_line,
+                    lo: byte_at(start),
+                    hi: byte_at(i),
                 });
                 continue;
             }
             if byte_str {
-                // Re-enter the loop at the quote: lexes as a plain string.
+                // `b"..."`: same body rules as a plain string.
+                i += 1;
+                scan_quoted(&chars, &mut i, &mut line, '"');
                 toks.push(Tok {
                     kind: TokKind::Str,
                     text: String::new(),
-                    line,
+                    line: start_line,
+                    lo: byte_at(start),
+                    hi: byte_at(i),
                 });
-                i += 1;
-                while i < chars.len() {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        ch => {
-                            if ch == '\n' {
-                                line += 1;
-                            }
-                            i += 1;
-                        }
-                    }
-                }
                 continue;
             }
             if byte_char {
                 i += 1; // the quote
-                while i < chars.len() {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '\'' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
+                scan_quoted(&chars, &mut i, &mut line, '\'');
                 toks.push(Tok {
                     kind: TokKind::Char,
                     text: String::new(),
-                    line,
+                    line: start_line,
+                    lo: byte_at(start),
+                    hi: byte_at(i),
                 });
                 continue;
             }
             toks.push(Tok {
                 kind: TokKind::Ident,
                 text,
-                line,
+                line: start_line,
+                lo: byte_at(start),
+                hi: byte_at(i),
             });
             continue;
         }
@@ -305,6 +298,8 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 },
                 text: chars[start..i].iter().collect(),
                 line: start_line,
+                lo: byte_at(start),
+                hi: byte_at(i),
             });
             continue;
         }
@@ -317,6 +312,8 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     kind: TokKind::Punct,
                     text: (*op).to_string(),
                     line,
+                    lo: byte_at(i),
+                    hi: byte_at(i + olen),
                 });
                 i += olen;
                 matched = true;
@@ -328,11 +325,39 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 kind: TokKind::Punct,
                 text: c.to_string(),
                 line,
+                lo: byte_at(i),
+                hi: byte_at(i + 1),
             });
             i += 1;
         }
     }
     toks
+}
+
+/// Consumes a quoted body up to (and including) the unescaped `close`
+/// delimiter, counting newlines — including a newline that immediately
+/// follows a `\` escape (the line-continuation form `"\⏎   …"`), which a
+/// naive `i += 2` skip would miss and silently desynchronize every line
+/// number after it.
+fn scan_quoted(chars: &[char], i: &mut usize, line: &mut u32, close: char) {
+    while *i < chars.len() {
+        let c = chars[*i];
+        if c == '\\' {
+            if chars.get(*i + 1) == Some(&'\n') {
+                *line += 1;
+            }
+            *i += 2;
+            continue;
+        }
+        if c == close {
+            *i += 1;
+            return;
+        }
+        if c == '\n' {
+            *line += 1;
+        }
+        *i += 1;
+    }
 }
 
 /// Consumes a raw string starting at `chars[*i]` (which is `"` or `#`).
@@ -410,6 +435,52 @@ mod tests {
     }
 
     #[test]
+    fn byte_string_bodies_are_opaque() {
+        // Braces, quotes, and rule-relevant identifiers inside a byte
+        // string must not surface as tokens.
+        let toks = kinds(r#"let x = b"} unwrap() { \" HashMap"; y"#);
+        assert!(!toks.iter().any(|(_, t)| t == "}" || t == "{"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && (t == "unwrap" || t == "HashMap")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn raw_byte_string_bodies_are_opaque() {
+        let toks = kinds(r####"let x = br#"quote " hash # brace } panic!"#; z"####);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(_, t)| t == "}"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "z"));
+    }
+
+    #[test]
+    fn nested_block_comments_with_string_delimiters() {
+        // The inner `/*` nests even though it sits next to an unpaired
+        // quote; the comment only ends at the second `*/`.
+        let toks = kinds("/* outer \" /* inner ' */ still \" comment */ a");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a"]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers_honest() {
+        // `"\⏎  x"` is a line continuation: the `\` escape consumes the
+        // newline, which must still bump the line counter.
+        let toks = lex("let a = \"x\\\n  y\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b lexed");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
     fn floats_vs_ints_vs_ranges() {
         let toks = kinds("1.5 2e9 3f64 7 0xFF 0..4 1.max(2)");
         let floats = toks.iter().filter(|(k, _)| *k == TokKind::Float).count();
@@ -435,5 +506,34 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_spans_slice_back_to_source_text() {
+        let src = "fn héllo(x: u32) -> bool { x == 0xFF }";
+        let toks = lex(src);
+        let mut prev_hi = 0u32;
+        for t in &toks {
+            assert!(t.lo >= prev_hi, "spans must be nondecreasing: {t:?}");
+            assert!(t.hi as usize <= src.len(), "span past EOF: {t:?}");
+            // Spans land on char boundaries even around multibyte idents.
+            let slice = &src[t.lo as usize..t.hi as usize];
+            if !t.text.is_empty() {
+                assert_eq!(slice, t.text, "span text mismatch");
+            }
+            prev_hi = t.hi;
+        }
+    }
+
+    #[test]
+    fn string_spans_cover_delimiters() {
+        let src = r####"b"ab" br#"cd"# "ef""####;
+        let toks = lex(src);
+        let spans: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| &src[t.lo as usize..t.hi as usize])
+            .collect();
+        assert_eq!(spans, [r#"b"ab""#, r###"br#"cd"#"###, r#""ef""#]);
     }
 }

@@ -11,69 +11,283 @@
 //! table and [`suppress`] for the inline ledger that is the only way to
 //! silence a finding.
 //!
+//! Analysis runs in two phases. Phase one is per-file and embarrassingly
+//! parallel: lex ([`lexer`]), token rules ([`rules`]), ledger scan
+//! ([`suppress`]), item extraction ([`parser`]), and fact reduction
+//! ([`semantic`]) — a pure function of one file's text, which is what the
+//! incremental cache ([`cache`]) memoizes by content hash. Phase two is
+//! single-threaded and deterministic: the per-file facts join into a
+//! workspace item table, the semantic packs run, the ledger is matched,
+//! and findings normalize into a stable order — so the report is
+//! byte-identical at any thread count and on any warm/cold cache split.
+//!
 //! The analyzer is deliberately dependency-free: it lexes Rust with its
-//! own comment/string-aware tokenizer ([`lexer`]) rather than `syn`, and
-//! writes `ANALYSIS.json` by hand ([`report`]), so it builds first and
-//! fastest in the air-gapped CI image.
+//! own comment/string-aware tokenizer rather than `syn`, and reads and
+//! writes all of its JSON by hand ([`json`], [`report`], [`sarif`]), so
+//! it builds first and fastest in the air-gapped CI image.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
 pub mod suppress;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub use report::Report;
 pub use rules::{Finding, RuleId};
 pub use suppress::Suppression;
 
-/// Analyzes a single file's source text under its workspace-relative
-/// path (the path determines which rules are in scope). This is the unit
-/// the fixture tests drive.
-pub fn analyze_source(rel: &str, source: &str) -> (Vec<Finding>, Vec<Suppression>) {
+use semantic::FileFacts;
+
+/// The pristine result of phase-one analysis of one file: token-rule and
+/// malformed-ledger findings (before suppression matching), the parsed
+/// ledger entries (with `used` unset), and the semantic facts. This is
+/// the unit the incremental cache stores.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Token-level and malformed-suppression findings.
+    pub findings: Vec<Finding>,
+    /// Parsed ledger entries.
+    pub sups: Vec<Suppression>,
+    /// Facts for the workspace-level semantic packs.
+    pub facts: FileFacts,
+}
+
+/// Phase one: analyzes a single file's source text under its
+/// workspace-relative path (the path determines which rules are in
+/// scope). Pure in `(rel, source)` — cacheable and parallel-safe.
+pub fn analyze_file(rel: &str, source: &str) -> FileAnalysis {
     let toks = lexer::lex(source);
     let (mask, test_ranges) = rules::test_mask(&toks);
     let mut findings = rules::check_tokens(rel, &toks, &mask);
-    let (mut sups, malformed) = suppress::scan(rel, source, &test_ranges);
+    let (sups, malformed) = suppress::scan(rel, source, &test_ranges);
     findings.extend(malformed);
-    let unused = suppress::apply(&mut findings, &mut sups);
-    findings.extend(unused);
-    (findings, sups)
+    let items = parser::parse_items(source, &toks, &mask);
+    let facts = semantic::extract_facts(rel, &toks, &items);
+    FileAnalysis {
+        rel: rel.to_string(),
+        findings,
+        sups,
+        facts,
+    }
 }
 
-/// Walks `crates/`, `src/`, `tests/`, and `examples/` under `root` and
-/// analyzes every `.rs` file. `vendor/` and `target/` are never visited:
-/// vendored third-party subsets are not held to project rules.
-pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
-    let mut files = Vec::new();
-    for top in ["crates", "src", "tests", "examples"] {
-        collect_rs(&root.join(top), &mut files)?;
+/// Phase two: joins per-file results into the final report — runs the
+/// semantic packs over the combined fact table, matches the suppression
+/// ledger (which can silence semantic findings too), reports stale
+/// entries, and normalizes ordering.
+fn finish(root_label: &str, mut files: Vec<FileAnalysis>) -> Report {
+    let refs: Vec<&FileFacts> = files.iter().map(|f| &f.facts).collect();
+    let semantic_findings = semantic::check(&refs);
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in semantic_findings {
+        by_file.entry(f.file.clone()).or_default().push(f);
     }
-    // Deterministic reporting order regardless of directory-entry order —
-    // the analyzer holds itself to its own determinism rule.
-    files.sort();
 
+    let files_scanned = files.len();
     let mut findings = Vec::new();
     let mut suppressions = Vec::new();
-    for path in &files {
-        let rel = rel_path(root, path);
-        let source = fs::read_to_string(path)?;
-        let (f, s) = analyze_source(&rel, &source);
+    for fa in &mut files {
+        let mut f = std::mem::take(&mut fa.findings);
+        if let Some(extra) = by_file.remove(&fa.rel) {
+            f.extend(extra);
+        }
+        let mut sups = std::mem::take(&mut fa.sups);
+        let unused = suppress::apply(&mut f, &mut sups);
+        f.extend(unused);
         findings.extend(f);
-        suppressions.extend(s);
+        suppressions.extend(sups);
     }
+    // Semantic findings can only anchor in analyzed files, but never
+    // drop a finding even if that invariant breaks.
+    for (_, extra) in by_file {
+        findings.extend(extra);
+    }
+
     let mut report = Report {
-        root: root.display().to_string(),
-        files_scanned: files.len(),
+        root: root_label.to_string(),
+        files_scanned,
         findings,
         suppressions,
     };
     report.normalize();
-    Ok(report)
+    report
+}
+
+/// Analyzes a set of in-memory `(rel, source)` files as one workspace.
+/// This is the unit the mutation tests drive: read the live sources,
+/// apply a textual mutation, and re-run the full engine without touching
+/// disk.
+pub fn analyze_sources(root_label: &str, files: &[(String, String)]) -> Report {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(rel, source)| analyze_file(rel, source))
+        .collect();
+    finish(root_label, analyses)
+}
+
+/// Single-file compatibility wrapper over the full two-phase engine (the
+/// semantic packs see just this one file's facts). This is the unit the
+/// fixture tests drive.
+pub fn analyze_source(rel: &str, source: &str) -> (Vec<Finding>, Vec<Suppression>) {
+    let report = analyze_sources("", &[(rel.to_string(), source.to_string())]);
+    (report.findings, report.suppressions)
+}
+
+/// Tuning knobs for a workspace run.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Worker threads for phase one; `0` or `1` means serial.
+    pub threads: usize,
+    /// Incremental cache file; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// What a workspace run actually did, for the CLI's timing line and the
+/// incremental-cache tests.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Total `.rs` files in scope.
+    pub files_total: usize,
+    /// Files analyzed this run (the rest were cache hits).
+    pub reanalyzed: usize,
+}
+
+/// Walks `crates/`, `src/`, `tests/`, and `examples/` under `root` and
+/// analyzes every `.rs` file, serially and without a cache. `vendor/`
+/// and `target/` are never visited: vendored third-party subsets are not
+/// held to project rules.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    analyze_workspace_with(root, &Options::default()).map(|(report, _)| report)
+}
+
+/// [`analyze_workspace`] with explicit parallelism and caching. The
+/// report is byte-identical at any thread count and for any warm/cold
+/// cache split; only wall time and [`RunStats`] vary.
+pub fn analyze_workspace_with(root: &Path, opts: &Options) -> std::io::Result<(Report, RunStats)> {
+    let sources = workspace_sources(root)?;
+
+    let cached = opts
+        .cache_path
+        .as_deref()
+        .map(cache::load)
+        .unwrap_or_default();
+
+    // Slot in cache hits; collect the misses as (slot, index) work items.
+    let mut slots: Vec<Option<FileAnalysis>> = Vec::with_capacity(sources.len());
+    let mut todo: Vec<usize> = Vec::new();
+    let mut hashes: Vec<String> = Vec::with_capacity(sources.len());
+    for (i, (rel, source)) in sources.iter().enumerate() {
+        let hash = cache::hash_hex(source);
+        match cached.get(rel) {
+            Some((h, fa)) if *h == hash => slots.push(Some(fa.clone())),
+            _ => {
+                slots.push(None);
+                todo.push(i);
+            }
+        }
+        hashes.push(hash);
+    }
+    let stats = RunStats {
+        files_total: sources.len(),
+        reanalyzed: todo.len(),
+    };
+
+    let threads = opts.threads.max(1).min(todo.len().max(1));
+    if threads <= 1 {
+        for &i in &todo {
+            let (rel, source) = &sources[i];
+            slots[i] = Some(analyze_file(rel, source));
+        }
+    } else {
+        // Deterministic parallelism, same idiom as the sweep engine: an
+        // atomic work index hands out items, each worker keeps (slot,
+        // result) pairs locally, and the merge is by slot — so the final
+        // order never depends on scheduling.
+        let next = AtomicUsize::new(0);
+        let mut produced: Vec<(usize, FileAnalysis)> = Vec::with_capacity(todo.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = todo.get(k) else {
+                            break;
+                        };
+                        let (rel, source) = &sources[i];
+                        local.push((i, analyze_file(rel, source)));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                produced.extend(handle.join().unwrap_or_default());
+            }
+        });
+        for (i, fa) in produced {
+            slots[i] = Some(fa);
+        }
+        // A panicked worker (which analyze_file never does by design)
+        // leaves holes; fill them serially rather than losing files.
+        for &i in &todo {
+            if slots[i].is_none() {
+                let (rel, source) = &sources[i];
+                slots[i] = Some(analyze_file(rel, source));
+            }
+        }
+    }
+
+    let files: Vec<FileAnalysis> = slots.into_iter().flatten().collect();
+
+    if let Some(path) = opts.cache_path.as_deref() {
+        let entries: Vec<(String, &FileAnalysis)> = files
+            .iter()
+            .enumerate()
+            .map(|(i, fa)| (hashes[i].clone(), fa))
+            .collect();
+        // Best-effort: a cache that fails to write only costs the next
+        // run its warm start.
+        let _ = fs::write(path, cache::render(&entries));
+    }
+
+    let report = finish(&root.display().to_string(), files);
+    Ok((report, stats))
+}
+
+/// Reads every in-scope `.rs` file under `root` as `(rel, source)`
+/// pairs, sorted by path. This is the exact input set of a workspace
+/// run; the mutation tests read it, patch one file in memory, and re-run
+/// the engine via [`analyze_sources`].
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut paths = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut paths)?;
+    }
+    // Deterministic reporting order regardless of directory-entry order —
+    // the analyzer holds itself to its own determinism rule.
+    paths.sort();
+    let mut sources = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let rel = rel_path(root, path);
+        let source = fs::read_to_string(path)?;
+        sources.push((rel, source));
+    }
+    Ok(sources)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -7,6 +7,10 @@
 use crate::rules::{Finding, RuleId};
 use crate::suppress::Suppression;
 
+/// `ANALYSIS.json` format version. 1 was the string-schema token-rule
+/// report; 2 adds the semantic rule packs and the numeric version field.
+pub const REPORT_SCHEMA: u64 = 2;
+
 /// The complete result of analyzing a workspace.
 #[derive(Debug)]
 pub struct Report {
@@ -71,10 +75,14 @@ impl Report {
         out
     }
 
-    /// The machine-readable `ANALYSIS.json` document.
+    /// The machine-readable `ANALYSIS.json` document. `schema` is a
+    /// numeric format version (mirroring `BENCH_PERF.json`'s convention)
+    /// so downstream tooling can gate on format changes; `tool` carries
+    /// the emitter name the old string schema used to encode.
     pub fn to_json(&self) -> String {
         let mut o = String::from("{\n");
-        o.push_str("  \"schema\": \"glacsweb-analyze/1\",\n");
+        o.push_str(&format!("  \"schema\": {REPORT_SCHEMA},\n"));
+        o.push_str("  \"tool\": \"glacsweb-analyze\",\n");
         o.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
         o.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         o.push_str("  \"rules\": [\n");

@@ -39,6 +39,12 @@ pub enum RuleId {
     CrateHygiene,
     /// Malformed or unused suppression ledger entries.
     SuppressionHygiene,
+    /// Snapshot serde/equality impls missing named fields.
+    SnapshotCoverage,
+    /// Wake-path branches diverging from the declared RNG draw budget.
+    RngDrawBudget,
+    /// Memo/cache fields visible to equality or serialized non-null.
+    DerivedState,
 }
 
 impl RuleId {
@@ -51,17 +57,23 @@ impl RuleId {
             RuleId::PerfHygiene => "perf-hygiene",
             RuleId::CrateHygiene => "crate-hygiene",
             RuleId::SuppressionHygiene => "suppression-hygiene",
+            RuleId::SnapshotCoverage => "snapshot-coverage",
+            RuleId::RngDrawBudget => "rng-draw-budget",
+            RuleId::DerivedState => "derived-state",
         }
     }
 
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::Determinism,
         RuleId::PanicFreedom,
         RuleId::NumericSafety,
         RuleId::PerfHygiene,
         RuleId::CrateHygiene,
         RuleId::SuppressionHygiene,
+        RuleId::SnapshotCoverage,
+        RuleId::RngDrawBudget,
+        RuleId::DerivedState,
     ];
 
     /// Parses a rule name as written in a suppression comment.
@@ -93,6 +105,18 @@ impl RuleId {
             RuleId::SuppressionHygiene => {
                 "every `glacsweb: allow(...)` entry must name a real rule, carry a \
                  written reason, and actually suppress something"
+            }
+            RuleId::SnapshotCoverage => {
+                "every named field of a GLACSNAP-codec type must appear in its \
+                 hand-written Serialize, Deserialize, and PartialEq impls"
+            }
+            RuleId::RngDrawBudget => {
+                "every branch of a `glacsweb: draw-budget(N)`-annotated fn must \
+                 retire exactly N raw draws from its SimRng stream"
+            }
+            RuleId::DerivedState => {
+                "memo/cache fields must serialize as Value::Null and stay \
+                 invisible to PartialEq"
             }
         }
     }

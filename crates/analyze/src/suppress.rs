@@ -110,7 +110,10 @@ fn bad(rel: &str, line: u32, msg: &str) -> Finding {
 
 /// Matches findings against the ledger: a suppression covers findings of
 /// its rule on its own line or the line directly below. Afterwards,
-/// entries that silenced nothing become `suppression-hygiene` findings.
+/// entries that silenced nothing become `suppression-hygiene` findings —
+/// anchored at the ledger entry's *own* file:line (not any rule's
+/// original site), so a `--deny` failure is a clickable pointer to the
+/// exact comment to delete.
 pub fn apply(findings: &mut [Finding], sups: &mut [Suppression]) -> Vec<Finding> {
     for f in findings.iter_mut() {
         for s in sups.iter_mut() {
@@ -127,8 +130,10 @@ pub fn apply(findings: &mut [Finding], sups: &mut [Suppression]) -> Vec<Finding>
             file: s.file.clone(),
             line: s.line,
             message: format!(
-                "suppression of `{}` matches no finding; delete the stale entry",
-                s.rule.name()
+                "suppression of `{}` matches no finding; delete the stale entry \
+                 (its recorded reason: {:?})",
+                s.rule.name(),
+                s.reason
             ),
             suppressed: false,
         })

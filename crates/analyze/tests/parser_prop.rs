@@ -1,0 +1,267 @@
+//! Property tests for the item parser: generated brace-balanced
+//! Rust-shaped sources must round-trip exactly (every item emitted is
+//! recovered, nothing else is), every token and item byte span must lie
+//! within the file and slice cleanly, and the parser must stay total on
+//! arbitrary balanced token soup. The generator deliberately salts the
+//! sources with the things that break naive brace matching: braces and
+//! quotes inside strings, line and block comments, and non-ASCII text.
+
+use proptest::prelude::*;
+
+use glacsweb_analyze::lexer::{lex, Tok};
+use glacsweb_analyze::parser::{parse_items, Item, ItemKind};
+use glacsweb_analyze::rules::test_mask;
+
+const TYS: [&str; 5] = [
+    "u32",
+    "f64",
+    "Vec<f64>",
+    "BTreeMap<String, Load>",
+    "Option<SimTime>",
+];
+
+/// What one generated item must parse back into.
+struct Expected {
+    kind: ItemKind,
+    name: String,
+    trait_name: Option<String>,
+    children: usize,
+    fields: Vec<String>,
+}
+
+/// Renders a spec list into source text plus the exact item table the
+/// parser must recover. Each spec is `(kind selector, width, seed)`:
+/// width sizes the item (field count, nesting depth, method count) and
+/// the seed picks noise, derives, and type spellings.
+fn render(specs: &[(u8, usize, u64)]) -> (String, Vec<Expected>) {
+    let mut src = String::from("//! generated fixture — señor 🚀 unicode in a doc comment\n\n");
+    let mut expected = Vec::new();
+    for (i, &(sel, width, seed)) in specs.iter().enumerate() {
+        // Inter-item noise the parser must skip without losing its place.
+        if seed & 1 == 1 {
+            src.push_str("// noise: stray } brace and a \"quote\" in a line comment\n");
+        }
+        if seed & 2 == 2 {
+            src.push_str("use std::collections::BTreeMap; /* { unclosed-looking */\n");
+        }
+        match sel % 6 {
+            0 => {
+                let name = format!("S{i}");
+                if seed & 4 == 4 {
+                    src.push_str("#[derive(Debug, Clone, PartialEq)]\n");
+                }
+                let mut fields = Vec::new();
+                if seed & 8 == 8 && width == 0 {
+                    src.push_str(&format!("struct {name};\n"));
+                } else {
+                    src.push_str(&format!("struct {name} {{\n"));
+                    for j in 0..=width {
+                        let ty = TYS[(seed as usize).wrapping_add(j) % TYS.len()];
+                        src.push_str(&format!("    f{j}: {ty},\n"));
+                        fields.push(format!("f{j}"));
+                    }
+                    src.push_str("}\n");
+                }
+                expected.push(Expected {
+                    kind: ItemKind::Struct,
+                    name,
+                    trait_name: None,
+                    children: 0,
+                    fields,
+                });
+            }
+            1 => {
+                let name = format!("E{i}");
+                src.push_str(&format!(
+                    "enum {name} {{ Idle, Burst(u32), Window {{ lo: u64, hi: u64 }} }}\n"
+                ));
+                expected.push(Expected {
+                    kind: ItemKind::Enum,
+                    name,
+                    trait_name: None,
+                    children: 0,
+                    fields: Vec::new(),
+                });
+            }
+            2 => {
+                let name = format!("wake_{i}");
+                src.push_str(&format!("fn {name}(x: u32) -> u32 {{\n"));
+                for d in 0..width {
+                    src.push_str(&format!("{}if x > {d} {{\n", "    ".repeat(d + 1)));
+                }
+                src.push_str("    let s = \"{ not a { brace\"; // } nor this\n");
+                src.push_str("    let u = \"中 { 文 }\"; /* { mixed \" and } inside */\n");
+                src.push_str("    let _ = (s, u);\n");
+                for d in (0..width).rev() {
+                    src.push_str(&format!("{}}}\n", "    ".repeat(d + 1)));
+                }
+                src.push_str("    x\n}\n");
+                expected.push(Expected {
+                    kind: ItemKind::Fn,
+                    name,
+                    trait_name: None,
+                    children: 0,
+                    fields: Vec::new(),
+                });
+            }
+            3 => {
+                let ty = format!("S{i}");
+                let trait_name = if seed & 4 == 4 {
+                    src.push_str(&format!("impl Serialize for {ty} {{\n"));
+                    Some("Serialize".to_string())
+                } else {
+                    src.push_str(&format!("impl {ty} {{\n"));
+                    None
+                };
+                for j in 0..width {
+                    src.push_str(&format!(
+                        "    fn m{j}(&self) -> u32 {{ self.inner.get({j}) }}\n"
+                    ));
+                }
+                src.push_str("}\n");
+                expected.push(Expected {
+                    kind: ItemKind::Impl,
+                    name: ty,
+                    trait_name,
+                    children: width,
+                    fields: Vec::new(),
+                });
+            }
+            4 => {
+                let name = format!("sub{i}");
+                src.push_str(&format!(
+                    "mod {name} {{\n    struct Inner{i} {{ v: u32 }}\n}}\n"
+                ));
+                expected.push(Expected {
+                    kind: ItemKind::Mod,
+                    name,
+                    trait_name: None,
+                    children: 1,
+                    fields: Vec::new(),
+                });
+            }
+            _ => {
+                let name = format!("mark{i}");
+                src.push_str(&format!("{name}!(DayPair, SodTable);\n"));
+                expected.push(Expected {
+                    kind: ItemKind::MacroInvocation,
+                    name,
+                    trait_name: None,
+                    children: 0,
+                    fields: Vec::new(),
+                });
+            }
+        }
+        src.push('\n');
+    }
+    (src, expected)
+}
+
+/// Every token and item span must stay inside the file and land on char
+/// boundaries, so `&src[lo..hi]` never panics.
+fn assert_spans_in_bounds(src: &str, toks: &[Tok], items: &[Item]) -> Result<(), TestCaseError> {
+    for t in toks {
+        prop_assert!(t.lo <= t.hi, "token span inverted: {}..{}", t.lo, t.hi);
+        prop_assert!(t.hi as usize <= src.len(), "token ends past EOF");
+        prop_assert!(src.is_char_boundary(t.lo as usize));
+        prop_assert!(src.is_char_boundary(t.hi as usize));
+        let _ = &src[t.lo as usize..t.hi as usize];
+    }
+    let lines = src.lines().count() as u32;
+    let mut stack: Vec<&Item> = items.iter().collect();
+    while let Some(item) = stack.pop() {
+        prop_assert!(item.lo <= item.hi);
+        prop_assert!(item.hi as usize <= src.len());
+        prop_assert!(src.is_char_boundary(item.lo as usize));
+        prop_assert!(src.is_char_boundary(item.hi as usize));
+        prop_assert!(item.line >= 1 && item.line <= lines.max(1));
+        if let Some((open, close)) = item.body {
+            prop_assert!(open <= close && close < toks.len());
+            prop_assert_eq!(&toks[open].text, "{");
+            prop_assert_eq!(&toks[close].text, "}");
+        }
+        stack.extend(item.children.iter());
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Items recovered = items emitted: the parser finds exactly the
+    /// generated top-level items, in order, with the right kinds, names,
+    /// impl traits, child counts, and struct field lists — and every
+    /// span it reports is a valid slice of the source.
+    #[test]
+    fn items_recovered_equal_items_emitted(
+        specs in proptest::collection::vec((0u8..6, 0usize..4, any::<u64>()), 0..10),
+    ) {
+        let (src, expected) = render(&specs);
+        let toks = lex(&src);
+        let (mask, _) = test_mask(&toks);
+        let items = parse_items(&src, &toks, &mask);
+        prop_assert_eq!(
+            items.len(),
+            expected.len(),
+            "item count mismatch for source:\n{}",
+            src
+        );
+        for (item, want) in items.iter().zip(&expected) {
+            prop_assert_eq!(item.kind, want.kind, "kind of `{}`", want.name);
+            prop_assert_eq!(&item.name, &want.name);
+            prop_assert_eq!(&item.trait_name, &want.trait_name);
+            prop_assert_eq!(
+                item.children.len(),
+                want.children,
+                "children of `{}`",
+                want.name
+            );
+            let got_fields: Vec<&str> = item.fields.iter().map(|f| f.name.as_str()).collect();
+            let want_fields: Vec<&str> = want.fields.iter().map(String::as_str).collect();
+            prop_assert_eq!(got_fields, want_fields, "fields of `{}`", want.name);
+        }
+        assert_spans_in_bounds(&src, &toks, &items)?;
+    }
+
+    /// Totality: on arbitrary brace-balanced token soup the parser never
+    /// panics, and whatever items it does extract still carry in-bounds
+    /// spans and well-formed body ranges.
+    #[test]
+    fn parser_is_total_on_balanced_token_soup(
+        picks in proptest::collection::vec(any::<u64>(), 0..160),
+    ) {
+        const ALPHABET: [&str; 30] = [
+            "struct", "enum", "fn", "impl", "trait", "mod", "macro_rules", "for",
+            "pub", "where", "ident", "x7", "self",
+            "!", "#", "::", "=>", ",", ";", "<", ">", "=", ".", "&", "->",
+            "42", "1.5", "\"s{t}r\"", "'a'", "\"中 } 文\"",
+        ];
+        const OPENERS: [&str; 3] = ["{", "(", "["];
+        // Build a balanced stream: openers and closers are dealt from the
+        // same picks, mismatched closers are dropped, and every opener
+        // still unmatched at the end is closed in LIFO order.
+        let mut words: Vec<&str> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for &p in &picks {
+            match p % 5 {
+                0 => {
+                    let d = (p / 5) as usize % OPENERS.len();
+                    stack.push(d);
+                    words.push(OPENERS[d]);
+                }
+                1 => {
+                    if let Some(d) = stack.pop() {
+                        words.push(["}", ")", "]"][d]);
+                    }
+                }
+                _ => words.push(ALPHABET[(p / 5) as usize % ALPHABET.len()]),
+            }
+        }
+        while let Some(d) = stack.pop() {
+            words.push(["}", ")", "]"][d]);
+        }
+        let src = words.join(" ");
+        let toks = lex(&src);
+        let (mask, _) = test_mask(&toks);
+        let items = parse_items(&src, &toks, &mask);
+        assert_spans_in_bounds(&src, &toks, &items)?;
+    }
+}

@@ -72,11 +72,17 @@ fn json_report_is_parseable_and_consistent() {
             .find(|(key, _)| matches!(key, Value::Str(s) if s == k))
             .map(|(_, v)| v)
     };
-    assert!(matches!(get("schema"), Some(Value::Str(s)) if s == "glacsweb-analyze/1"));
+    // Numeric schema version, mirroring BENCH_PERF.json's convention.
+    assert!(
+        matches!(get("schema"), Some(Value::U64(2))),
+        "schema must be the numeric version 2, got {:?}",
+        get("schema")
+    );
+    assert!(matches!(get("tool"), Some(Value::Str(s)) if s == "glacsweb-analyze"));
     let Some(Value::Seq(rules)) = get("rules") else {
         panic!("rules array missing");
     };
-    assert_eq!(rules.len(), 6);
+    assert_eq!(rules.len(), 9);
     let Some(Value::Map(summary)) = get("summary") else {
         panic!("summary missing");
     };

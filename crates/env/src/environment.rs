@@ -56,8 +56,10 @@ pub struct Environment {
     now: SimTime,
     started: bool,
     /// Memo of the per-day solar products `(sin φ·sin δ, cos φ·cos δ)`.
+    // glacsweb: derived-state
     solar_day: DayPair,
     /// Memo of `cos(hour angle)` — a pure function of second-of-day.
+    // glacsweb: derived-state
     cos_hour: SodTable,
 }
 

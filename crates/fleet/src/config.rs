@@ -117,7 +117,11 @@ impl FleetConfig {
                 mean_hours: self.storm_mean_hours,
             });
         }
-        if !self.start.unix().is_multiple_of(crate::site::TICK.as_secs()) {
+        if !self
+            .start
+            .unix()
+            .is_multiple_of(crate::site::TICK.as_secs())
+        {
             return Err(FleetConfigError::UnalignedStart { start: self.start });
         }
         Ok(())

@@ -162,6 +162,8 @@ impl Site {
     /// The shared wake handler — the only place a station's state is
     /// observed or branches on randomness, so tick and leap mode call
     /// it with identical inputs at identical instants.
+    ///
+    /// glacsweb: draw-budget(4)
     fn wake(&mut self, s: usize, t: SimTime) {
         self.exec.wakes += 1;
         self.storms.ensure(t + TICK);
