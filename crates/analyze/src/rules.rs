@@ -173,9 +173,11 @@ pub fn classify(rel: &str) -> FileScope {
 pub const DETERMINISM_CRATES: &[&str] = &["sim", "env", "core", "sweep", "obs", "snapshot"];
 /// Crates whose library code must be panic-free. The snapshot crate is in
 /// scope because checkpoints are parsed from disk: any byte sequence must
-/// come back as a typed `SnapshotError`, never a panic.
+/// come back as a typed `SnapshotError`, never a panic. The service crate
+/// is in scope because it parses hostile bytes off a socket: a panicking
+/// worker thread would silently shrink the pool until the server hangs.
 pub const PANIC_CRATES: &[&str] = &[
-    "station", "server", "power", "faults", "link", "obs", "snapshot",
+    "station", "server", "power", "faults", "link", "obs", "snapshot", "service",
 ];
 
 /// `true` if the numeric-safety rule applies to this file: all of the

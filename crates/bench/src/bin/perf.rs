@@ -38,6 +38,14 @@
 //!    affordable; the two are asserted digest-identical first). The
 //!    table also lands in `--fleet-out PATH` as a standalone artifact
 //!    for CI upload.
+//! 6. **Service replay** — the `glacsweb-service` HTTP front end under a
+//!    10k-station compressed-time fleet replay: a fixed-seed
+//!    `WakeTrace` expands to the canonical request script, and the
+//!    harness reports sustained requests/second plus p50/p99/p999
+//!    request latency. The replay runs twice at two different client
+//!    counts and the canonical transcripts are asserted FNV-identical
+//!    first — the wall-clock numbers sit outside the determinism
+//!    boundary, the payload surface does not.
 //!
 //! # Checkpointing the measured run
 //!
@@ -91,8 +99,9 @@ use glacsweb_station::StationConfig;
 use serde::{Serialize, Value};
 
 /// Schema version stamped on each appended record (3 adds `snapshot`,
-/// 4 adds the sweep thread-scaling table and the `fleet` record).
-const SCHEMA: u64 = 4;
+/// 4 adds the sweep thread-scaling table and the `fleet` record, 5 adds
+/// the `service` replay record).
+const SCHEMA: u64 = 5;
 
 /// One `BENCH_PERF.json` record.
 #[derive(Serialize)]
@@ -104,6 +113,7 @@ struct PerfRecord {
     kernel: Kernel,
     snapshot: SnapshotPerf,
     fleet: FleetPerf,
+    service: ServicePerf,
 }
 
 #[derive(Serialize)]
@@ -168,6 +178,41 @@ struct FleetRow {
     naive_station_days_per_sec: Option<f64>,
     /// Leap over naive throughput, where naive was measured.
     speedup: Option<f64>,
+}
+
+/// The service front end under a compressed-time fleet replay: the
+/// headline record of the schema-5 format. Wall-clock figures
+/// (seconds, rates, latencies) are machine-dependent; the transcript
+/// digest is not — it must be identical across runs and client counts.
+#[derive(Serialize)]
+struct ServicePerf {
+    /// Stations in the replayed fleet.
+    stations: u64,
+    /// Simulated days the wake trace covers.
+    days: u64,
+    /// Wakes in the trace (before script expansion).
+    wakes: u64,
+    /// Concurrent keep-alive clients in the measured run.
+    clients: usize,
+    /// HTTP worker threads serving the measured run.
+    workers: usize,
+    /// Mutex shards the fleet's pairs were spread over.
+    shards: usize,
+    /// HTTP requests replayed (the canonical script length).
+    requests: u64,
+    /// Wall-clock replay duration, seconds.
+    seconds: f64,
+    /// Sustained request rate (the `--check` gate figure).
+    requests_per_sec: f64,
+    /// Median request latency, microseconds.
+    p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    p99_us: u64,
+    /// 99.9th-percentile request latency, microseconds.
+    p999_us: u64,
+    /// FNV-1a digest of the canonical-order transcript, hex — asserted
+    /// equal across the two client counts before recording.
+    transcript_fnv: String,
 }
 
 /// Component timings over the single run's horizon: where a simulated
@@ -566,6 +611,111 @@ fn measure_fleet_gate(threads: usize, repeat: u64) -> f64 {
     row.leap_station_days_per_sec
 }
 
+/// Service-replay fleet: 40 sites x 256 stations = 10,240 stations.
+const SERVICE_SITES: u32 = 40;
+/// Stations per site in the service-replay fleet.
+const SERVICE_PER_SITE: u32 = 256;
+/// Simulated days the service replay compresses.
+const SERVICE_DAYS: u64 = 2;
+/// Clients in the measured replay run.
+const SERVICE_CLIENTS: usize = 8;
+/// Clients in the determinism cross-check run (different on purpose).
+const SERVICE_ALT_CLIENTS: usize = 13;
+/// Mutex shards the service core spreads its pairs over.
+const SERVICE_SHARDS: usize = 32;
+
+/// One full service boot + replay at the given client count; the server
+/// lives on an ephemeral port and is torn down before returning.
+fn service_replay(clients: usize) -> glacsweb_service::ReplayOutcome {
+    let config = FleetConfig::new(SERVICE_SITES, SERVICE_PER_SITE).seed(2010);
+    let trace = glacsweb_fleet::WakeTrace::derive(&config, SERVICE_DAYS)
+        .expect("valid service fleet config");
+    let script = glacsweb_service::script_from_trace(&trace, true);
+    let core = std::sync::Arc::new(
+        glacsweb_service::FleetCore::new(trace.stations, SERVICE_SHARDS)
+            .expect("valid service core"),
+    );
+    core.stage_updates();
+    let server = glacsweb_service::HttpServer::start(
+        std::sync::Arc::clone(&core),
+        &glacsweb_service::ServerConfig {
+            workers: clients,
+            read_timeout: std::time::Duration::from_secs(60),
+            ..glacsweb_service::ServerConfig::default()
+        },
+    )
+    .expect("service bind");
+    let outcome = glacsweb_service::replay(
+        server.addr(),
+        &script,
+        &glacsweb_service::ReplayConfig {
+            clients,
+            keep_transcript: false,
+        },
+    )
+    .expect("service replay");
+    server.shutdown();
+    outcome
+}
+
+/// Fastest of `repeat` measured replays (every transcript digest
+/// asserted equal along the way — shared machines jitter the clock, not
+/// the bytes).
+fn best_service_replay(repeat: u64) -> glacsweb_service::ReplayOutcome {
+    let mut best: Option<glacsweb_service::ReplayOutcome> = None;
+    for _ in 0..repeat.max(1) {
+        let outcome = service_replay(SERVICE_CLIENTS);
+        if let Some(prior) = &best {
+            assert_eq!(
+                prior.transcript_fnv, outcome.transcript_fnv,
+                "service replay transcripts diverged across repeats"
+            );
+        }
+        if best.as_ref().is_none_or(|b| outcome.seconds < b.seconds) {
+            best = Some(outcome);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// The service measurement (see [`ServicePerf`]): the fastest of
+/// `repeat` measured runs, plus one cross-check run at a different
+/// client count, digests asserted equal.
+fn measure_service(repeat: u64) -> ServicePerf {
+    let config = FleetConfig::new(SERVICE_SITES, SERVICE_PER_SITE).seed(2010);
+    let trace = glacsweb_fleet::WakeTrace::derive(&config, SERVICE_DAYS)
+        .expect("valid service fleet config");
+    let measured = best_service_replay(repeat);
+    let cross = service_replay(SERVICE_ALT_CLIENTS);
+    assert_eq!(
+        measured.transcript_fnv, cross.transcript_fnv,
+        "service replay transcripts diverged across client counts \
+         ({SERVICE_CLIENTS} vs {SERVICE_ALT_CLIENTS})"
+    );
+    ServicePerf {
+        stations: trace.stations,
+        days: SERVICE_DAYS,
+        wakes: trace.len() as u64,
+        clients: SERVICE_CLIENTS,
+        workers: SERVICE_CLIENTS,
+        shards: SERVICE_SHARDS,
+        requests: measured.requests,
+        seconds: measured.seconds,
+        requests_per_sec: measured.requests_per_sec,
+        p50_us: measured.latency.p50_us,
+        p99_us: measured.latency.p99_us,
+        p999_us: measured.latency.p999_us,
+        transcript_fnv: format!("{:016x}", measured.transcript_fnv),
+    }
+}
+
+/// The service measurement `--check` gates on: fastest of `repeat`
+/// replays, no cross-check run (CI pins transcript identity in the
+/// service job).
+fn measure_service_gate(repeat: u64) -> f64 {
+    best_service_replay(repeat).requests_per_sec
+}
+
 /// Writes the standalone fleet-scaling artifact for CI upload.
 fn write_fleet_artifact(path: &str, label: &str, fleet: &FleetPerf) {
     let key = |s: &str| Value::Str(s.to_string());
@@ -682,6 +832,17 @@ fn baseline_fleet_gate(history: &[Value]) -> Option<(u64, u64, f64)> {
     ))
 }
 
+/// The baseline service gate, where the last record is new enough to
+/// carry one: `(stations, days, requests_per_sec)`.
+fn baseline_service_gate(history: &[Value]) -> Option<(u64, u64, f64)> {
+    let service = history.last()?.get("service")?;
+    Some((
+        service.get("stations")?.as_u64()?,
+        service.get("days")?.as_u64()?,
+        service.get("requests_per_sec")?.as_f64()?,
+    ))
+}
+
 /// One `--check` comparison: fails (or warns under the override) when
 /// `fresh` is more than the tolerance below `baseline`.
 fn gate(name: &str, unit: &str, fresh: f64, baseline: f64) -> bool {
@@ -743,6 +904,28 @@ fn main() {
             None => println!(
                 "bench-perf check: baseline record predates the fleet kernel (schema < 4); \
                  skipping fleet comparison"
+            ),
+        }
+        // Service gate, like-for-like only: a schema-4 baseline (recorded
+        // by a binary that predates the HTTP front end) carries no
+        // service record, so there is nothing comparable to gate against.
+        match baseline_service_gate(&history) {
+            Some((stations, days, service_baseline)) => {
+                let comparable = stations == u64::from(SERVICE_SITES) * u64::from(SERVICE_PER_SITE)
+                    && days == SERVICE_DAYS;
+                if comparable {
+                    let service_fresh = measure_service_gate(args.repeat);
+                    ok &= gate("service", "req/sec", service_fresh, service_baseline);
+                } else {
+                    println!(
+                        "bench-perf check: baseline service gate covers {stations} stations x \
+                         {days} days, current gate differs — skipping service comparison"
+                    );
+                }
+            }
+            None => println!(
+                "bench-perf check: baseline record predates the service front end \
+                 (schema < 5); skipping service comparison"
             ),
         }
         if !ok {
@@ -857,6 +1040,23 @@ fn main() {
         write_fleet_artifact(path, &args.label, &fleet);
     }
 
+    // 6. Service front end under the compressed-time fleet replay.
+    let service = measure_service(args.repeat);
+    println!(
+        "service: {} stations x {} days = {} requests over {} clients in {:.2}s \
+         ({:.0} req/sec; p50 {} us, p99 {} us, p999 {} us; transcript {})",
+        service.stations,
+        service.days,
+        service.requests,
+        service.clients,
+        service.seconds,
+        service.requests_per_sec,
+        service.p50_us,
+        service.p99_us,
+        service.p999_us,
+        service.transcript_fnv,
+    );
+
     let record = PerfRecord {
         schema: SCHEMA,
         label: args.label,
@@ -880,6 +1080,7 @@ fn main() {
         kernel,
         snapshot,
         fleet,
+        service,
     };
     let mut history = read_history(&args.out);
     history.push(record.to_value());

@@ -50,7 +50,9 @@ mod config;
 mod fleet;
 mod kernel;
 mod site;
+mod trace;
 
 pub use config::{FleetConfig, FleetConfigError};
 pub use fleet::{ExecStats, Fleet, FleetState, FleetSummary, SiteSummary};
-pub use site::{Site, SiteEvent, Tier, TICK};
+pub use site::{Site, SiteEvent, Tier, KIND_COMMS, KIND_OVERRIDE, KIND_SAMPLE, TICK};
+pub use trace::{WakeEntry, WakeTrace};

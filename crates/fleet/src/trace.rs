@@ -1,0 +1,200 @@
+//! Wake-trace export: the fleet kernel's wake schedule as a flat,
+//! replayable request sequence.
+//!
+//! The service load harness needs to hammer the coordination server the
+//! way a real fleet would — thousands of stations waking on the
+//! five-minute duty-cycle grid, clustered into daily comms slots, with
+//! periodic server-override checks — and it needs the *same* sequence
+//! every run so latency comparisons are apples-to-apples. A
+//! [`WakeTrace`] is exactly that: every wake instant a fleet would
+//! schedule over a horizon, derived from a [`FleetConfig`] without
+//! running the power kernel at all.
+//!
+//! # What a trace is (and is not)
+//!
+//! The trace freezes each station at the power tier it boots in:
+//! [`Site::new`] draws the initial batteries and classifies tiers from
+//! the same seed-derived streams the kernel uses, and the schedule walk
+//! then applies the kernel's own `next_wake_for` recurrence with that
+//! tier and the station's initial comms role. Tier transitions, deaths
+//! and role rotations that a *full* simulation would apply are
+//! deliberately left out — they depend on battery trajectories, which
+//! would force a kernel run just to generate load. What matters for the
+//! harness is preserved: the grid alignment, the per-tier cadence mix,
+//! the comms-slot clustering (the thundering herd at `slot_hour`), and
+//! the rotation-override instants. What is lost is only drift in that
+//! mix over time.
+//!
+//! Determinism: `derive` is a pure function of `(config, days)` — same
+//! inputs, same entries, bit for bit.
+
+use glacsweb_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{FleetConfig, FleetConfigError};
+use crate::site::Site;
+
+/// One scheduled wake in a [`WakeTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WakeEntry {
+    /// Wake instant (on the five-minute tick grid).
+    pub at: SimTime,
+    /// Fleet-global station id:
+    /// `site_index * stations_per_site + station_within_site`.
+    pub station: u64,
+    /// Wake-kind bitmask ([`crate::site::KIND_SAMPLE`] /
+    /// [`crate::site::KIND_COMMS`] / [`crate::site::KIND_OVERRIDE`]).
+    pub kinds: u8,
+}
+
+/// A fleet's wake schedule over a horizon, flattened to one
+/// chronologically sorted sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WakeTrace {
+    /// Simulation start the entries are relative to.
+    pub start: SimTime,
+    /// Total stations in the generating fleet.
+    pub stations: u64,
+    /// Every wake in `[start, start + days)`, sorted by
+    /// `(at, station)` — the canonical replay order.
+    pub entries: Vec<WakeEntry>,
+}
+
+impl WakeTrace {
+    /// Derives the wake schedule of the fleet `config` describes over
+    /// `days` days.
+    ///
+    /// Costs O(total wakes): sites are constructed one at a time (their
+    /// station columns reuse the kernel's seeding exactly) and dropped
+    /// after their stations' schedules are walked.
+    pub fn derive(config: &FleetConfig, days: u64) -> Result<WakeTrace, FleetConfigError> {
+        config.validate()?;
+        let horizon = config.start + SimDuration::from_days(days);
+        let mut master = SimRng::seed_from(config.seed);
+        let mut entries = Vec::new();
+        for i in 0..config.sites {
+            let site = Site::new(config, i, &mut master);
+            for s in 0..site.stations() {
+                let tier = site.st.tier[s];
+                let role = site.st.role[s];
+                let station = u64::from(i) * u64::from(config.stations_per_site) + s as u64;
+                let mut at = site.st.next_wake[s];
+                let mut kinds = site.st.wake_kinds[s];
+                while at < horizon {
+                    entries.push(WakeEntry { at, station, kinds });
+                    let (next, next_kinds) = site.next_wake_for(at, tier, role);
+                    at = next;
+                    kinds = next_kinds;
+                }
+            }
+        }
+        entries.sort_by_key(|e| (e.at, e.station));
+        Ok(WakeTrace {
+            start: config.start,
+            stations: u64::from(config.sites) * u64::from(config.stations_per_site),
+            entries,
+        })
+    }
+
+    /// Number of wakes in the trace.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the horizon contained no wakes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{KIND_COMMS, KIND_OVERRIDE, KIND_SAMPLE, TICK};
+
+    fn config() -> FleetConfig {
+        FleetConfig::new(3, 8).seed(2008)
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a = WakeTrace::derive(&config(), 3).expect("valid config");
+        let b = WakeTrace::derive(&config(), 3).expect("valid config");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_eq!(a.stations, 24);
+    }
+
+    #[test]
+    fn entries_are_sorted_grid_aligned_and_in_horizon() {
+        let trace = WakeTrace::derive(&config(), 2).expect("valid config");
+        let horizon = trace.start + SimDuration::from_days(2);
+        let tick = TICK.as_secs();
+        for pair in trace.entries.windows(2) {
+            assert!((pair[0].at, pair[0].station) < (pair[1].at, pair[1].station));
+        }
+        for e in &trace.entries {
+            assert!(e.at >= trace.start && e.at < horizon);
+            assert_eq!(e.at.unix() % tick, 0, "wakes live on the tick grid");
+            assert!(e.station < trace.stations);
+            assert_ne!(e.kinds & (KIND_SAMPLE | KIND_COMMS | KIND_OVERRIDE), 0);
+        }
+    }
+
+    #[test]
+    fn every_station_wakes_and_comms_slots_appear_daily() {
+        let trace = WakeTrace::derive(&config(), 3).expect("valid config");
+        let mut saw = vec![false; trace.stations as usize];
+        let mut comms_per_station = vec![0u32; trace.stations as usize];
+        for e in &trace.entries {
+            if let Some(slot) = saw.get_mut(e.station as usize) {
+                *slot = true;
+            }
+            if e.kinds & KIND_COMMS != 0 {
+                if let Some(c) = comms_per_station.get_mut(e.station as usize) {
+                    *c += 1;
+                }
+            }
+        }
+        assert!(saw.iter().all(|&s| s), "every station appears");
+        assert!(
+            comms_per_station.iter().all(|&c| c >= 2),
+            "every station hits its daily comms slot (3-day horizon)"
+        );
+    }
+
+    #[test]
+    fn rotation_overrides_land_in_the_trace() {
+        let cfg = FleetConfig::new(1, 4).seed(7).rotation_days(1);
+        let trace = WakeTrace::derive(&cfg, 3).expect("valid config");
+        let overrides = trace
+            .entries
+            .iter()
+            .filter(|e| e.kinds & KIND_OVERRIDE != 0)
+            .count();
+        assert!(overrides >= 4, "daily rotation × 4 stations over 3 days");
+    }
+
+    #[test]
+    fn trace_matches_the_kernel_boot_schedule() {
+        // The first wake of every station is exactly what Site::new
+        // scheduled — the trace reuses the kernel's own seeding.
+        let cfg = config();
+        let trace = WakeTrace::derive(&cfg, 2).expect("valid config");
+        let mut master = SimRng::seed_from(cfg.seed);
+        let mut firsts = std::collections::BTreeMap::new();
+        for e in &trace.entries {
+            firsts.entry(e.station).or_insert((e.at, e.kinds));
+        }
+        for i in 0..cfg.sites {
+            let site = Site::new(&cfg, i, &mut master);
+            for s in 0..site.stations() {
+                let station = u64::from(i) * u64::from(cfg.stations_per_site) + s as u64;
+                assert_eq!(
+                    firsts.get(&station),
+                    Some(&(site.st.next_wake[s], site.st.wake_kinds[s]))
+                );
+            }
+        }
+    }
+}

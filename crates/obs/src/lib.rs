@@ -48,8 +48,10 @@
 #![warn(missing_docs)]
 
 mod memory;
+mod ndjson;
 
 pub use memory::{merge_all, Histogram, MemoryRecorder, BUCKET_BOUNDS, DEFAULT_EVENT_CAPACITY};
+pub use ndjson::{NdjsonWriter, NDJSON_SCHEMA};
 
 use std::fmt;
 

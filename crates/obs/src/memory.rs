@@ -141,6 +141,27 @@ impl MemoryRecorder {
         self.histograms.get(&(origin, name))
     }
 
+    /// All counters in key order: `(origin, name, value)`.
+    pub fn counters(&self) -> impl Iterator<Item = (Origin, &'static str, u64)> + '_ {
+        self.counters.iter().map(|(&(o, n), &v)| (o, n, v))
+    }
+
+    /// All per-civil-day counter rollups in key order:
+    /// `(date, origin, name, value)`.
+    pub fn daily(&self) -> impl Iterator<Item = (CivilDate, Origin, &'static str, u64)> + '_ {
+        self.daily.iter().map(|(&(d, o, n), &v)| (d, o, n, v))
+    }
+
+    /// All gauges in key order: `(origin, name, written_at, value)`.
+    pub fn gauges(&self) -> impl Iterator<Item = (Origin, &'static str, SimTime, f64)> + '_ {
+        self.gauges.iter().map(|(&(o, n), &(at, v))| (o, n, at, v))
+    }
+
+    /// All histograms in key order: `(origin, name, histogram)`.
+    pub fn histograms(&self) -> impl Iterator<Item = (Origin, &'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&(o, n), h)| (o, n, h))
+    }
+
     /// `true` if nothing at all has been recorded.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -571,7 +592,7 @@ fn push_block<T>(
 
 /// JSON string literal with escaping, matching `glacsweb-analyze`'s
 /// `ANALYSIS.json` writer.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -591,7 +612,7 @@ fn json_str(s: &str) -> String {
 
 /// Serialises an `f64` so it round-trips as a JSON number; non-finite
 /// values become `null`.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_string();
     }
@@ -604,7 +625,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Serialises an event field value.
-fn json_value(v: &Value) -> String {
+pub(crate) fn json_value(v: &Value) -> String {
     match v {
         Value::U64(n) => n.to_string(),
         Value::I64(n) => n.to_string(),

@@ -32,8 +32,23 @@ impl StateSync {
     }
 
     /// Records a station's daily state upload.
+    ///
+    /// Reports are keyed by the civil date the station computed its state
+    /// for, and the **newest date wins**: a late-arriving report for an
+    /// older date (a station re-sending yesterday's state after a comms
+    /// outage, or a pair of uploads racing across midnight) lands in the
+    /// history but never clobbers the station's current entry, so an
+    /// already-made override decision for today cannot regress to
+    /// yesterday's state. A second report for the *same* date supersedes
+    /// the first — a station re-uploading a corrected same-day state is
+    /// the freshest information available.
     pub fn report(&mut self, from: StationId, date: CivilDate, state: PowerState) {
-        self.reported.insert(from, (date, state));
+        match self.reported.get(&from) {
+            Some(&(current, _)) if current > date => {}
+            _ => {
+                self.reported.insert(from, (date, state));
+            }
+        }
         self.history.push((from, date, state));
     }
 
@@ -50,6 +65,13 @@ impl StateSync {
     /// The last state reported by a station.
     pub fn last_reported(&self, station: StationId) -> Option<PowerState> {
         self.reported.get(&station).map(|&(_, s)| s)
+    }
+
+    /// The current report for a station: the civil date it was computed
+    /// for and the state — what [`StateSync::report`]'s newest-date-wins
+    /// rule has retained.
+    pub fn current_report(&self, station: StationId) -> Option<(CivilDate, PowerState)> {
+        self.reported.get(&station).copied()
     }
 
     /// Computes the override returned to `for_station`.

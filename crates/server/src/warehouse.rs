@@ -92,21 +92,27 @@ impl Warehouse {
     }
 
     /// Produces differential fixes by pairing base readings with the
-    /// nearest reference reading within [`Warehouse::PAIRING_TOLERANCE`].
+    /// **nearest** reference reading within
+    /// [`Warehouse::PAIRING_TOLERANCE`] — nearest, not first: when two
+    /// reference readings both fall inside the window (a pair straddling
+    /// midnight, or a reference in a lower power state whose sparse
+    /// schedule drifts against the base's), the smaller skew gives the
+    /// better common-mode cancellation. Ties break toward the earlier
+    /// reference so the choice is deterministic. A reference reading may
+    /// serve several base readings (a reference held in state 1 takes one
+    /// reading a day; every base reading within tolerance of it still
+    /// corrects against it).
     pub fn differential_fixes(&self) -> Vec<DgpsFix> {
         let base = self.gps_records(StationId::Base);
         let reference = self.gps_records(StationId::Reference);
         let mut fixes = Vec::new();
         for b in base {
-            let paired = reference.iter().find(|r| {
-                let skew = if r.taken_at > b.taken_at {
-                    r.taken_at.saturating_since(b.taken_at)
-                } else {
-                    b.taken_at.saturating_since(r.taken_at)
-                };
-                skew <= Self::PAIRING_TOLERANCE
-            });
-            if let Some(r) = paired {
+            let paired = reference
+                .iter()
+                .map(|r| (Self::pairing_skew(b, r), r))
+                .filter(|&(skew, _)| skew <= Self::PAIRING_TOLERANCE)
+                .min_by_key(|&(skew, r)| (skew, r.taken_at));
+            if let Some((_, r)) = paired {
                 // Differential correction: the reference knows its true
                 // position is 0, so its observed error corrects the base.
                 fixes.push(DgpsFix {
@@ -116,6 +122,20 @@ impl Warehouse {
             }
         }
         fixes
+    }
+
+    /// Absolute skew between a base and a reference reading.
+    ///
+    /// `SimTime::saturating_since` clamps a negative difference to zero,
+    /// so the later reading must be the receiver on *both* branches —
+    /// subtracting in the wrong direction would report a zero skew for
+    /// any out-of-order pair and pair readings hours apart.
+    fn pairing_skew(b: &GpsRecord, r: &GpsRecord) -> SimDuration {
+        if r.taken_at > b.taken_at {
+            r.taken_at.saturating_since(b.taken_at)
+        } else {
+            b.taken_at.saturating_since(r.taken_at)
+        }
     }
 
     /// Fraction of base readings that could be differentially corrected —
@@ -224,6 +244,95 @@ mod tests {
         w2.ingest(StationId::Base, &gps_item(t(0, 30), 1.0));
         w2.ingest(StationId::Reference, &gps_item(t(0, 41), 0.5));
         assert_eq!(w2.differential_fixes().len(), 0, "11 min skew does not");
+    }
+
+    #[test]
+    fn pairing_picks_the_nearest_reference_not_the_first() {
+        // Two references inside the window: the scan order (time-sorted)
+        // meets the 9-minute-early one first, but the 1-minute-late one
+        // is the better simultaneous pair. Pre-fix, `find` returned the
+        // first within tolerance and the fix inherited the wrong
+        // common-mode error.
+        let mut w = Warehouse::new();
+        w.ingest(StationId::Base, &gps_item(t(0, 30), 7.0));
+        w.ingest(StationId::Reference, &gps_item(t(0, 21), 9.0));
+        w.ingest(StationId::Reference, &gps_item(t(0, 31), 2.0));
+        let fixes = w.differential_fixes();
+        assert_eq!(fixes.len(), 1);
+        assert!(
+            (fixes[0].position_m - 5.0).abs() < 1e-9,
+            "paired against the 1-minute reference, not the 9-minute one"
+        );
+    }
+
+    #[test]
+    fn pairing_straddles_a_day_boundary() {
+        // Base reads just after midnight; candidate references sit just
+        // before midnight (previous civil day) and a little later the
+        // same morning. Day boundaries mean nothing to the skew — the
+        // 7-minute cross-midnight reference wins over the 9-minute
+        // same-day one.
+        let mut w = Warehouse::new();
+        let base_at = SimTime::from_ymd_hms(2009, 9, 23, 0, 2, 0);
+        let cross_midnight = SimTime::from_ymd_hms(2009, 9, 22, 23, 55, 0);
+        let same_day = SimTime::from_ymd_hms(2009, 9, 23, 0, 11, 0);
+        w.ingest(StationId::Base, &gps_item(base_at, 7.0));
+        w.ingest(StationId::Reference, &gps_item(same_day, 9.0));
+        w.ingest(StationId::Reference, &gps_item(cross_midnight, 2.0));
+        let fixes = w.differential_fixes();
+        assert_eq!(fixes.len(), 1);
+        assert!(
+            (fixes[0].position_m - 5.0).abs() < 1e-9,
+            "the cross-midnight reference is nearer and must win"
+        );
+    }
+
+    #[test]
+    fn low_power_reference_serves_every_base_reading_within_tolerance() {
+        // Reference in a lower power state takes one reading; two base
+        // readings fall within tolerance on either side of it. Both must
+        // pair (against the same reference), with the right skews.
+        let mut w = Warehouse::new();
+        w.ingest(StationId::Base, &gps_item(t(12, 22), 7.0));
+        w.ingest(StationId::Base, &gps_item(t(12, 38), 8.0));
+        w.ingest(StationId::Reference, &gps_item(t(12, 30), 2.0));
+        let fixes = w.differential_fixes();
+        assert_eq!(fixes.len(), 2, "one reference corrects both");
+        assert!((fixes[0].position_m - 5.0).abs() < 1e-9);
+        assert!((fixes[1].position_m - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairing_skew_is_symmetric_in_both_directions() {
+        // Pins the `saturating_since` direction on both branches: the
+        // later reading is always the receiver, so reference-after-base
+        // and base-after-reference report the same magnitude (a wrong
+        // direction saturates to zero and pairs anything).
+        let mk = |at: SimTime| GpsRecord {
+            station: StationId::Base,
+            taken_at: at,
+            observed_position_m: 0.0,
+            size: Bytes::from_kib(165),
+        };
+        let early = mk(t(1, 0));
+        let late = mk(t(1, 9));
+        assert_eq!(
+            Warehouse::pairing_skew(&early, &late),
+            SimDuration::from_mins(9)
+        );
+        assert_eq!(
+            Warehouse::pairing_skew(&late, &early),
+            SimDuration::from_mins(9)
+        );
+        assert_eq!(
+            Warehouse::pairing_skew(&early, &early),
+            SimDuration::from_secs(0)
+        );
+        // The regression the direction audit guards against: an hours-
+        // apart pair must never report a zero skew.
+        let far = mk(t(5, 0));
+        assert!(Warehouse::pairing_skew(&early, &far) > Warehouse::PAIRING_TOLERANCE);
+        assert!(Warehouse::pairing_skew(&far, &early) > Warehouse::PAIRING_TOLERANCE);
     }
 
     #[test]

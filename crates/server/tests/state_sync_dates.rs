@@ -1,0 +1,131 @@
+//! Regression suite for `StateSync` date handling: out-of-order and
+//! cross-midnight `upload_power_state` calls.
+//!
+//! Reports are keyed by the `CivilDate` the station computed its state
+//! for. The field reality behind the ordering bugs: a station that lost
+//! its comms window re-sends *yesterday's* state when the link comes
+//! back, and the two stations' daily uploads race each other across
+//! midnight (the Fig 4 sequence gives no global ordering). The rule
+//! pinned here is **newest date wins, same date supersedes** — a
+//! late-arriving older report lands in the history (it is real data)
+//! but never clobbers the state the next override decision reads.
+//!
+//! Companion suite: `state_sync_clamp.rs` pins the min/cap *decision*
+//! rule over every state pair; this file pins which reports feed it.
+
+use glacsweb_server::SouthamptonServer;
+use glacsweb_sim::{CivilDate, SimTime};
+use glacsweb_station::{PowerState, StationId, Uplink};
+
+fn date(day: u32) -> CivilDate {
+    SimTime::from_ymd_hms(2009, 9, day, 12, 0, 0).date()
+}
+
+#[test]
+fn late_yesterday_report_does_not_clobber_today() {
+    // Base reported S1 yesterday and S3 today; the partner is at S3.
+    // Yesterday's S1 then arrives *again* (retransmission after a comms
+    // outage). Pre-fix, the stale report overwrote today's entry and the
+    // override decision regressed to S1.
+    let mut s = SouthamptonServer::new();
+    s.upload_power_state(StationId::Reference, date(23), PowerState::S3);
+    s.upload_power_state(StationId::Base, date(22), PowerState::S1);
+    s.upload_power_state(StationId::Base, date(23), PowerState::S3);
+    assert_eq!(s.fetch_override(StationId::Base), Some(PowerState::S3));
+
+    // The straggler: yesterday's state shows up after today's.
+    s.upload_power_state(StationId::Base, date(22), PowerState::S1);
+    assert_eq!(
+        s.states().last_reported(StationId::Base),
+        Some(PowerState::S3),
+        "today's report must survive the stale retransmission"
+    );
+    assert_eq!(
+        s.fetch_override(StationId::Base),
+        Some(PowerState::S3),
+        "the override decision must not regress to yesterday's state"
+    );
+}
+
+#[test]
+fn stale_report_still_lands_in_the_history() {
+    let mut s = SouthamptonServer::new();
+    s.upload_power_state(StationId::Base, date(23), PowerState::S3);
+    s.upload_power_state(StationId::Base, date(22), PowerState::S1);
+    assert_eq!(
+        s.states().history().len(),
+        2,
+        "stale reports are data for the researchers even when ignored"
+    );
+    assert_eq!(
+        s.states().current_report(StationId::Base),
+        Some((date(23), PowerState::S3))
+    );
+}
+
+#[test]
+fn same_date_reupload_supersedes() {
+    // A station recomputing its state the same day (e.g. after a manual
+    // restart) re-uploads for the same date: the later upload is the
+    // freshest information and must win.
+    let mut s = SouthamptonServer::new();
+    s.upload_power_state(StationId::Base, date(22), PowerState::S3);
+    s.upload_power_state(StationId::Base, date(22), PowerState::S1);
+    assert_eq!(
+        s.states().last_reported(StationId::Base),
+        Some(PowerState::S1)
+    );
+}
+
+#[test]
+fn cross_midnight_race_keeps_each_station_current() {
+    // The reference runs its window just before midnight (day 22), the
+    // base just after (day 23), then the reference's day-22 report is
+    // retransmitted. Each station's entry must stay at its own newest
+    // date regardless of arrival order.
+    let mut s = SouthamptonServer::new();
+    s.upload_power_state(StationId::Reference, date(22), PowerState::S2);
+    s.upload_power_state(StationId::Base, date(23), PowerState::S3);
+    s.upload_power_state(StationId::Reference, date(22), PowerState::S2);
+    assert_eq!(
+        s.states().current_report(StationId::Reference),
+        Some((date(22), PowerState::S2))
+    );
+    assert_eq!(
+        s.states().current_report(StationId::Base),
+        Some((date(23), PowerState::S3))
+    );
+    // The min rule sees (S3, S2) -> S2; yesterday's reference report is
+    // legitimately the freshest thing the server knows about it.
+    assert_eq!(s.fetch_override(StationId::Base), Some(PowerState::S2));
+}
+
+#[test]
+fn month_boundary_ordering_uses_the_calendar_not_the_day_number() {
+    // Sep 30 -> Oct 1: the day-of-month number goes *down* while the
+    // date goes forward. A naive day-number comparison would treat the
+    // Oct 1 report as stale.
+    let mut s = SouthamptonServer::new();
+    let sep30 = SimTime::from_ymd_hms(2009, 9, 30, 12, 0, 0).date();
+    let oct1 = SimTime::from_ymd_hms(2009, 10, 1, 12, 0, 0).date();
+    s.upload_power_state(StationId::Base, sep30, PowerState::S1);
+    s.upload_power_state(StationId::Base, oct1, PowerState::S3);
+    s.upload_power_state(StationId::Base, sep30, PowerState::S1);
+    assert_eq!(
+        s.states().current_report(StationId::Base),
+        Some((oct1, PowerState::S3))
+    );
+}
+
+#[test]
+fn in_order_reports_behave_exactly_as_before() {
+    // The fix must be invisible to the normal chronological flow the
+    // simulation produces (this is what keeps golden hashes untouched).
+    let mut s = SouthamptonServer::new();
+    for day in 22..=25 {
+        s.upload_power_state(StationId::Base, date(day), PowerState::S3);
+        s.upload_power_state(StationId::Reference, date(day), PowerState::S2);
+    }
+    assert_eq!(s.fetch_override(StationId::Base), Some(PowerState::S2));
+    assert_eq!(s.states().history().len(), 8);
+}

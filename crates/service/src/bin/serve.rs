@@ -1,0 +1,213 @@
+//! `serve` — boot the glacsweb HTTP front end, either as a long-running
+//! listener or in self-contained replay mode.
+//!
+//! Replay mode (`--replay`) derives a wake trace from a fleet config,
+//! boots the server on an ephemeral port, replays the canonical request
+//! script against it, and prints a JSON measurement line: requests,
+//! sustained req/sec, p50/p99/p999 latency, and the FNV-1a transcript
+//! digest. `--ndjson` and `--transcript` dump the telemetry export and
+//! the canonical transcript for byte-identity checks in CI.
+//!
+//! ```text
+//! serve --replay --sites 4 --per-site 64 --seed 2009 --days 2 \
+//!       --clients 8 --workers 8 --shards 16 --updates \
+//!       --ndjson telemetry.ndjson --transcript transcript.bin
+//! serve --listen --addr 127.0.0.1:8700 --stations 64 --workers 8
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use glacsweb_fleet::{FleetConfig, WakeTrace};
+use glacsweb_service::http::{HttpServer, ServerConfig};
+use glacsweb_service::load::{replay, script_from_trace, ReplayConfig};
+use glacsweb_service::FleetCore;
+
+struct Args {
+    mode: Mode,
+    sites: u32,
+    per_site: u32,
+    seed: u64,
+    days: u64,
+    clients: usize,
+    workers: usize,
+    shards: usize,
+    updates: bool,
+    addr: String,
+    stations: u64,
+    ndjson: Option<String>,
+    transcript: Option<String>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Replay,
+    Listen,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Replay,
+        sites: 2,
+        per_site: 16,
+        seed: 2009,
+        days: 2,
+        clients: 4,
+        workers: 8,
+        shards: 16,
+        updates: false,
+        addr: "127.0.0.1:0".to_string(),
+        stations: 0,
+        ndjson: None,
+        transcript: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--replay" => args.mode = Mode::Replay,
+            "--listen" => args.mode = Mode::Listen,
+            "--updates" => args.updates = true,
+            "--sites" => args.sites = parse(&value("--sites")?)?,
+            "--per-site" => args.per_site = parse(&value("--per-site")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--days" => args.days = parse(&value("--days")?)?,
+            "--clients" => args.clients = parse(&value("--clients")?)?,
+            "--workers" => args.workers = parse(&value("--workers")?)?,
+            "--shards" => args.shards = parse(&value("--shards")?)?,
+            "--stations" => args.stations = parse(&value("--stations")?)?,
+            "--addr" => args.addr = value("--addr")?,
+            "--ndjson" => args.ndjson = Some(value("--ndjson")?),
+            "--transcript" => args.transcript = Some(value("--transcript")?),
+            "--help" | "-h" => {
+                return Err("usage: serve --replay|--listen [--sites N] [--per-site N] \
+                            [--seed N] [--days N] [--clients N] [--workers N] [--shards N] \
+                            [--updates] [--stations N] [--addr HOST:PORT] \
+                            [--ndjson PATH] [--transcript PATH]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("bad value `{value}`: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.mode {
+        Mode::Replay => run_replay(&args),
+        Mode::Listen => run_listen(&args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_replay(args: &Args) -> Result<(), String> {
+    let config = FleetConfig::new(args.sites, args.per_site).seed(args.seed);
+    let trace =
+        WakeTrace::derive(&config, args.days).map_err(|e| format!("bad fleet config: {e:?}"))?;
+    let script = script_from_trace(&trace, args.updates);
+    let core = Arc::new(FleetCore::new(trace.stations, args.shards).map_err(|e| e.to_string())?);
+    if args.updates {
+        core.stage_updates();
+    }
+    let server = HttpServer::start(
+        Arc::clone(&core),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            // The pool must cover every concurrent keep-alive client or
+            // the replay deadlocks waiting for a worker.
+            workers: args.workers.max(args.clients),
+            read_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.addr();
+
+    let outcome = replay(
+        addr,
+        &script,
+        &ReplayConfig {
+            clients: args.clients,
+            keep_transcript: args.transcript.is_some(),
+        },
+    )
+    .map_err(|e| format!("replay failed: {e}"))?;
+
+    if let Some(path) = &args.ndjson {
+        std::fs::write(path, core.telemetry_ndjson())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let (Some(path), Some(transcript)) = (&args.transcript, &outcome.transcript) {
+        std::fs::write(path, transcript).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    server.shutdown();
+
+    println!(
+        "{{\"stations\":{},\"wakes\":{},\"requests\":{},\"seconds\":{:.3},\
+         \"requests_per_sec\":{:.1},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\
+         \"transcript_fnv\":\"{:016x}\"}}",
+        trace.stations,
+        trace.len(),
+        outcome.requests,
+        outcome.seconds,
+        outcome.requests_per_sec,
+        outcome.latency.p50_us,
+        outcome.latency.p99_us,
+        outcome.latency.p999_us,
+        outcome.transcript_fnv,
+    );
+    Ok(())
+}
+
+fn run_listen(args: &Args) -> Result<(), String> {
+    let stations = if args.stations > 0 {
+        args.stations
+    } else {
+        u64::from(args.sites) * u64::from(args.per_site)
+    };
+    let core = Arc::new(FleetCore::new(stations, args.shards).map_err(|e| e.to_string())?);
+    if args.updates {
+        core.stage_updates();
+    }
+    let server = HttpServer::start(
+        Arc::clone(&core),
+        &ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+    eprintln!(
+        "serving {stations} stations on http://{} ({} workers); ctrl-c to stop",
+        server.addr(),
+        args.workers
+    );
+    // Park forever: the workers own the listener.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

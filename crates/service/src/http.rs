@@ -1,0 +1,597 @@
+//! A hand-rolled HTTP/1.1 front end over `std::net::TcpListener`.
+//!
+//! The workspace's vendored-deps policy rules out tokio and hyper, and
+//! the protocol the §III stations speak — tiny GETs and POSTs from a
+//! `wget` on a 400 MHz ARM over GPRS — needs almost none of HTTP
+//! anyway. This module implements exactly the subset the fleet uses:
+//! request line + headers + optional `Content-Length` body, keep-alive
+//! with pipelining, bounded header/body sizes, per-connection read
+//! timeouts, and a fixed pool of blocking worker threads.
+//!
+//! Every malformed input maps to a typed [`HttpError`] and a plain-text
+//! `error=<kind>` response — never a panic. This crate sits in
+//! `glacsweb-analyze`'s panic-freedom scope, so the no-unwrap /
+//! no-indexing rules are machine-checked.
+//!
+//! # Endpoints
+//!
+//! | Method | Path                    | Query                          | Body on 200 |
+//! |--------|-------------------------|--------------------------------|-------------|
+//! | POST   | `/api/checkin`          | `station`, `at`, `soc`         | `ok` |
+//! | POST   | `/api/state`            | `station`, `at`, `level`       | `ok` |
+//! | GET    | `/api/override`         | `station`, `at`                | `override=<level>` or `override=none` |
+//! | GET    | `/api/update`           | `station`, `at`                | `update=<name>\nmd5=<hex>\npayload=<hex>` or `update=none` |
+//! | POST   | `/api/ack`              | `station`, `at`, `file`, `md5` | `verified=true|false` |
+//! | GET    | `/api/analytics/states` | —                              | per-state station counts (JSON) |
+//! | GET    | `/api/analytics/battery`| —                              | fleet SoC histogram (JSON) |
+//! | GET    | `/api/telemetry`        | —                              | merged NDJSON telemetry |
+//! | GET    | `/health`               | —                              | liveness line |
+//!
+//! `at` is a unix timestamp in *simulation* time — responses are pure
+//! functions of the request sequence, never of the wall clock (no
+//! `Date` header, for the same reason).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use glacsweb_sim::SimTime;
+
+use crate::core::{update_md5_hex, CoreError, FleetCore};
+
+/// Tuning knobs for [`HttpServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`HttpServer::addr`]).
+    pub addr: String,
+    /// Worker threads sharing the accept loop. Each connection occupies
+    /// a worker for its whole keep-alive lifetime, so size this at or
+    /// above the expected concurrent connection count.
+    pub workers: usize,
+    /// Cap on request line + headers, bytes (431 beyond it).
+    pub max_header_bytes: usize,
+    /// Cap on a request body, bytes (413 beyond it).
+    pub max_body_bytes: usize,
+    /// Requests served per connection before the server closes it
+    /// (bounds how long a connection can monopolise a worker).
+    pub max_requests_per_conn: u64,
+    /// Per-read socket timeout; a stalled client gets 408 and the
+    /// connection is dropped, freeing the worker.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+            max_requests_per_conn: 100_000,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything that can go wrong serving one request. Each variant maps
+/// to one status code and one stable `error=<kind>` body token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line was not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line was malformed or not valid UTF-8.
+    BadHeader,
+    /// Request line + headers exceeded the configured cap.
+    HeaderTooLarge,
+    /// `Content-Length` body exceeded the configured cap.
+    BodyTooLarge,
+    /// A POST without a `Content-Length` header.
+    LengthRequired,
+    /// A required query parameter was missing or unparsable.
+    BadParam(&'static str),
+    /// No route matches the path.
+    NotFound,
+    /// The path exists but not under this method.
+    MethodNotAllowed,
+    /// The socket timed out mid-request.
+    Timeout,
+    /// The peer closed the connection mid-request.
+    Disconnected,
+    /// The decision core rejected the request.
+    Core(CoreError),
+}
+
+impl HttpError {
+    /// `(status, reason, body-token)` for the error response.
+    fn status(&self) -> (u16, &'static str, &'static str) {
+        match self {
+            HttpError::BadRequestLine => (400, "Bad Request", "bad-request-line"),
+            HttpError::BadHeader => (400, "Bad Request", "bad-header"),
+            HttpError::HeaderTooLarge => {
+                (431, "Request Header Fields Too Large", "header-too-large")
+            }
+            HttpError::BodyTooLarge => (413, "Content Too Large", "body-too-large"),
+            HttpError::LengthRequired => (411, "Length Required", "length-required"),
+            HttpError::BadParam(_) => (400, "Bad Request", "bad-param"),
+            HttpError::NotFound => (404, "Not Found", "not-found"),
+            HttpError::MethodNotAllowed => (405, "Method Not Allowed", "method-not-allowed"),
+            HttpError::Timeout => (408, "Request Timeout", "timeout"),
+            HttpError::Disconnected => (400, "Bad Request", "disconnected"),
+            HttpError::Core(CoreError::UnknownStation(_)) => (404, "Not Found", "unknown-station"),
+            HttpError::Core(_) => (400, "Bad Request", "bad-param"),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadParam(p) => write!(f, "bad or missing parameter `{p}`"),
+            HttpError::Core(e) => write!(f, "core rejected request: {e}"),
+            other => {
+                let (status, reason, token) = other.status();
+                write!(f, "{status} {reason} ({token})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request: method, path, query parameters, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Query parameters in target order, raw (no percent-decoding —
+    /// the fleet protocol never needs reserved characters).
+    pub params: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required parameter parsed as `T`, with a typed failure.
+    fn need<T: std::str::FromStr>(&self, name: &'static str) -> Result<T, HttpError> {
+        self.param(name)
+            .and_then(|v| v.parse().ok())
+            .ok_or(HttpError::BadParam(name))
+    }
+}
+
+/// A response ready to serialise: status, reason, body, and whether the
+/// connection survives it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Plain-text (or JSON / NDJSON) body.
+    pub body: String,
+    /// `false` forces `Connection: close` after this response.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A `200 OK` keep-alive response.
+    fn ok(body: String) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            body,
+            keep_alive: true,
+        }
+    }
+
+    /// The error response for `err`; always closes the connection so a
+    /// confused peer cannot poison the framing of later requests.
+    fn from_error(err: &HttpError) -> Response {
+        let (status, reason, token) = err.status();
+        Response {
+            status,
+            reason,
+            body: format!("error={token}\n"),
+            keep_alive: false,
+        }
+    }
+
+    /// Serialises the response. Deliberately no `Date` header: response
+    /// bytes must be a pure function of the request sequence.
+    fn to_bytes(&self) -> Vec<u8> {
+        let connection = if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            self.status,
+            self.reason,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+}
+
+/// The running server: a bound listener plus its worker pool.
+///
+/// Constructed by [`HttpServer::start`]; stopped by
+/// [`HttpServer::shutdown`]. Dropping without `shutdown` leaks the
+/// workers (they keep serving) — tests and the binary always shut down.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `config.addr`, spawns the worker pool, and returns
+    /// immediately; requests are served from this point on.
+    pub fn start(core: Arc<FleetCore>, config: &ServerConfig) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let stop = Arc::clone(&stop);
+                let core = Arc::clone(&core);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("glacsweb-http-{i}"))
+                    .spawn(move || worker_loop(&listener, &stop, &core, &config))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes every worker, and joins the pool.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Each worker blocks in accept(); poke one connection per worker
+        // so every accept call returns and observes the stop flag.
+        for _ in &self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: accept, serve the connection to completion, repeat.
+fn worker_loop(listener: &TcpListener, stop: &AtomicBool, core: &FleetCore, config: &ServerConfig) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_nodelay(true);
+        serve_connection(stream, core, config);
+    }
+}
+
+/// Serves one keep-alive connection until close, error, or the
+/// per-connection request cap.
+fn serve_connection(mut stream: TcpStream, core: &FleetCore, config: &ServerConfig) {
+    let mut carry: Vec<u8> = Vec::new();
+    for _ in 0..config.max_requests_per_conn {
+        match read_request(&mut stream, &mut carry, config) {
+            Ok(Some(request)) => {
+                let response = match route(core, &request) {
+                    Ok(response) => response,
+                    Err(err) => Response::from_error(&err),
+                };
+                core.count_served();
+                let keep = response.keep_alive;
+                if stream.write_all(&response.to_bytes()).is_err() || !keep {
+                    return;
+                }
+            }
+            // Clean close at a request boundary.
+            Ok(None) => return,
+            Err(err) => {
+                // Disconnection mid-request has no one left to answer.
+                if err != HttpError::Disconnected {
+                    let _ = stream.write_all(&Response::from_error(&err).to_bytes());
+                }
+                return;
+            }
+        }
+    }
+    // Request cap reached: close politely so the client re-connects.
+    let _ = stream.write_all(
+        &Response {
+            status: 200,
+            reason: "OK",
+            body: "connection-request-cap\n".to_string(),
+            keep_alive: false,
+        }
+        .to_bytes(),
+    );
+}
+
+/// Reads one request from `stream`, carrying pipelined leftovers in
+/// `carry` between calls. `Ok(None)` means the peer closed cleanly at a
+/// request boundary.
+fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    config: &ServerConfig,
+) -> Result<Option<Request>, HttpError> {
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the blank line ending the headers.
+    let header_end = loop {
+        if let Some(end) = find_header_end(carry) {
+            break end;
+        }
+        if carry.len() > config.max_header_bytes {
+            return Err(HttpError::HeaderTooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if carry.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::Disconnected)
+                };
+            }
+            Ok(n) => carry.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return if carry.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::Timeout)
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    };
+    if header_end > config.max_header_bytes {
+        return Err(HttpError::HeaderTooLarge);
+    }
+    let head = String::from_utf8(carry.get(..header_end).unwrap_or_default().to_vec())
+        .map_err(|_| HttpError::BadHeader)?;
+    carry.drain(..header_end.saturating_add(4).min(carry.len()));
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") || method.is_empty() {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = Some(value.trim().parse().map_err(|_| HttpError::BadHeader)?);
+        }
+    }
+
+    // Phase 2: the body. POSTs must declare a length (411); others
+    // default to empty.
+    let length = match content_length {
+        Some(n) => n,
+        None if method == "POST" => return Err(HttpError::LengthRequired),
+        None => 0,
+    };
+    if length > config.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+    while carry.len() < length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Disconnected),
+            Ok(n) => carry.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::Timeout)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    }
+    let body: Vec<u8> = carry.drain(..length.min(carry.len())).collect();
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        params,
+        body,
+    }))
+}
+
+/// Index of the `\r\n\r\n` terminating the header block, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Dispatches a parsed request to the decision core.
+fn route(core: &FleetCore, request: &Request) -> Result<Response, HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/api/checkin") => {
+            let station = request.need::<u64>("station")?;
+            let at = SimTime::from_unix(request.need::<u64>("at")?);
+            let soc = request.need::<u32>("soc")?;
+            core.check_in(station, at, soc).map_err(HttpError::Core)?;
+            Ok(Response::ok("ok\n".to_string()))
+        }
+        ("POST", "/api/state") => {
+            let station = request.need::<u64>("station")?;
+            let at = SimTime::from_unix(request.need::<u64>("at")?);
+            let level = request.need::<u8>("level")?;
+            core.report_state(station, at, level)
+                .map_err(HttpError::Core)?;
+            Ok(Response::ok("ok\n".to_string()))
+        }
+        ("GET", "/api/override") => {
+            let station = request.need::<u64>("station")?;
+            let at = SimTime::from_unix(request.need::<u64>("at")?);
+            let decision = core.override_for(station, at).map_err(HttpError::Core)?;
+            Ok(Response::ok(match decision {
+                Some(state) => format!("override={}\n", state.level()),
+                None => "override=none\n".to_string(),
+            }))
+        }
+        ("GET", "/api/update") => {
+            let station = request.need::<u64>("station")?;
+            let at = SimTime::from_unix(request.need::<u64>("at")?);
+            let update = core.update_for(station, at).map_err(HttpError::Core)?;
+            Ok(Response::ok(match update {
+                Some(u) => format!(
+                    "update={}\nmd5={}\npayload={}\n",
+                    u.name,
+                    update_md5_hex(&u.payload),
+                    hex_encode(&u.payload)
+                ),
+                None => "update=none\n".to_string(),
+            }))
+        }
+        ("POST", "/api/ack") => {
+            let station = request.need::<u64>("station")?;
+            let at = SimTime::from_unix(request.need::<u64>("at")?);
+            let file = request.param("file").ok_or(HttpError::BadParam("file"))?;
+            let md5 = request.param("md5").ok_or(HttpError::BadParam("md5"))?;
+            let verified = core
+                .ack_update(station, at, file, md5)
+                .map_err(HttpError::Core)?;
+            Ok(Response::ok(format!("verified={verified}\n")))
+        }
+        ("GET", "/api/analytics/states") => Ok(Response::ok(core.power_counts().to_json())),
+        ("GET", "/api/analytics/battery") => Ok(Response::ok(core.soc_histogram().to_json())),
+        ("GET", "/api/telemetry") => Ok(Response::ok(core.telemetry_ndjson())),
+        ("GET", "/health") => Ok(Response::ok(format!(
+            "ok stations={} served={}\n",
+            core.stations(),
+            core.requests_served()
+        ))),
+        (_, "/api/checkin" | "/api/state" | "/api/ack")
+        | (_, "/api/override" | "/api/update")
+        | (_, "/api/analytics/states" | "/api/analytics/battery" | "/api/telemetry" | "/health") => {
+            Err(HttpError::MethodNotAllowed)
+        }
+        _ => Err(HttpError::NotFound),
+    }
+}
+
+/// Lower-case hex encoding (payloads cross the wire as text).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or non-hex digits.
+pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = text.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    let mut iter = digits.chunks_exact(2);
+    for pair in &mut iter {
+        let hi = char::from(*pair.first()?).to_digit(16)?;
+        let lo = char::from(*pair.get(1)?).to_digit(16)?;
+        out.push(u8::try_from(hi * 16 + lo).ok()?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\n"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data = b"glacsweb \x00\xff payload";
+        assert_eq!(hex_decode(&hex_encode(data)).as_deref(), Some(&data[..]));
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("zz"), None, "non-hex");
+    }
+
+    #[test]
+    fn error_statuses_are_stable() {
+        assert_eq!(HttpError::BadRequestLine.status().0, 400);
+        assert_eq!(HttpError::HeaderTooLarge.status().0, 431);
+        assert_eq!(HttpError::BodyTooLarge.status().0, 413);
+        assert_eq!(HttpError::LengthRequired.status().0, 411);
+        assert_eq!(HttpError::Timeout.status().0, 408);
+        assert_eq!(HttpError::MethodNotAllowed.status().0, 405);
+        assert_eq!(
+            HttpError::Core(CoreError::UnknownStation(9)).status().0,
+            404
+        );
+    }
+
+    #[test]
+    fn responses_have_no_date_header() {
+        let bytes = Response::ok("x".to_string()).to_bytes();
+        let text = String::from_utf8(bytes).expect("ascii");
+        assert!(!text.contains("Date:"), "dates would break determinism");
+        assert!(text.contains("Content-Length: 1"));
+    }
+}

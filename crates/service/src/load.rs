@@ -1,0 +1,540 @@
+//! Deterministic fleet-replay load harness.
+//!
+//! A [`WakeTrace`] from the fleet kernel is expanded into a [`Script`]:
+//! the exact HTTP request sequence the fleet would issue, in canonical
+//! `(at, station)` order, with every request parameter (state of
+//! charge, reported level) derived by FNV-1a from `(station, at)` — a
+//! pure function of the trace, no RNG state to thread. Replay runs
+//! *compressed-time*: requests carry their sim timestamps but are
+//! issued flat out, so a two-day fleet schedule becomes seconds of
+//! sustained load.
+//!
+//! # Why it is byte-identical across runs and client counts
+//!
+//! Responses depend only on per-pair server state, and the harness
+//! gives every §III pair **connection affinity**: pair `p` is always
+//! replayed by client `p % clients`, and each client issues its steps
+//! in script order. A pair's request subsequence is therefore identical
+//! no matter how many clients run, so every response is too. Each step
+//! carries its canonical script index; transcripts are reassembled in
+//! index order before hashing, which removes the only remaining source
+//! of nondeterminism (cross-client interleaving). Wall-clock latency
+//! and requests/sec are measured but deliberately excluded from the
+//! transcript.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use glacsweb_fleet::{WakeTrace, KIND_COMMS, KIND_OVERRIDE, KIND_SAMPLE};
+use glacsweb_sim::SimTime;
+use glacsweb_station::md5::{md5, to_hex};
+
+use crate::http::hex_decode;
+
+/// What one replay step asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// `POST /api/checkin` with the given state of charge (permille).
+    CheckIn {
+        /// Battery state of charge, permille of full.
+        soc: u32,
+    },
+    /// `POST /api/state` with the given Table II level.
+    StateReport {
+        /// Power-state level 0..=3.
+        level: u8,
+    },
+    /// `GET /api/override` — read back the pair-minimum decision.
+    OverrideQuery,
+    /// `GET /api/update` — fetch the staged code update.
+    UpdateFetch,
+    /// `POST /api/ack` — hex-decode the fetched payload, compute its
+    /// MD5 locally, and report the receipt.
+    UpdateAck,
+}
+
+/// One scheduled request: canonical position, originating station, sim
+/// instant, and the action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Position in the canonical script (transcript reassembly key).
+    pub index: u64,
+    /// Fleet-global station id.
+    pub station: u64,
+    /// Simulation instant the request carries in its `at` parameter.
+    pub at: SimTime,
+    /// The request to issue.
+    pub action: Action,
+}
+
+/// The canonical request sequence derived from a wake trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Script {
+    /// Stations in the generating fleet.
+    pub stations: u64,
+    /// Steps in canonical order.
+    pub steps: Vec<Step>,
+}
+
+/// Expands a wake trace into the request script.
+///
+/// Per wake: a sample wake checks in with a derived state of charge; a
+/// comms wake uploads a derived power state then queries the override
+/// (and, when `updates` is set, fetches + MD5-acks the staged code
+/// update on the station's *first* comms wake); a rotation-override
+/// wake queries the override. Pure function of `(trace, updates)`.
+pub fn script_from_trace(trace: &WakeTrace, updates: bool) -> Script {
+    let mut steps = Vec::new();
+    let mut fetched = vec![false; usize::try_from(trace.stations).unwrap_or(0)];
+    let mut index = 0u64;
+    let mut push = |steps: &mut Vec<Step>, station, at, action| {
+        steps.push(Step {
+            index,
+            station,
+            at,
+            action,
+        });
+        index += 1;
+    };
+    for e in &trace.entries {
+        if e.kinds & KIND_SAMPLE != 0 {
+            let soc = 50 + u32::try_from(derive(e.station, e.at, 1) % 951).unwrap_or(0);
+            push(&mut steps, e.station, e.at, Action::CheckIn { soc });
+        }
+        if e.kinds & KIND_COMMS != 0 {
+            let level = 1 + u8::try_from(derive(e.station, e.at, 2) % 3).unwrap_or(0);
+            push(&mut steps, e.station, e.at, Action::StateReport { level });
+            push(&mut steps, e.station, e.at, Action::OverrideQuery);
+            let first = fetched
+                .get_mut(usize::try_from(e.station).unwrap_or(usize::MAX))
+                .is_some_and(|f| !std::mem::replace(f, true));
+            if updates && first {
+                push(&mut steps, e.station, e.at, Action::UpdateFetch);
+                push(&mut steps, e.station, e.at, Action::UpdateAck);
+            }
+        }
+        if e.kinds & KIND_OVERRIDE != 0 {
+            push(&mut steps, e.station, e.at, Action::OverrideQuery);
+        }
+    }
+    Script {
+        stations: trace.stations,
+        steps,
+    }
+}
+
+/// FNV-1a over `(station, at, salt)` — the deterministic pseudo-value
+/// source for request parameters.
+fn derive(station: u64, at: SimTime, salt: u64) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &station.to_le_bytes());
+    h = fnv1a(h, &at.unix().to_le_bytes());
+    fnv1a(h, &salt.to_le_bytes())
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a round over `bytes`, continuing from `state`.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Replay tuning.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Concurrent keep-alive connections. Pair `p` is always served by
+    /// client `p % clients` — the affinity behind byte-identical
+    /// transcripts at any client count.
+    pub clients: usize,
+    /// Keep the reassembled transcript bytes in the outcome (the FNV
+    /// digest is always computed).
+    pub keep_transcript: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            clients: 4,
+            keep_transcript: false,
+        }
+    }
+}
+
+/// Latency percentiles over one replay, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Median request latency.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over an ascending-sorted sample.
+    pub fn from_sorted(sorted: &[u64]) -> LatencyStats {
+        LatencyStats {
+            p50_us: percentile_us(sorted, 500),
+            p99_us: percentile_us(sorted, 990),
+            p999_us: percentile_us(sorted, 999),
+        }
+    }
+}
+
+/// Nearest-rank percentile (`permille` of 1000) over an
+/// ascending-sorted sample; 0 for an empty sample.
+pub fn percentile_us(sorted: &[u64], permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * permille).div_ceil(1000).max(1);
+    let at = usize::try_from(rank - 1).unwrap_or(0).min(sorted.len() - 1);
+    sorted.get(at).copied().unwrap_or(0)
+}
+
+/// What one replay measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Requests issued (equals the script length).
+    pub requests: u64,
+    /// Wall-clock duration of the replay, seconds.
+    pub seconds: f64,
+    /// Sustained request rate.
+    pub requests_per_sec: f64,
+    /// Latency percentiles, microseconds.
+    pub latency: LatencyStats,
+    /// FNV-1a digest of the canonical-order transcript.
+    pub transcript_fnv: u64,
+    /// The transcript itself when [`ReplayConfig::keep_transcript`].
+    pub transcript: Option<Vec<u8>>,
+}
+
+/// Per-client collection: (canonical index, transcript line) pairs plus
+/// raw latencies.
+struct ClientOut {
+    lines: Vec<(u64, Vec<u8>)>,
+    latencies_us: Vec<u64>,
+}
+
+/// Replays `script` against the server at `addr` and measures it.
+///
+/// Steps are partitioned by pair affinity, each client drives one
+/// keep-alive connection, and the transcript is reassembled in
+/// canonical index order before digesting.
+pub fn replay(
+    addr: std::net::SocketAddr,
+    script: &Script,
+    config: &ReplayConfig,
+) -> io::Result<ReplayOutcome> {
+    let clients = config.clients.max(1);
+    let mut partitions: Vec<Vec<&Step>> = (0..clients).map(|_| Vec::new()).collect();
+    for step in &script.steps {
+        let pair = step.station / 2;
+        let slot = usize::try_from(pair % clients as u64).unwrap_or(0);
+        if let Some(p) = partitions.get_mut(slot) {
+            p.push(step);
+        }
+    }
+
+    let started = Instant::now();
+    let outs = std::thread::scope(|s| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|steps| s.spawn(move || run_client(addr, steps)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| io::Error::other("replay client panicked"))?
+            })
+            .collect::<io::Result<Vec<ClientOut>>>()
+    })?;
+    let seconds = started.elapsed().as_secs_f64();
+
+    let mut lines: Vec<(u64, Vec<u8>)> = Vec::with_capacity(script.steps.len());
+    let mut latencies: Vec<u64> = Vec::with_capacity(script.steps.len());
+    for out in outs {
+        lines.extend(out.lines);
+        latencies.extend(out.latencies_us);
+    }
+    lines.sort_by_key(|&(index, _)| index);
+    latencies.sort_unstable();
+
+    let mut transcript = Vec::new();
+    for (_, line) in &lines {
+        transcript.extend_from_slice(line);
+    }
+    let requests = lines.len() as u64;
+    Ok(ReplayOutcome {
+        requests,
+        seconds,
+        requests_per_sec: if seconds > 0.0 {
+            requests as f64 / seconds
+        } else {
+            0.0
+        },
+        latency: LatencyStats::from_sorted(&latencies),
+        transcript_fnv: fnv1a(FNV_OFFSET, &transcript),
+        transcript: config.keep_transcript.then_some(transcript),
+    })
+}
+
+/// Drives one keep-alive connection through its steps in order.
+fn run_client(addr: std::net::SocketAddr, steps: &[&Step]) -> io::Result<ClientOut> {
+    let mut out = ClientOut {
+        lines: Vec::with_capacity(steps.len()),
+        latencies_us: Vec::with_capacity(steps.len()),
+    };
+    if steps.is_empty() {
+        return Ok(out);
+    }
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut carry: Vec<u8> = Vec::new();
+    // The last update each station fetched: (file, payload-md5 hex).
+    let mut staged: std::collections::BTreeMap<u64, (String, String)> =
+        std::collections::BTreeMap::new();
+    for step in steps {
+        let unix = step.at.unix();
+        let (method, target) = match step.action {
+            Action::CheckIn { soc } => (
+                "POST",
+                format!("/api/checkin?station={}&at={unix}&soc={soc}", step.station),
+            ),
+            Action::StateReport { level } => (
+                "POST",
+                format!(
+                    "/api/state?station={}&at={unix}&level={level}",
+                    step.station
+                ),
+            ),
+            Action::OverrideQuery => (
+                "GET",
+                format!("/api/override?station={}&at={unix}", step.station),
+            ),
+            Action::UpdateFetch => (
+                "GET",
+                format!("/api/update?station={}&at={unix}", step.station),
+            ),
+            Action::UpdateAck => {
+                let (file, digest) = staged.get(&step.station).cloned().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("station {} acks before fetching", step.station),
+                    )
+                })?;
+                (
+                    "POST",
+                    format!(
+                        "/api/ack?station={}&at={unix}&file={file}&md5={digest}",
+                        step.station
+                    ),
+                )
+            }
+        };
+        let issued = Instant::now();
+        let (status, body) = request(&mut stream, &mut carry, method, &target)?;
+        let micros = u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
+        out.latencies_us.push(micros);
+        if status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{method} {target} -> {status}: {body}"),
+            ));
+        }
+        if matches!(step.action, Action::UpdateFetch) {
+            staged.insert(step.station, parse_update(&body)?);
+        }
+        let mut line = format!("{} {method} {target} {status}\n", step.index).into_bytes();
+        line.extend_from_slice(body.as_bytes());
+        out.lines.push((step.index, line));
+    }
+    Ok(out)
+}
+
+/// Parses an `/api/update` body and computes the payload's MD5 locally
+/// — the receipt a correct station reports back.
+fn parse_update(body: &str) -> io::Result<(String, String)> {
+    let mut file = None;
+    let mut payload = None;
+    for line in body.lines() {
+        match line.split_once('=') {
+            Some(("update", v)) => file = Some(v.to_string()),
+            Some(("payload", v)) => payload = hex_decode(v),
+            _ => {}
+        }
+    }
+    match (file, payload) {
+        (Some(file), Some(payload)) if file != "none" => Ok((file, to_hex(&md5(&payload)))),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "update fetch returned no decodable payload",
+        )),
+    }
+}
+
+/// Issues one request on the keep-alive connection and reads the full
+/// response; returns `(status, body)`.
+fn request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    method: &str,
+    target: &str,
+) -> io::Result<(u16, String)> {
+    let extra = if method == "POST" {
+        "Content-Length: 0\r\n"
+    } else {
+        ""
+    };
+    stream.write_all(
+        format!("{method} {target} HTTP/1.1\r\nHost: glacsweb\r\n{extra}\r\n").as_bytes(),
+    )?;
+
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(end) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break end;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        carry.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    };
+    let head = String::from_utf8(carry.get(..header_end).unwrap_or_default().to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    carry.drain(..(header_end + 4).min(carry.len()));
+
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                length = value.trim().parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad length: {e}"))
+                })?;
+            }
+        }
+    }
+    while carry.len() < length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-body",
+            ));
+        }
+        carry.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    }
+    let body: Vec<u8> = carry.drain(..length.min(carry.len())).collect();
+    let body =
+        String::from_utf8(body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok((status, body))
+}
+
+/// One-shot GET against the server (test and tooling convenience; opens
+/// a fresh connection per call).
+pub fn http_get(addr: std::net::SocketAddr, target: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut carry = Vec::new();
+    request(&mut stream, &mut carry, "GET", target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glacsweb_fleet::FleetConfig;
+
+    fn trace() -> WakeTrace {
+        WakeTrace::derive(&FleetConfig::new(2, 8).seed(41), 2).expect("valid config")
+    }
+
+    #[test]
+    fn script_is_deterministic_and_indexed() {
+        let a = script_from_trace(&trace(), true);
+        let b = script_from_trace(&trace(), true);
+        assert_eq!(a, b);
+        for (i, step) in a.steps.iter().enumerate() {
+            assert_eq!(step.index, i as u64, "indices are canonical positions");
+        }
+    }
+
+    #[test]
+    fn update_steps_come_once_per_station_and_in_fetch_ack_order() {
+        let script = script_from_trace(&trace(), true);
+        let mut fetches = vec![0u32; script.stations as usize];
+        let mut acks = vec![0u32; script.stations as usize];
+        for step in &script.steps {
+            match step.action {
+                Action::UpdateFetch => fetches[step.station as usize] += 1,
+                Action::UpdateAck => {
+                    acks[step.station as usize] += 1;
+                    assert_eq!(
+                        fetches[step.station as usize], 1,
+                        "ack always follows its fetch"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(fetches.iter().all(|&f| f <= 1));
+        assert_eq!(fetches, acks);
+        let without = script_from_trace(&trace(), false);
+        assert!(without
+            .steps
+            .iter()
+            .all(|s| !matches!(s.action, Action::UpdateFetch | Action::UpdateAck)));
+    }
+
+    #[test]
+    fn derived_parameters_are_in_range() {
+        let script = script_from_trace(&trace(), false);
+        for step in &script.steps {
+            match step.action {
+                Action::CheckIn { soc } => assert!((50..=1000).contains(&soc)),
+                Action::StateReport { level } => assert!((1..=3).contains(&level)),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sample: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile_us(&sample, 500), 500);
+        assert_eq!(percentile_us(&sample, 990), 990);
+        assert_eq!(percentile_us(&sample, 999), 999);
+        assert_eq!(percentile_us(&[], 500), 0);
+        assert_eq!(percentile_us(&[7], 999), 7);
+        let stats = LatencyStats::from_sorted(&sample);
+        assert_eq!((stats.p50_us, stats.p99_us, stats.p999_us), (500, 990, 999));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so transcript digests are comparable across builds.
+        assert_eq!(fnv1a(FNV_OFFSET, b""), FNV_OFFSET);
+        assert_eq!(fnv1a(FNV_OFFSET, b"glacsweb"), 0x6e0c_ebe9_7223_a303);
+    }
+}

@@ -1,0 +1,88 @@
+//! The tentpole contract: a fixed-seed fleet replay produces a
+//! byte-identical transcript and telemetry export across runs *and*
+//! across client counts — only the wall-clock measurements may differ.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use glacsweb_fleet::{FleetConfig, WakeTrace};
+use glacsweb_service::http::{HttpServer, ServerConfig};
+use glacsweb_service::load::{replay, script_from_trace, ReplayConfig};
+use glacsweb_service::FleetCore;
+
+/// One full boot + replay; returns (transcript bytes, fnv, telemetry).
+fn run(clients: usize, shards: usize, workers: usize) -> (Vec<u8>, u64, String) {
+    let config = FleetConfig::new(2, 8).seed(2009);
+    let trace = WakeTrace::derive(&config, 2).expect("valid config");
+    let script = script_from_trace(&trace, true);
+    assert!(!script.steps.is_empty());
+
+    let core = Arc::new(FleetCore::new(trace.stations, shards).expect("valid core"));
+    core.stage_updates();
+    let server = HttpServer::start(
+        Arc::clone(&core),
+        &ServerConfig {
+            workers: workers.max(clients),
+            read_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let outcome = replay(
+        server.addr(),
+        &script,
+        &ReplayConfig {
+            clients,
+            keep_transcript: true,
+        },
+    )
+    .expect("replay");
+    assert_eq!(outcome.requests, script.steps.len() as u64);
+    let telemetry = core.telemetry_ndjson();
+    server.shutdown();
+    (
+        outcome.transcript.expect("kept transcript"),
+        outcome.transcript_fnv,
+        telemetry,
+    )
+}
+
+#[test]
+fn byte_identical_across_runs_and_client_counts() {
+    let (t1, fnv1, n1) = run(2, 4, 4);
+    let (t2, fnv2, n2) = run(2, 4, 4);
+    assert_eq!(fnv1, fnv2, "same config, same digest");
+    assert_eq!(t1, t2, "same config, same transcript bytes");
+    assert_eq!(n1, n2, "same config, same telemetry NDJSON");
+
+    // A different client count, shard count, and worker count changes
+    // the interleaving completely — and nothing observable.
+    let (t3, fnv3, n3) = run(5, 2, 8);
+    assert_eq!(fnv1, fnv3, "client/shard/worker counts never leak");
+    assert_eq!(t1, t3);
+    assert_eq!(n1, n3);
+}
+
+#[test]
+fn transcript_covers_every_endpoint_kind() {
+    let (transcript, _, telemetry) = run(3, 4, 4);
+    let text = String::from_utf8(transcript).expect("transcripts are text");
+    for needle in [
+        "POST /api/checkin?",
+        "POST /api/state?",
+        "GET /api/override?",
+        "GET /api/update?",
+        "POST /api/ack?",
+        "verified=true",
+    ] {
+        assert!(text.contains(needle), "transcript misses {needle}");
+    }
+    assert!(
+        !text.contains("verified=false"),
+        "every MD5 receipt verifies in a clean replay"
+    );
+    for needle in ["checkins", "state_reports", "update_acks_verified"] {
+        assert!(telemetry.contains(needle), "telemetry misses {needle}");
+    }
+}
