@@ -24,7 +24,7 @@ use crate::FileAnalysis;
 
 /// Cache format version; bump on any codec or rule-pack change so stale
 /// caches from older binaries are discarded wholesale.
-pub const CACHE_SCHEMA: u64 = 2;
+pub const CACHE_SCHEMA: u64 = 3;
 
 /// FNV-1a 64-bit hash of the file's bytes.
 pub fn fnv64(bytes: &[u8]) -> u64 {

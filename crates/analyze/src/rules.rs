@@ -96,8 +96,8 @@ impl RuleId {
                 "no integer `as` casts or float `==` in battery/power/schedule math"
             }
             RuleId::PerfHygiene => {
-                "no `format!`, `.collect::<Vec<_>>()`, or `.clone()` in the \
-                 env/power/event-scheduling hot paths"
+                "no `format!`, `.to_string()`, `.collect::<Vec<_>>()`, or \
+                 `.clone()` in the env/power/event-scheduling/service hot paths"
             }
             RuleId::CrateHygiene => {
                 "every crate must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]"
@@ -195,13 +195,18 @@ pub fn numeric_scope(rel: &str) -> bool {
 /// whose wake handler runs a million times per simulated fleet-month. A
 /// stray `format!` or defensive `.clone()` here is a per-tick heap
 /// allocation that whole-run throughput hides until it has already
-/// regressed.
+/// regressed. The service crate's request→response path is held to the
+/// same bar: its steady state is allocation-free by construction
+/// (borrowed `Request<'a>` slices, reused response buffers), and this
+/// rule is what keeps casual allocations from creeping back in.
 pub fn perf_scope(rel: &str) -> bool {
     rel.starts_with("crates/env/src/")
         || rel.starts_with("crates/power/src/")
         || rel == "crates/sim/src/event.rs"
         || rel == "crates/sim/src/wheel.rs"
         || rel == "crates/fleet/src/kernel.rs"
+        || rel == "crates/service/src/http.rs"
+        || rel == "crates/service/src/core.rs"
 }
 
 fn in_scope(scope: &FileScope, crates: &[&str]) -> bool {
@@ -465,6 +470,21 @@ pub fn check_tokens(rel: &str, toks: &[Tok], mask: &[bool]) -> Vec<Finding> {
                     t.line,
                     "`format!` allocates a String on every substep; precompute \
                      the text or write into a reused buffer"
+                        .to_string(),
+                );
+            }
+            // `.to_string()` — a fresh String per call (the service hot
+            // path writes into reused buffers instead).
+            if t.is_punct(".")
+                && next.is_some_and(|n| n.is_ident("to_string"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+            {
+                push(
+                    &mut out,
+                    RuleId::PerfHygiene,
+                    toks[i + 1].line,
+                    "`.to_string()` allocates a String on every call; borrow \
+                     the &str or append into a reused buffer"
                         .to_string(),
                 );
             }

@@ -191,6 +191,37 @@ fn perf_hygiene_fires_on_format_collect_and_clone_in_hot_paths() {
 }
 
 #[test]
+fn perf_hygiene_fires_on_to_string_and_covers_the_service_hot_path() {
+    let src = "fn f(x: u32) -> String { x.to_string() }\n";
+    assert_eq!(fire("crates/env/src/fake.rs", src, RuleId::PerfHygiene), 1);
+    // The request→response path is in scope…
+    assert_eq!(
+        fire("crates/service/src/http.rs", src, RuleId::PerfHygiene),
+        1
+    );
+    assert_eq!(
+        fire("crates/service/src/core.rs", src, RuleId::PerfHygiene),
+        1
+    );
+    // …but the load harness and serve bin are client/tooling code.
+    assert_eq!(
+        fire("crates/service/src/load.rs", src, RuleId::PerfHygiene),
+        0
+    );
+    assert_eq!(
+        fire("crates/service/src/bin/serve.rs", src, RuleId::PerfHygiene),
+        0
+    );
+    // `to_string` must be a method call: `Display::to_string` paths and
+    // idents named to_string alone do not fire.
+    let benign = "fn f(s: &str) -> &str { s }\n";
+    assert_eq!(
+        fire("crates/service/src/http.rs", benign, RuleId::PerfHygiene),
+        0
+    );
+}
+
+#[test]
 fn perf_hygiene_allows_cloned_iterators_and_annotated_collect() {
     // `.cloned()` / `.clone_from()` are not `.clone()`, and a `collect()`
     // without the Vec turbofish is the caller's choice of container.

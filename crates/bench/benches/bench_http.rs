@@ -1,0 +1,218 @@
+//! HTTP hot-path microbench — parse+respond throughput for a pipelined
+//! request buffer, before vs. after the zero-allocation rework:
+//!
+//! * `http_alloc_baseline` — the pre-rework shape reimplemented inline:
+//!   every request re-allocates (head copied into a `String`, params
+//!   split into owned pairs, the response assembled with `format!`).
+//! * `http_serve_stream` — the real [`serve_stream`] loop over the same
+//!   bytes through an in-memory stream, with one warmed [`ConnBuffers`]
+//!   reused across iterations exactly as a worker thread reuses it
+//!   across connections.
+//!
+//! Both sides route through the same [`FleetCore`] calls, so the delta
+//! isolates the parse/format layer. A setup assertion pins the two
+//! response byte streams equal — the baseline is honest, not a strawman.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glacsweb_service::{serve_stream, ConnBuffers, FleetCore, ServerConfig};
+use glacsweb_sim::SimTime;
+
+/// Pipelined requests served per iteration.
+const REQUESTS: u64 = 512;
+
+/// A scripted in-memory connection: reads the prepared request bytes in
+/// bounded chunks and collects responses into `output`.
+struct MemStream {
+    input: Vec<u8>,
+    read_at: usize,
+    output: Vec<u8>,
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = &self.input[self.read_at..];
+        let n = remaining.len().min(buf.len()).min(4096);
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.read_at += n;
+        Ok(n)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The steady-state replay mix: three override reads per check-in.
+fn pipelined_input() -> Vec<u8> {
+    let mut input = Vec::new();
+    for i in 0..REQUESTS {
+        let station = (i % 2) * 2;
+        let at = 86_400 + i * 60;
+        if i % 4 == 0 {
+            let soc = 100 + i % 900;
+            input.extend_from_slice(
+                format!(
+                    "POST /api/checkin?station={station}&at={at}&soc={soc} HTTP/1.1\r\n\
+                     Host: glacsweb\r\nContent-Length: 0\r\n\r\n"
+                )
+                .as_bytes(),
+            );
+        } else {
+            input.extend_from_slice(
+                format!(
+                    "GET /api/override?station={station}&at={at} HTTP/1.1\r\n\
+                     Host: glacsweb\r\n\r\n"
+                )
+                .as_bytes(),
+            );
+        }
+    }
+    input
+}
+
+fn fresh_core() -> Arc<FleetCore> {
+    Arc::new(FleetCore::new(4, 2).expect("valid core"))
+}
+
+/// The pre-rework request loop: owned `String`s for the head and every
+/// parameter, `format!` for every response — one heap round-trip per
+/// field, per request.
+fn serve_alloc_baseline(input: &[u8], core: &FleetCore, out: &mut Vec<u8>) -> u64 {
+    let mut at = 0usize;
+    let mut served = 0u64;
+    while at < input.len() {
+        let rest = &input[at..];
+        let head_end = rest
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("bench input holds whole requests");
+        let head = String::from_utf8_lossy(&rest[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default().to_string();
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(": "))
+            .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+            .collect();
+        let parts: Vec<String> = request_line.split(' ').map(str::to_string).collect();
+        let method = parts.first().cloned().unwrap_or_default();
+        let target = parts.get(1).cloned().unwrap_or_default();
+        let (path, query) = target
+            .split_once('?')
+            .map_or((target.clone(), String::new()), |(p, q)| {
+                (p.to_string(), q.to_string())
+            });
+        let params: Vec<(String, String)> = query
+            .split('&')
+            .filter_map(|p| p.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        at += head_end + 4 + content_length;
+
+        let need = |key: &str| -> u64 {
+            params
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("bench requests carry their params")
+        };
+        let body = match (method.as_str(), path.as_str()) {
+            ("POST", "/api/checkin") => {
+                let when = SimTime::from_unix(need("at"));
+                let soc = u32::try_from(need("soc")).unwrap_or(u32::MAX);
+                core.check_in(need("station"), when, soc)
+                    .expect("bench check-ins are valid");
+                "ok\n".to_string()
+            }
+            ("GET", "/api/override") => {
+                let when = SimTime::from_unix(need("at"));
+                match core
+                    .override_for(need("station"), when)
+                    .expect("bench stations exist")
+                {
+                    Some(state) => format!("override={}\n", state.level()),
+                    None => "override=none\n".to_string(),
+                }
+            }
+            _ => unreachable!("bench input is only check-ins and overrides"),
+        };
+        core.count_served();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
+             Connection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        out.extend_from_slice(response.as_bytes());
+        served += 1;
+    }
+    served
+}
+
+fn bench_http(c: &mut Criterion) {
+    let input = pipelined_input();
+    let config = ServerConfig::default();
+
+    // Honesty pin: both loops must emit byte-identical responses for
+    // the same input against an identically seeded core.
+    {
+        let mut baseline_out = Vec::new();
+        serve_alloc_baseline(&input, &fresh_core(), &mut baseline_out);
+        let mut stream = MemStream {
+            input: input.clone(),
+            read_at: 0,
+            output: Vec::new(),
+        };
+        let mut conn = ConnBuffers::default();
+        serve_stream(&mut stream, &fresh_core(), &config, &mut conn);
+        assert_eq!(
+            baseline_out, stream.output,
+            "baseline and serve_stream responses diverged"
+        );
+    }
+
+    // Each sample serves `REQUESTS` pipelined requests; divide the
+    // reported time by that to get per-request cost.
+    let mut group = c.benchmark_group("http");
+
+    group.bench_function("http_alloc_baseline", |b| {
+        let core = fresh_core();
+        let mut out = Vec::with_capacity(input.len());
+        b.iter(|| {
+            out.clear();
+            serve_alloc_baseline(&input, &core, &mut out)
+        })
+    });
+
+    group.bench_function("http_serve_stream", |b| {
+        let core = fresh_core();
+        let mut stream = MemStream {
+            input: input.clone(),
+            read_at: 0,
+            output: Vec::with_capacity(input.len()),
+        };
+        let mut conn = ConnBuffers::default();
+        b.iter(|| {
+            stream.read_at = 0;
+            stream.output.clear();
+            serve_stream(&mut stream, &core, &config, &mut conn).requests
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_http);
+criterion_main!(benches);

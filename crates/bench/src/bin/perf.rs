@@ -42,10 +42,14 @@
 //!    10k-station compressed-time fleet replay: a fixed-seed
 //!    `WakeTrace` expands to the canonical request script, and the
 //!    harness reports sustained requests/second plus p50/p99/p999
-//!    request latency. The replay runs twice at two different client
-//!    counts and the canonical transcripts are asserted FNV-identical
-//!    first — the wall-clock numbers sit outside the determinism
-//!    boundary, the payload surface does not.
+//!    request latency. The measured run pipelines requests (the
+//!    steady-state client shape); a cross-check run at a different
+//!    client count with no pipelining must produce the identical
+//!    transcript FNV first — the wall-clock numbers sit outside the
+//!    determinism boundary, the payload surface does not. The record
+//!    also carries allocations-per-request from a counting-allocator
+//!    pass over the in-memory request loop: the zero-allocation
+//!    steady-state claim, measured rather than asserted.
 //!
 //! # Checkpointing the measured run
 //!
@@ -68,13 +72,18 @@
 //!
 //! # The CI regression gate
 //!
-//! `--check` runs the single-run measurement and the fleet gate row and
-//! compares each against its **like-for-like** counterpart in the last
-//! record of `--out`: the process exits non-zero when fresh throughput
-//! drops more than 20 % below that record. A schema-3 baseline carries
-//! no fleet record, so the fleet comparison is skipped (with a note)
-//! until a schema-4 record exists — the gate never fails on a
-//! measurement the baseline binary could not produce. Absolute
+//! `--check` runs the single-run measurement, the fleet gate row, and
+//! the service replay, and compares each against its **like-for-like**
+//! counterpart in the last record of `--out`: the process exits
+//! non-zero when fresh throughput drops more than 20 % below that
+//! record, or when service p99 latency grows more than 50 % above it
+//! (latency jitters more than throughput on shared runners). Each
+//! comparison is skipped with a note when the baseline binary could
+//! not produce it — a schema-3 baseline carries no fleet record, a
+//! schema-4 baseline no service record, and a schema-5 baseline's
+//! lockstep latency is not comparable to the pipelined p99, so the
+//! latency gate waits for a schema-6 record — the gate never fails on
+//! a measurement the baseline binary could not produce. Absolute
 //! sim-days/sec are hardware-dependent, so the comparison is only
 //! meaningful when both numbers come from the same machine. CI therefore
 //! never checks against the committed `BENCH_PERF.json` (recorded on
@@ -98,10 +107,38 @@ use glacsweb_sim::{AmpHours, EventWheel, SimDuration, SimTime, Watts};
 use glacsweb_station::StationConfig;
 use serde::{Serialize, Value};
 
+/// Counting wrapper over the system allocator: two relaxed atomic adds
+/// per heap allocation, cheap enough to leave installed for the whole
+/// binary, precise enough to measure the service hot path's
+/// allocations-per-request (measurement 6).
+struct CountingAllocator;
+
+static ALLOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a
+// side effect with no bearing on the returned memory.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
 /// Schema version stamped on each appended record (3 adds `snapshot`,
 /// 4 adds the sweep thread-scaling table and the `fleet` record, 5 adds
-/// the `service` replay record).
-const SCHEMA: u64 = 5;
+/// the `service` replay record, 6 adds `pipeline` and
+/// `allocs_per_request` to the service record and gates p99 latency).
+const SCHEMA: u64 = 6;
 
 /// One `BENCH_PERF.json` record.
 #[derive(Serialize)]
@@ -198,6 +235,9 @@ struct ServicePerf {
     workers: usize,
     /// Mutex shards the fleet's pairs were spread over.
     shards: usize,
+    /// Pipeline window each measured client kept in flight (1 = the
+    /// schema-5 lockstep shape).
+    pipeline: usize,
     /// HTTP requests replayed (the canonical script length).
     requests: u64,
     /// Wall-clock replay duration, seconds.
@@ -213,6 +253,9 @@ struct ServicePerf {
     /// FNV-1a digest of the canonical-order transcript, hex — asserted
     /// equal across the two client counts before recording.
     transcript_fnv: String,
+    /// Heap allocations per request over a warmed in-memory request
+    /// loop (counting allocator; the steady-state target is 0).
+    allocs_per_request: f64,
 }
 
 /// Component timings over the single run's horizon: where a simulated
@@ -264,6 +307,8 @@ const DEFAULT_CELLS: usize = 8;
 const CELL_DAYS: u64 = 20;
 /// Tolerated single-run slowdown before `--check` fails the build.
 const REGRESSION_TOLERANCE: f64 = 0.20;
+/// Tolerated p99-latency growth before `--check` fails the build.
+const LATENCY_TOLERANCE: f64 = 0.50;
 /// Environment override that downgrades a `--check` failure to a warning.
 const OVERRIDE_VAR: &str = "GLACSWEB_BENCH_ALLOW_REGRESSION";
 
@@ -623,10 +668,16 @@ const SERVICE_CLIENTS: usize = 8;
 const SERVICE_ALT_CLIENTS: usize = 13;
 /// Mutex shards the service core spreads its pairs over.
 const SERVICE_SHARDS: usize = 32;
+/// Pipeline window each measured client keeps in flight. The
+/// cross-check run stays at depth 1: pipelining changes *when* bytes
+/// hit the wire, never *which* bytes, and asserting the two digests
+/// equal re-proves it on every record.
+const SERVICE_PIPELINE: usize = 8;
 
-/// One full service boot + replay at the given client count; the server
-/// lives on an ephemeral port and is torn down before returning.
-fn service_replay(clients: usize) -> glacsweb_service::ReplayOutcome {
+/// One full service boot + replay at the given client count and
+/// pipeline depth; the server lives on an ephemeral port and is torn
+/// down before returning.
+fn service_replay(clients: usize, pipeline: usize) -> glacsweb_service::ReplayOutcome {
     let config = FleetConfig::new(SERVICE_SITES, SERVICE_PER_SITE).seed(2010);
     let trace = glacsweb_fleet::WakeTrace::derive(&config, SERVICE_DAYS)
         .expect("valid service fleet config");
@@ -650,6 +701,8 @@ fn service_replay(clients: usize) -> glacsweb_service::ReplayOutcome {
         &script,
         &glacsweb_service::ReplayConfig {
             clients,
+            pipeline,
+            batch_checkins: false,
             keep_transcript: false,
         },
     )
@@ -664,7 +717,7 @@ fn service_replay(clients: usize) -> glacsweb_service::ReplayOutcome {
 fn best_service_replay(repeat: u64) -> glacsweb_service::ReplayOutcome {
     let mut best: Option<glacsweb_service::ReplayOutcome> = None;
     for _ in 0..repeat.max(1) {
-        let outcome = service_replay(SERVICE_CLIENTS);
+        let outcome = service_replay(SERVICE_CLIENTS, SERVICE_PIPELINE);
         if let Some(prior) = &best {
             assert_eq!(
                 prior.transcript_fnv, outcome.transcript_fnv,
@@ -686,11 +739,13 @@ fn measure_service(repeat: u64) -> ServicePerf {
     let trace = glacsweb_fleet::WakeTrace::derive(&config, SERVICE_DAYS)
         .expect("valid service fleet config");
     let measured = best_service_replay(repeat);
-    let cross = service_replay(SERVICE_ALT_CLIENTS);
+    // The cross-check varies both knobs at once — client count *and*
+    // pipeline depth — and must still reassemble the same bytes.
+    let cross = service_replay(SERVICE_ALT_CLIENTS, 1);
     assert_eq!(
         measured.transcript_fnv, cross.transcript_fnv,
         "service replay transcripts diverged across client counts \
-         ({SERVICE_CLIENTS} vs {SERVICE_ALT_CLIENTS})"
+         ({SERVICE_CLIENTS} pipelined vs {SERVICE_ALT_CLIENTS} lockstep)"
     );
     ServicePerf {
         stations: trace.stations,
@@ -699,6 +754,7 @@ fn measure_service(repeat: u64) -> ServicePerf {
         clients: SERVICE_CLIENTS,
         workers: SERVICE_CLIENTS,
         shards: SERVICE_SHARDS,
+        pipeline: SERVICE_PIPELINE,
         requests: measured.requests,
         seconds: measured.seconds,
         requests_per_sec: measured.requests_per_sec,
@@ -706,14 +762,97 @@ fn measure_service(repeat: u64) -> ServicePerf {
         p99_us: measured.latency.p99_us,
         p999_us: measured.latency.p999_us,
         transcript_fnv: format!("{:016x}", measured.transcript_fnv),
+        allocs_per_request: measure_service_allocs(),
     }
+}
+
+/// Allocations per request over a warmed in-memory request loop: the
+/// replay mix (override reads and check-ins) served by `serve_stream`
+/// through a scripted stream, counted by the global allocator wrapper.
+/// The first pass warms the connection buffers to steady-state
+/// capacity; only the second pass is counted.
+fn measure_service_allocs() -> f64 {
+    use std::io::{Read, Write};
+
+    struct MemStream {
+        input: Vec<u8>,
+        read_at: usize,
+        output: Vec<u8>,
+    }
+    impl Read for MemStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let remaining = &self.input[self.read_at..];
+            let n = remaining.len().min(buf.len()).min(4096);
+            buf[..n].copy_from_slice(&remaining[..n]);
+            self.read_at += n;
+            Ok(n)
+        }
+    }
+    impl Write for MemStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let requests: u64 = 8192;
+    let core = std::sync::Arc::new(
+        glacsweb_service::FleetCore::new(4, 2).expect("valid alloc-count core"),
+    );
+    let config = glacsweb_service::ServerConfig::default();
+    let mut input = Vec::new();
+    for i in 0..requests {
+        let station = (i % 2) * 2;
+        let at = 86_400 + i * 60;
+        if i % 4 == 0 {
+            let soc = 100 + i % 900;
+            input.extend_from_slice(
+                format!(
+                    "POST /api/checkin?station={station}&at={at}&soc={soc} HTTP/1.1\r\n\
+                     Host: glacsweb\r\nContent-Length: 0\r\n\r\n"
+                )
+                .as_bytes(),
+            );
+        } else {
+            input.extend_from_slice(
+                format!(
+                    "GET /api/override?station={station}&at={at} HTTP/1.1\r\n\
+                     Host: glacsweb\r\n\r\n"
+                )
+                .as_bytes(),
+            );
+        }
+    }
+    let mut stream = MemStream {
+        output: Vec::with_capacity(input.len() * 4),
+        input,
+        read_at: 0,
+    };
+    let mut conn = glacsweb_service::ConnBuffers::default();
+    let warm = glacsweb_service::serve_stream(&mut stream, &core, &config, &mut conn);
+    assert_eq!(warm.requests, requests, "warmup pass served every request");
+
+    stream.read_at = 0;
+    stream.output.clear();
+    let before = ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed);
+    let measured = glacsweb_service::serve_stream(&mut stream, &core, &config, &mut conn);
+    let after = ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        measured.requests, requests,
+        "measured pass served every request"
+    );
+    (after - before) as f64 / requests as f64
 }
 
 /// The service measurement `--check` gates on: fastest of `repeat`
 /// replays, no cross-check run (CI pins transcript identity in the
-/// service job).
-fn measure_service_gate(repeat: u64) -> f64 {
-    best_service_replay(repeat).requests_per_sec
+/// service job). Returns `(requests_per_sec, p99_us)`.
+fn measure_service_gate(repeat: u64) -> (f64, u64) {
+    let best = best_service_replay(repeat);
+    (best.requests_per_sec, best.latency.p99_us)
 }
 
 /// Writes the standalone fleet-scaling artifact for CI upload.
@@ -833,13 +972,25 @@ fn baseline_fleet_gate(history: &[Value]) -> Option<(u64, u64, f64)> {
 }
 
 /// The baseline service gate, where the last record is new enough to
-/// carry one: `(stations, days, requests_per_sec)`.
-fn baseline_service_gate(history: &[Value]) -> Option<(u64, u64, f64)> {
-    let service = history.last()?.get("service")?;
+/// carry one: `(stations, days, requests_per_sec, p99_us)`. The p99
+/// figure is `None` for a schema-5 baseline — those records carry the
+/// field, but the lockstep (pipeline-1) latency distribution is not
+/// comparable to the pipelined one this binary measures, so the
+/// latency gate only engages against a schema-6-or-newer record.
+fn baseline_service_gate(history: &[Value]) -> Option<(u64, u64, f64, Option<f64>)> {
+    let record = history.last()?;
+    let service = record.get("service")?;
+    let schema = record.get("schema").and_then(Value::as_u64).unwrap_or(1);
+    let p99 = if schema >= 6 {
+        service.get("p99_us").and_then(Value::as_f64)
+    } else {
+        None
+    };
     Some((
         service.get("stations")?.as_u64()?,
         service.get("days")?.as_u64()?,
         service.get("requests_per_sec")?.as_f64()?,
+        p99,
     ))
 }
 
@@ -862,6 +1013,35 @@ fn gate(name: &str, unit: &str, fresh: f64, baseline: f64) -> bool {
             "REGRESSION [{name}]: {fresh:.1} {unit} is more than {:.0} % below the \
              baseline {baseline:.1}; set {OVERRIDE_VAR}=1 to override",
             REGRESSION_TOLERANCE * 100.0
+        );
+        false
+    }
+}
+
+/// A lower-is-better `--check` comparison (latency): fails (or warns
+/// under the override) when `fresh` is more than the tolerance *above*
+/// `baseline`. Latency jitters far more than throughput on shared
+/// runners, so the ceiling is wider than the throughput floor.
+fn gate_lower(name: &str, unit: &str, fresh: f64, baseline: f64) -> bool {
+    let ceiling = baseline * (1.0 + LATENCY_TOLERANCE);
+    println!(
+        "bench-perf check [{name}]: fresh {fresh:.1} {unit} vs baseline {baseline:.1} \
+         (ceiling {ceiling:.1})"
+    );
+    if fresh <= ceiling {
+        return true;
+    }
+    if std::env::var(OVERRIDE_VAR).is_ok() {
+        println!(
+            "REGRESSION [{name}] ({:.0} % above baseline) — allowed by {OVERRIDE_VAR}",
+            (fresh / baseline - 1.0) * 100.0
+        );
+        true
+    } else {
+        eprintln!(
+            "REGRESSION [{name}]: {fresh:.1} {unit} is more than {:.0} % above the \
+             baseline {baseline:.1}; set {OVERRIDE_VAR}=1 to override",
+            LATENCY_TOLERANCE * 100.0
         );
         false
     }
@@ -910,12 +1090,23 @@ fn main() {
         // by a binary that predates the HTTP front end) carries no
         // service record, so there is nothing comparable to gate against.
         match baseline_service_gate(&history) {
-            Some((stations, days, service_baseline)) => {
+            Some((stations, days, service_baseline, p99_baseline)) => {
                 let comparable = stations == u64::from(SERVICE_SITES) * u64::from(SERVICE_PER_SITE)
                     && days == SERVICE_DAYS;
                 if comparable {
-                    let service_fresh = measure_service_gate(args.repeat);
+                    let (service_fresh, p99_fresh) = measure_service_gate(args.repeat);
                     ok &= gate("service", "req/sec", service_fresh, service_baseline);
+                    // p99 latency, lower-is-better — only against a
+                    // baseline whose latency shape is comparable.
+                    match p99_baseline {
+                        Some(p99) => {
+                            ok &= gate_lower("service-p99", "us", p99_fresh as f64, p99);
+                        }
+                        None => println!(
+                            "bench-perf check: baseline service record predates the pipelined \
+                             replay (schema < 6); skipping p99 latency comparison"
+                        ),
+                    }
                 } else {
                     println!(
                         "bench-perf check: baseline service gate covers {stations} stations x \
@@ -1043,17 +1234,19 @@ fn main() {
     // 6. Service front end under the compressed-time fleet replay.
     let service = measure_service(args.repeat);
     println!(
-        "service: {} stations x {} days = {} requests over {} clients in {:.2}s \
-         ({:.0} req/sec; p50 {} us, p99 {} us, p999 {} us; transcript {})",
+        "service: {} stations x {} days = {} requests over {} clients (pipeline {}) in {:.2}s \
+         ({:.0} req/sec; p50 {} us, p99 {} us, p999 {} us; {:.3} allocs/req; transcript {})",
         service.stations,
         service.days,
         service.requests,
         service.clients,
+        service.pipeline,
         service.seconds,
         service.requests_per_sec,
         service.p50_us,
         service.p99_us,
         service.p999_us,
+        service.allocs_per_request,
         service.transcript_fnv,
     );
 

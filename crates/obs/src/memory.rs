@@ -204,6 +204,39 @@ impl MemoryRecorder {
         }
     }
 
+    /// [`MemoryRecorder::merge_from`] without taking ownership: folds
+    /// every record of `other` into `self` by reference, with identical
+    /// semantics (events append in order, counters/daily/histograms add,
+    /// later-or-equal gauge writes win).
+    ///
+    /// This is the aggregation path for hot readers that fold many
+    /// shard-local recorders into one accumulator per export: nothing of
+    /// `other` is cloned except the retained events themselves, where
+    /// `merge_from` would first require cloning the whole recorder.
+    pub fn merge_ref(&mut self, other: &MemoryRecorder) {
+        for event in &other.events {
+            self.push_event(event.clone());
+        }
+        self.events_dropped += other.events_dropped;
+        for (&(origin, name), &v) in &other.counters {
+            *self.counters.entry((origin, name)).or_insert(0) += v;
+        }
+        for (&key, &v) in &other.daily {
+            *self.daily.entry(key).or_insert(0) += v;
+        }
+        for (&key, &(at, v)) in &other.gauges {
+            match self.gauges.get(&key) {
+                Some(&(existing_at, _)) if existing_at > at => {}
+                _ => {
+                    self.gauges.insert(key, (at, v));
+                }
+            }
+        }
+        for (&key, hist) in &other.histograms {
+            self.histograms.entry(key).or_default().merge(hist);
+        }
+    }
+
     fn push_event(&mut self, event: Event) {
         if self.events.len() < self.max_events {
             self.events.push(event);
@@ -715,6 +748,30 @@ mod tests {
         left.merge_from(a);
         left.merge_from(b);
         assert_eq!(left.to_json(), merged.to_json());
+    }
+
+    #[test]
+    fn merge_ref_matches_merge_from() {
+        let mut a = MemoryRecorder::default();
+        a.counter(at(1, 12), orig(), "c", 1);
+        a.observe(orig(), "h", 10);
+        a.gauge(at(1, 12), orig(), "g", 0.25);
+        a.event(Event::new(at(1, 12), orig(), "from_a"));
+        let mut b = MemoryRecorder::default();
+        b.counter(at(2, 13), orig(), "c", 2);
+        b.observe(orig(), "h", 2000);
+        b.gauge(at(2, 13), orig(), "g", 0.75);
+        b.event(Event::new(at(2, 13), orig(), "from_b"));
+
+        let mut by_value = MemoryRecorder::default();
+        by_value.merge_from(a.clone());
+        by_value.merge_from(b.clone());
+        let mut by_ref = MemoryRecorder::default();
+        by_ref.merge_ref(&a);
+        by_ref.merge_ref(&b);
+        assert_eq!(by_ref, by_value);
+        assert_eq!(by_ref.to_json(), by_value.to_json());
+        assert!(!a.is_empty(), "merge_ref leaves the source untouched");
     }
 
     #[test]

@@ -177,6 +177,15 @@ impl MemoryRecorder {
     /// endpoint pins in CI.
     pub fn to_ndjson(&self) -> String {
         let mut o = String::with_capacity(4096);
+        self.write_ndjson_into(&mut o);
+        o
+    }
+
+    /// Appends the NDJSON export of [`MemoryRecorder::to_ndjson`] to an
+    /// existing buffer — same bytes, no intermediate `String`. Hot
+    /// readers that re-export telemetry per poll reuse one buffer across
+    /// exports instead of allocating a fresh one each time.
+    pub fn write_ndjson_into(&self, o: &mut String) {
         o.push_str(&format!(
             "{{\"kind\":\"schema\",\"schema\":{},\"events_dropped\":{}}}\n",
             json_str(NDJSON_SCHEMA),
@@ -239,7 +248,6 @@ impl MemoryRecorder {
             o.push_str(&event_line(event));
             o.push('\n');
         }
-        o
     }
 }
 

@@ -92,19 +92,26 @@ impl PartialEq for PowerRail {
 impl Serialize for PowerRail {
     fn to_value(&self) -> Value {
         Value::Map(vec![
+            // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
             (Value::Str("battery".to_string()), self.battery.to_value()),
+            // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
             (Value::Str("chargers".to_string()), self.chargers.to_value()),
             (
+                // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
                 Value::Str("harvest_by".to_string()),
                 self.harvest_by.to_value(),
             ),
+            // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
             (Value::Str("loads".to_string()), self.loads.to_value()),
+            // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
             (Value::Str("now".to_string()), self.now.to_value()),
             (
+                // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
                 Value::Str("harvested".to_string()),
                 self.harvested.to_value(),
             ),
             (
+                // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
                 Value::Str("brownout_secs".to_string()),
                 self.brownout_secs.to_value(),
             ),

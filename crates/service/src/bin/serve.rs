@@ -8,9 +8,15 @@
 //! digest. `--ndjson` and `--transcript` dump the telemetry export and
 //! the canonical transcript for byte-identity checks in CI.
 //!
+//! `--pipeline N` keeps up to `N` requests in flight per client
+//! connection (transcript stays byte-identical); `--batch` coalesces
+//! consecutive check-in runs into `POST /api/checkin-batch` uploads
+//! (analytics and telemetry stay byte-identical, the transcript
+//! necessarily differs).
+//!
 //! ```text
 //! serve --replay --sites 4 --per-site 64 --seed 2009 --days 2 \
-//!       --clients 8 --workers 8 --shards 16 --updates \
+//!       --clients 8 --pipeline 8 --workers 8 --shards 16 --updates \
 //!       --ndjson telemetry.ndjson --transcript transcript.bin
 //! serve --listen --addr 127.0.0.1:8700 --stations 64 --workers 8
 //! ```
@@ -31,6 +37,8 @@ struct Args {
     seed: u64,
     days: u64,
     clients: usize,
+    pipeline: usize,
+    batch: bool,
     workers: usize,
     shards: usize,
     updates: bool,
@@ -54,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 2009,
         days: 2,
         clients: 4,
+        pipeline: 1,
+        batch: false,
         workers: 8,
         shards: 16,
         updates: false,
@@ -69,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.mode = Mode::Replay,
             "--listen" => args.mode = Mode::Listen,
             "--updates" => args.updates = true,
+            "--batch" => args.batch = true,
+            "--pipeline" => args.pipeline = parse(&value("--pipeline")?)?,
             "--sites" => args.sites = parse(&value("--sites")?)?,
             "--per-site" => args.per_site = parse(&value("--per-site")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
@@ -82,7 +94,8 @@ fn parse_args() -> Result<Args, String> {
             "--transcript" => args.transcript = Some(value("--transcript")?),
             "--help" | "-h" => {
                 return Err("usage: serve --replay|--listen [--sites N] [--per-site N] \
-                            [--seed N] [--days N] [--clients N] [--workers N] [--shards N] \
+                            [--seed N] [--days N] [--clients N] [--pipeline N] [--batch] \
+                            [--workers N] [--shards N] \
                             [--updates] [--stations N] [--addr HOST:PORT] \
                             [--ndjson PATH] [--transcript PATH]"
                     .to_string())
@@ -151,6 +164,8 @@ fn run_replay(args: &Args) -> Result<(), String> {
         &script,
         &ReplayConfig {
             clients: args.clients,
+            pipeline: args.pipeline,
+            batch_checkins: args.batch,
             keep_transcript: args.transcript.is_some(),
         },
     )
@@ -166,12 +181,15 @@ fn run_replay(args: &Args) -> Result<(), String> {
     server.shutdown();
 
     println!(
-        "{{\"stations\":{},\"wakes\":{},\"requests\":{},\"seconds\":{:.3},\
+        "{{\"stations\":{},\"wakes\":{},\"requests\":{},\"pipeline\":{},\"batch\":{},\
+         \"seconds\":{:.3},\
          \"requests_per_sec\":{:.1},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\
          \"transcript_fnv\":\"{:016x}\"}}",
         trace.stations,
         trace.len(),
         outcome.requests,
+        args.pipeline.max(1),
+        args.batch,
         outcome.seconds,
         outcome.requests_per_sec,
         outcome.latency.p50_us,

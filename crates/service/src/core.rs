@@ -21,15 +21,31 @@
 //! aggregate. Combined with per-pair request ordering (the load
 //! harness's connection affinity), every response body and the
 //! `/api/telemetry` export are pure functions of the request sequence.
+//!
+//! # Incremental aggregates
+//!
+//! Each shard additionally maintains its slice of the two analytics
+//! aggregates — [`PowerCounts`] and [`SocHistogram`] — updated in place
+//! on every write (check-in or state report). An analytics read then
+//! only takes each shard lock long enough to copy two small `Copy`
+//! structs, instead of walking every pair under the lock: reads cost
+//! `O(shards)`, not `O(stations)`, and no longer serialize against the
+//! write path for any meaningful time. The invariant — maintained
+//! aggregates equal a from-scratch scan after any interleaving of
+//! writes — is pinned by a property test against the retained scan
+//! implementations ([`FleetCore::power_counts_scan`],
+//! [`FleetCore::soc_histogram_scan`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use glacsweb_obs::{merge_all, MemoryRecorder, Origin, Recorder};
+use glacsweb_obs::{MemoryRecorder, Origin, Recorder};
 use glacsweb_server::SouthamptonServer;
 use glacsweb_sim::SimTime;
 use glacsweb_station::md5::{md5, to_hex};
 use glacsweb_station::{PowerState, StationId, Uplink};
+
+use crate::http::push_u64;
 
 /// Telemetry origin for every record the service makes.
 const ORIGIN: Origin = Origin::new("service", "fleet");
@@ -66,7 +82,8 @@ impl std::fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
-/// One shard: a slice of the fleet's pairs plus this shard's telemetry.
+/// One shard: a slice of the fleet's pairs plus this shard's telemetry
+/// and its maintained slice of the fleet-wide analytics aggregates.
 #[derive(Debug)]
 struct Shard {
     /// Pair decision cores, indexed by `pair / shard_count`.
@@ -75,6 +92,12 @@ struct Shard {
     last_soc: std::collections::BTreeMap<u64, u32>,
     /// Commutative-only telemetry (counters, rollups, observations).
     recorder: MemoryRecorder,
+    /// Maintained per-state station counts for this shard's stations;
+    /// updated on every state report, summed across shards on read.
+    counts: PowerCounts,
+    /// Maintained battery histogram over this shard's latest check-ins;
+    /// updated on every check-in, summed across shards on read.
+    soc: SocHistogram,
 }
 
 /// Station-count aggregate per power state — the read side the farm
@@ -90,18 +113,63 @@ pub struct PowerCounts {
 impl PowerCounts {
     /// Deterministic JSON rendering (fixed key order).
     pub fn to_json(&self) -> String {
-        let mut counts = String::new();
+        let mut out = String::with_capacity(192);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Appends the JSON rendering of [`PowerCounts::to_json`] to `out` —
+    /// same bytes, no intermediate allocation (the HTTP hot path writes
+    /// straight into the response body buffer).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"schema\":\"glacsweb-service/states-1\",\"states\":[");
         for (level, n) in self.reported.iter().enumerate() {
             if level > 0 {
-                counts.push(',');
+                out.push(',');
             }
-            counts.push_str(&format!("{{\"level\":{level},\"stations\":{n}}}"));
+            out.push_str("{\"level\":");
+            push_u64(out, u64::try_from(level).unwrap_or(0));
+            out.push_str(",\"stations\":");
+            push_u64(out, *n);
+            out.push('}');
         }
-        format!(
-            "{{\"schema\":\"glacsweb-service/states-1\",\"states\":[{counts}],\
-             \"unreported\":{}}}",
-            self.unreported
-        )
+        out.push_str("],\"unreported\":");
+        push_u64(out, self.unreported);
+        out.push('}');
+    }
+
+    /// Adds every count of `other` into `self` (the cross-shard sum).
+    fn add(&mut self, other: &PowerCounts) {
+        for (mine, theirs) in self.reported.iter_mut().zip(other.reported.iter()) {
+            *mine += *theirs;
+        }
+        self.unreported += other.unreported;
+    }
+
+    /// Moves one station's count from `from` to `to`, where `None` is
+    /// the never-reported bucket. The aggregate-maintenance primitive:
+    /// called with the pair server's last-reported state before and
+    /// after an upload, it keeps the counts equal to a full scan.
+    fn transfer(&mut self, from: Option<PowerState>, to: Option<PowerState>) {
+        if from == to {
+            return;
+        }
+        match from {
+            Some(state) => {
+                if let Some(slot) = self.reported.get_mut(usize::from(state.level())) {
+                    *slot = slot.saturating_sub(1);
+                }
+            }
+            None => self.unreported = self.unreported.saturating_sub(1),
+        }
+        match to {
+            Some(state) => {
+                if let Some(slot) = self.reported.get_mut(usize::from(state.level())) {
+                    *slot += 1;
+                }
+            }
+            None => self.unreported += 1,
+        }
     }
 }
 
@@ -119,22 +187,63 @@ pub struct SocHistogram {
 impl SocHistogram {
     /// Deterministic JSON rendering (fixed key order).
     pub fn to_json(&self) -> String {
-        let mut buckets = String::new();
+        let mut out = String::with_capacity(512);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Appends the JSON rendering of [`SocHistogram::to_json`] to `out`
+    /// — same bytes, no intermediate allocation.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"schema\":\"glacsweb-service/battery-1\",\"samples\":");
+        push_u64(out, self.samples);
+        out.push_str(",\"buckets\":[");
         for (i, n) in self.buckets.iter().enumerate() {
             if i > 0 {
-                buckets.push(',');
+                out.push(',');
             }
-            let lo = i * 100;
-            let hi = lo + 100;
-            buckets.push_str(&format!(
-                "{{\"lo_permille\":{lo},\"hi_permille\":{hi},\"count\":{n}}}"
-            ));
+            let lo = u64::try_from(i).unwrap_or(0) * 100;
+            out.push_str("{\"lo_permille\":");
+            push_u64(out, lo);
+            out.push_str(",\"hi_permille\":");
+            push_u64(out, lo + 100);
+            out.push_str(",\"count\":");
+            push_u64(out, *n);
+            out.push('}');
         }
-        format!(
-            "{{\"schema\":\"glacsweb-service/battery-1\",\"samples\":{},\
-             \"buckets\":[{buckets}]}}",
-            self.samples
-        )
+        out.push_str("]}");
+    }
+
+    /// The bucket index a state of charge falls in.
+    fn bucket(soc: u32) -> usize {
+        usize::try_from(soc / 100).unwrap_or(9).min(9)
+    }
+
+    /// Adds every bucket of `other` into `self` (the cross-shard sum).
+    fn add(&mut self, other: &SocHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.samples += other.samples;
+    }
+
+    /// Moves one station's sample from bucket `from` to bucket `to`
+    /// (a re-check-in with a new state of charge).
+    fn rebucket(&mut self, from: u32, to: u32) {
+        if let Some(slot) = self.buckets.get_mut(Self::bucket(from)) {
+            *slot = slot.saturating_sub(1);
+        }
+        if let Some(slot) = self.buckets.get_mut(Self::bucket(to)) {
+            *slot += 1;
+        }
+    }
+
+    /// Records a station's first check-in into bucket `soc`.
+    fn sample(&mut self, soc: u32) {
+        if let Some(slot) = self.buckets.get_mut(Self::bucket(soc)) {
+            *slot += 1;
+        }
+        self.samples += 1;
     }
 }
 
@@ -169,6 +278,12 @@ impl FleetCore {
                 pairs: (0..owned).map(|_| SouthamptonServer::new()).collect(),
                 last_soc: std::collections::BTreeMap::new(),
                 recorder: MemoryRecorder::default(),
+                counts: PowerCounts {
+                    reported: [0; 4],
+                    // Every station starts in the never-reported bucket.
+                    unreported: owned * 2,
+                },
+                soc: SocHistogram::default(),
             }));
         }
         Ok(FleetCore {
@@ -262,22 +377,71 @@ impl FleetCore {
         }
         let (shard, _, _) = self.locate(station)?;
         let mut guard = self.lock(shard).ok_or(CoreError::UnknownStation(station))?;
-        guard.last_soc.insert(station, soc);
-        guard.recorder.counter(at, ORIGIN, "checkins", 1);
-        guard
-            .recorder
-            .observe(ORIGIN, "checkin_soc_permille", u64::from(soc));
+        apply_check_in(&mut guard, station, at, soc);
         Ok(())
     }
 
+    /// A batch of check-ins applied in order — the `/api/checkin-batch`
+    /// write path, amortizing lock traffic the way the real deployment's
+    /// GPRS batch uploads amortized connection setup.
+    ///
+    /// Consecutive entries on the same shard reuse one lock acquisition.
+    /// Validation is per entry and identical to [`FleetCore::check_in`]
+    /// (state-of-charge range first, then station lookup); on the first
+    /// invalid entry the batch stops with that entry's error and every
+    /// *earlier* entry stays applied — exactly the state a sequence of
+    /// single check-ins failing at the same point would leave. Telemetry
+    /// records are the same per entry as for singles, so a batched
+    /// replay exports byte-identical telemetry.
+    ///
+    /// Returns the number of entries applied (= `entries.len()` on
+    /// success).
+    pub fn check_in_batch(&self, entries: &[(u64, SimTime, u32)]) -> Result<u64, CoreError> {
+        let mut held: Option<(usize, MutexGuard<'_, Shard>)> = None;
+        let mut applied = 0u64;
+        for &(station, at, soc) in entries {
+            if soc > 1000 {
+                return Err(CoreError::BadSoc(soc));
+            }
+            let (shard, _, _) = self.locate(station)?;
+            let reuse = matches!(&held, Some((idx, _)) if *idx == shard);
+            if !reuse {
+                // Drop the old guard before taking the new one: at most
+                // one shard lock is ever held, so batches cannot
+                // deadlock against each other whatever their order.
+                drop(held.take());
+                let guard = self.lock(shard).ok_or(CoreError::UnknownStation(station))?;
+                held = Some((shard, guard));
+            }
+            let Some((_, guard)) = held.as_mut() else {
+                return Err(CoreError::UnknownStation(station));
+            };
+            apply_check_in(guard, station, at, soc);
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
     /// A station's daily power-state report (the §III upload); the civil
-    /// date is derived from the report instant.
+    /// date is derived from the report instant. Maintains the per-shard
+    /// [`PowerCounts`] by observing the pair server's last-reported
+    /// state before and after the upload (newest-date-wins, so an upload
+    /// does not always change it).
     pub fn report_state(&self, station: u64, at: SimTime, level: u8) -> Result<(), CoreError> {
         let state = PowerState::try_from_level(level).ok_or(CoreError::BadLevel(level))?;
-        self.with_pair(station, |server, recorder, role| {
-            server.upload_power_state(role, at.date(), state);
-            recorder.counter(at, ORIGIN, "state_reports", 1);
-        })
+        let (shard, slot, role) = self.locate(station)?;
+        let mut guard = self.lock(shard).ok_or(CoreError::UnknownStation(station))?;
+        let shard = &mut *guard;
+        let server = shard
+            .pairs
+            .get_mut(slot)
+            .ok_or(CoreError::UnknownStation(station))?;
+        let before = server.states().last_reported(role);
+        server.upload_power_state(role, at.date(), state);
+        let after = server.states().last_reported(role);
+        shard.counts.transfer(before, after);
+        shard.recorder.counter(at, ORIGIN, "state_reports", 1);
+        Ok(())
     }
 
     /// The §III override decision for a station: the pair minimum,
@@ -334,8 +498,24 @@ impl FleetCore {
         })
     }
 
-    /// Per-power-state station counts over every pair's last reports.
+    /// Per-power-state station counts over every pair's last reports:
+    /// the maintained per-shard counts summed in shard-index order. Each
+    /// shard lock is held only long enough to copy a `Copy` struct.
     pub fn power_counts(&self) -> PowerCounts {
+        let mut out = PowerCounts::default();
+        for index in 0..self.shards.len() {
+            if let Some(guard) = self.lock(index) {
+                out.add(&guard.counts);
+            }
+        }
+        out
+    }
+
+    /// [`FleetCore::power_counts`] recomputed by walking every pair —
+    /// the reference implementation the maintained counts are checked
+    /// against (property-tested; also exercised by CI). Slow on big
+    /// fleets; never on the serving path.
+    pub fn power_counts_scan(&self) -> PowerCounts {
         let mut out = PowerCounts::default();
         for index in 0..self.shards.len() {
             let Some(guard) = self.lock(index) else {
@@ -357,16 +537,29 @@ impl FleetCore {
         out
     }
 
-    /// Fleet battery histogram over the latest check-in per station.
+    /// Fleet battery histogram over the latest check-in per station:
+    /// the maintained per-shard histograms summed in shard-index order.
     pub fn soc_histogram(&self) -> SocHistogram {
+        let mut out = SocHistogram::default();
+        for index in 0..self.shards.len() {
+            if let Some(guard) = self.lock(index) {
+                out.add(&guard.soc);
+            }
+        }
+        out
+    }
+
+    /// [`FleetCore::soc_histogram`] recomputed from every station's last
+    /// state of charge — the reference implementation for the drift
+    /// property test. Never on the serving path.
+    pub fn soc_histogram_scan(&self) -> SocHistogram {
         let mut out = SocHistogram::default();
         for index in 0..self.shards.len() {
             let Some(guard) = self.lock(index) else {
                 continue;
             };
             for &soc in guard.last_soc.values() {
-                let bucket = usize::try_from(soc / 100).unwrap_or(9).min(9);
-                if let Some(slot) = out.buckets.get_mut(bucket) {
+                if let Some(slot) = out.buckets.get_mut(SocHistogram::bucket(soc)) {
                     *slot += 1;
                 }
                 out.samples += 1;
@@ -375,29 +568,55 @@ impl FleetCore {
         out
     }
 
-    /// The aggregated telemetry as NDJSON: shard recorders cloned under
-    /// their locks and merged in shard-index order. Because handlers
-    /// record only commutative telemetry, the export is a pure function
-    /// of the requests served, independent of worker scheduling.
+    /// The aggregated telemetry as NDJSON: shard recorders folded by
+    /// reference (no per-shard recorder clone) into one accumulator in
+    /// shard-index order, then serialised. Because handlers record only
+    /// commutative telemetry, the export is a pure function of the
+    /// requests served, independent of worker scheduling.
     pub fn telemetry_ndjson(&self) -> String {
-        let mut recorders = Vec::with_capacity(self.shards.len());
+        let mut out = String::with_capacity(4096);
+        self.telemetry_ndjson_into(&mut out);
+        out
+    }
+
+    /// Appends the `/api/telemetry` NDJSON to `out` — same bytes as
+    /// [`FleetCore::telemetry_ndjson`], writing straight into a caller
+    /// buffer (the HTTP layer passes its response body buffer).
+    pub fn telemetry_ndjson_into(&self, out: &mut String) {
+        let mut merged = MemoryRecorder::default();
         for index in 0..self.shards.len() {
             if let Some(guard) = self.lock(index) {
-                recorders.push(guard.recorder.clone());
+                merged.merge_ref(&guard.recorder);
             }
         }
-        merge_all(recorders).to_ndjson()
+        merged.write_ndjson_into(out);
     }
+}
+
+/// The one write path for a check-in, shared by the single and batch
+/// endpoints so their per-entry effects — decision state, maintained
+/// histogram, telemetry — are identical by construction.
+fn apply_check_in(shard: &mut Shard, station: u64, at: SimTime, soc: u32) {
+    match shard.last_soc.insert(station, soc) {
+        Some(prev) => shard.soc.rebucket(prev, soc),
+        None => shard.soc.sample(soc),
+    }
+    shard.recorder.counter(at, ORIGIN, "checkins", 1);
+    shard
+        .recorder
+        .observe(ORIGIN, "checkin_soc_permille", u64::from(soc));
 }
 
 /// The staged update's file name for a station (pure function).
 pub fn update_name(station: u64) -> String {
+    // glacsweb: allow(perf-hygiene, reason = "staging runs once at startup, never per request")
     format!("control-{station}.py")
 }
 
 /// The staged update's payload for a station (pure function); small,
 /// like the real project's Python control code.
 pub fn update_payload(station: u64) -> Vec<u8> {
+    // glacsweb: allow(perf-hygiene, reason = "staging runs once at startup, never per request")
     format!("# glacsweb control build for station {station}\nSTATION = {station}\n").into_bytes()
 }
 
@@ -481,6 +700,54 @@ mod tests {
         assert_eq!(counts.unreported, 4);
         assert!(hist.to_json().contains("\"samples\":3"));
         assert!(counts.to_json().contains("\"unreported\":4"));
+    }
+
+    #[test]
+    fn maintained_aggregates_match_the_scan() {
+        let core = FleetCore::new(10, 3).expect("valid");
+        // Re-check-ins move buckets, newer/older reports race per role.
+        for (station, soc) in [(0, 950), (0, 120), (3, 40), (3, 990), (7, 500)] {
+            core.check_in(station, at(9), soc).expect("ok");
+        }
+        for (station, hour, level) in [(0, 9, 3), (0, 10, 1), (1, 12, 2), (4, 9, 2), (4, 8, 3)] {
+            core.report_state(station, at(hour), level).expect("ok");
+        }
+        assert_eq!(core.power_counts(), core.power_counts_scan());
+        assert_eq!(core.soc_histogram(), core.soc_histogram_scan());
+    }
+
+    #[test]
+    fn batch_check_in_matches_singles() {
+        let entries = [
+            (0u64, at(9), 950u32),
+            (1, at(9), 120),
+            (0, at(10), 130),
+            (5, at(10), 700),
+        ];
+        let single = FleetCore::new(6, 2).expect("valid");
+        for &(station, when, soc) in &entries {
+            single.check_in(station, when, soc).expect("ok");
+        }
+        let batch = FleetCore::new(6, 2).expect("valid");
+        assert_eq!(batch.check_in_batch(&entries).expect("ok"), 4);
+        assert_eq!(batch.soc_histogram(), single.soc_histogram());
+        assert_eq!(batch.telemetry_ndjson(), single.telemetry_ndjson());
+    }
+
+    #[test]
+    fn batch_check_in_stops_at_the_first_bad_entry() {
+        let core = FleetCore::new(4, 2).expect("valid");
+        let entries = [(0u64, at(9), 500u32), (1, at(9), 1001), (2, at(9), 300)];
+        assert_eq!(
+            core.check_in_batch(&entries).err(),
+            Some(CoreError::BadSoc(1001))
+        );
+        let hist = core.soc_histogram();
+        assert_eq!(hist.samples, 1, "the prefix before the error applied");
+        assert_eq!(
+            core.check_in_batch(&[(9, at(9), 10)]).err(),
+            Some(CoreError::UnknownStation(9))
+        );
     }
 
     #[test]

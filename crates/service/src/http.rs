@@ -11,13 +11,38 @@
 //! Every malformed input maps to a typed [`HttpError`] and a plain-text
 //! `error=<kind>` response — never a panic. This crate sits in
 //! `glacsweb-analyze`'s panic-freedom scope, so the no-unwrap /
-//! no-indexing rules are machine-checked.
+//! no-indexing rules are machine-checked — and this file is in its
+//! perf-hygiene scope, so the steady-state allocation-freedom below is
+//! machine-checked too.
+//!
+//! # Zero-allocation steady state
+//!
+//! Each worker owns one set of [`ConnBuffers`], reused across every
+//! connection it serves:
+//!
+//! * the **carry buffer** accumulates socket reads; a parsed
+//!   [`Request`] is nothing but borrowed slices over it (no `String`
+//!   per method/path/param). Consumed bytes advance a cursor; the
+//!   buffer compacts (`copy_within`) before every blocking read, so
+//!   under pipelining it never grows past one request plus one read
+//!   chunk — the carry-bound regression test pins that.
+//! * the **[`ResponseWriter`]** serialises responses into a reusable
+//!   output buffer, formatting integers and hex with hand-rolled
+//!   writers ([`push_u64`], [`push_hex`]) instead of `format!`.
+//!   Responses are flushed lazily — always before the connection would
+//!   block reading — which both preserves request/response ordering
+//!   and coalesces pipelined responses into few `write` syscalls.
+//!
+//! After the first few requests warm the buffers, serving a request
+//! allocates nothing (pinned by the counting-allocator harness in
+//! `tests/alloc_count.rs` and reported in `BENCH_PERF.json`).
 //!
 //! # Endpoints
 //!
 //! | Method | Path                    | Query                          | Body on 200 |
 //! |--------|-------------------------|--------------------------------|-------------|
 //! | POST   | `/api/checkin`          | `station`, `at`, `soc`         | `ok` |
+//! | POST   | `/api/checkin-batch`    | — (NDJSON body)                | `ok batch=<n>` |
 //! | POST   | `/api/state`            | `station`, `at`, `level`       | `ok` |
 //! | GET    | `/api/override`         | `station`, `at`                | `override=<level>` or `override=none` |
 //! | GET    | `/api/update`           | `station`, `at`                | `update=<name>\nmd5=<hex>\npayload=<hex>` or `update=none` |
@@ -27,9 +52,12 @@
 //! | GET    | `/api/telemetry`        | —                              | merged NDJSON telemetry |
 //! | GET    | `/health`               | —                              | liveness line |
 //!
-//! `at` is a unix timestamp in *simulation* time — responses are pure
-//! functions of the request sequence, never of the wall clock (no
-//! `Date` header, for the same reason).
+//! `/api/checkin-batch` takes one NDJSON object per line, e.g.
+//! `{"station":4,"at":1253606400,"soc":815}`, and applies them in order
+//! — the §III GPRS-style batch upload. `at` is a unix timestamp in
+//! *simulation* time — responses are pure functions of the request
+//! sequence, never of the wall clock (no `Date` header, for the same
+//! reason).
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -39,8 +67,14 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use glacsweb_sim::SimTime;
+use glacsweb_station::md5::md5;
 
-use crate::core::{update_md5_hex, CoreError, FleetCore};
+use crate::core::{CoreError, FleetCore};
+
+/// Flush the pending response bytes once they pass this size even
+/// without a blocking read, bounding writer memory under heavy
+/// pipelining (responses still coalesce below it).
+const FLUSH_PENDING_BYTES: usize = 64 * 1024;
 
 /// Tuning knobs for [`HttpServer::start`].
 #[derive(Debug, Clone)]
@@ -67,6 +101,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            // glacsweb: allow(perf-hygiene, reason = "config construction, once per server")
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             max_header_bytes: 8 * 1024,
@@ -91,7 +126,8 @@ pub enum HttpError {
     BodyTooLarge,
     /// A POST without a `Content-Length` header.
     LengthRequired,
-    /// A required query parameter was missing or unparsable.
+    /// A required query parameter (or batch body field) was missing or
+    /// unparsable.
     BadParam(&'static str),
     /// No route matches the path.
     NotFound,
@@ -142,27 +178,39 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// A parsed request: method, path, query parameters, body.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
+/// A parsed request: borrowed slices over the connection's carry
+/// buffer. Nothing is copied out of the buffer — the request is valid
+/// until the next read, which is after routing completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request<'a> {
     /// Request method, upper case as received (`GET`, `POST`, …).
-    pub method: String,
+    pub method: &'a str,
     /// Path component of the target, without the query string.
-    pub path: String,
-    /// Query parameters in target order, raw (no percent-decoding —
-    /// the fleet protocol never needs reserved characters).
-    pub params: Vec<(String, String)>,
+    pub path: &'a str,
+    /// Raw query string (no percent-decoding — the fleet protocol never
+    /// needs reserved characters); empty if the target had none.
+    pub query: &'a str,
     /// Request body (empty unless `Content-Length` said otherwise).
-    pub body: Vec<u8>,
+    pub body: &'a [u8],
 }
 
-impl Request {
-    /// First value of query parameter `name`, if present.
-    pub fn param(&self, name: &str) -> Option<&str> {
-        self.params
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
+impl<'a> Request<'a> {
+    /// First value of query parameter `name`, if present. Parses the
+    /// query lazily — no parameter vector is ever materialised.
+    pub fn param(&self, name: &str) -> Option<&'a str> {
+        for kv in self.query.split('&') {
+            if kv.is_empty() {
+                continue;
+            }
+            let (k, v) = match kv.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (kv, ""),
+            };
+            if k == name {
+                return Some(v);
+            }
+        }
+        None
     }
 
     /// Required parameter parsed as `T`, with a typed failure.
@@ -173,61 +221,142 @@ impl Request {
     }
 }
 
-/// A response ready to serialise: status, reason, body, and whether the
-/// connection survives it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Response {
-    /// HTTP status code.
-    pub status: u16,
-    /// Reason phrase.
-    pub reason: &'static str,
-    /// Plain-text (or JSON / NDJSON) body.
-    pub body: String,
-    /// `false` forces `Connection: close` after this response.
-    pub keep_alive: bool,
+/// Serialises responses into a reusable output buffer.
+///
+/// A handler builds its body with [`ResponseWriter::put_str`] /
+/// [`ResponseWriter::put_u64`] / [`ResponseWriter::put_hex`] (or writes
+/// into [`ResponseWriter::body_mut`] directly), then seals it with
+/// [`ResponseWriter::finish`], which serialises status line + headers +
+/// body into the pending output. Pending output is flushed to the
+/// socket before the connection blocks reading — so pipelined
+/// responses coalesce into few writes — and whenever it exceeds
+/// [`FLUSH_PENDING_BYTES`]. Deliberately no `Date` header: response
+/// bytes must be a pure function of the request sequence.
+#[derive(Debug, Default)]
+pub struct ResponseWriter {
+    /// Serialised responses awaiting a flush.
+    out: String,
+    /// The body of the response currently being built.
+    body: String,
 }
 
-impl Response {
-    /// A `200 OK` keep-alive response.
-    fn ok(body: String) -> Response {
-        Response {
-            status: 200,
-            reason: "OK",
-            body,
-            keep_alive: true,
-        }
+impl ResponseWriter {
+    /// Appends literal text to the current response body.
+    pub fn put_str(&mut self, s: &str) {
+        self.body.push_str(s);
     }
 
-    /// The error response for `err`; always closes the connection so a
-    /// confused peer cannot poison the framing of later requests.
-    fn from_error(err: &HttpError) -> Response {
+    /// Appends a decimal integer to the current response body without
+    /// allocating.
+    pub fn put_u64(&mut self, v: u64) {
+        push_u64(&mut self.body, v);
+    }
+
+    /// Appends lower-case hex of `bytes` to the current response body
+    /// without allocating.
+    pub fn put_hex(&mut self, bytes: &[u8]) {
+        push_hex(&mut self.body, bytes);
+    }
+
+    /// Direct access to the body buffer, for writers that append into a
+    /// `&mut String` (analytics JSON, telemetry NDJSON).
+    pub fn body_mut(&mut self) -> &mut String {
+        &mut self.body
+    }
+
+    /// Seals the current body into a serialised response on the pending
+    /// output and resets the body buffer for the next response.
+    pub fn finish(&mut self, status: u16, reason: &str, keep_alive: bool) {
+        self.out.push_str("HTTP/1.1 ");
+        push_u64(&mut self.out, u64::from(status));
+        self.out.push(' ');
+        self.out.push_str(reason);
+        self.out
+            .push_str("\r\nContent-Type: text/plain\r\nContent-Length: ");
+        push_u64(
+            &mut self.out,
+            u64::try_from(self.body.len()).unwrap_or(u64::MAX),
+        );
+        self.out.push_str("\r\nConnection: ");
+        self.out
+            .push_str(if keep_alive { "keep-alive" } else { "close" });
+        self.out.push_str("\r\n\r\n");
+        self.out.push_str(&self.body);
+        self.body.clear();
+    }
+
+    /// Discards any partial body and serialises the error response for
+    /// `err`; error responses always close the connection so a confused
+    /// peer cannot poison the framing of later requests.
+    fn write_error(&mut self, err: &HttpError) {
         let (status, reason, token) = err.status();
-        Response {
-            status,
-            reason,
-            body: format!("error={token}\n"),
-            keep_alive: false,
-        }
+        self.body.clear();
+        self.body.push_str("error=");
+        self.body.push_str(token);
+        self.body.push('\n');
+        self.finish(status, reason, false);
     }
 
-    /// Serialises the response. Deliberately no `Date` header: response
-    /// bytes must be a pure function of the request sequence.
-    fn to_bytes(&self) -> Vec<u8> {
-        let connection = if self.keep_alive {
-            "keep-alive"
-        } else {
-            "close"
-        };
-        let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-            self.status,
-            self.reason,
-            self.body.len()
-        )
-        .into_bytes();
-        out.extend_from_slice(self.body.as_bytes());
-        out
+    /// Bytes serialised but not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.out.len()
     }
+
+    /// Writes all pending output to `stream` and clears it (also on
+    /// failure — the connection is dead then).
+    fn flush_to<S: Write>(&mut self, stream: &mut S) -> Result<(), HttpError> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        let result = stream.write_all(self.out.as_bytes());
+        self.out.clear();
+        result.map_err(|_| HttpError::Disconnected)
+    }
+}
+
+/// One worker's reusable buffers: the read-side carry buffer and
+/// cursor, the response writer, and the batch-entry scratch. Created
+/// once per worker and reused across every connection it serves, so the
+/// steady state of the hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct ConnBuffers {
+    /// Unparsed socket bytes; `pos..` is the unconsumed tail.
+    carry: Vec<u8>,
+    /// Consumed-bytes cursor into `carry`; compaction rewinds it to 0
+    /// before every blocking read.
+    pos: usize,
+    /// The response serialisation buffers.
+    writer: ResponseWriter,
+    /// Decoded `/api/checkin-batch` entries, reused across requests.
+    batch: Vec<(u64, SimTime, u32)>,
+}
+
+impl ConnBuffers {
+    /// Clears all state for a fresh connection, keeping capacity.
+    fn reset(&mut self) {
+        self.carry.clear();
+        self.pos = 0;
+        self.writer.out.clear();
+        self.writer.body.clear();
+        self.batch.clear();
+    }
+
+    /// Bytes received but not yet consumed by a parsed request.
+    fn unread_len(&self) -> usize {
+        self.carry.len().saturating_sub(self.pos)
+    }
+}
+
+/// What one connection did — returned by [`serve_stream`] so tests and
+/// benches can assert on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnStats {
+    /// Requests routed (each produced exactly one response).
+    pub requests: u64,
+    /// Capacity of the carry buffer when the connection ended — the
+    /// carry-bound regression test pins that pipelining thousands of
+    /// requests never grows it past one request plus read slack.
+    pub carry_capacity: usize,
 }
 
 /// The running server: a bound listener plus its worker pool.
@@ -255,8 +384,10 @@ impl HttpServer {
                 let listener = Arc::clone(&listener);
                 let stop = Arc::clone(&stop);
                 let core = Arc::clone(&core);
+                // glacsweb: allow(perf-hygiene, reason = "worker spawn, once per thread at startup")
                 let config = config.clone();
                 std::thread::Builder::new()
+                    // glacsweb: allow(perf-hygiene, reason = "thread naming, once per worker at startup")
                     .name(format!("glacsweb-http-{i}"))
                     .spawn(move || worker_loop(&listener, &stop, &core, &config))
             })
@@ -287,13 +418,15 @@ impl HttpServer {
     }
 }
 
-/// One worker: accept, serve the connection to completion, repeat.
+/// One worker: accept, serve the connection to completion with the
+/// worker's reused buffers, repeat.
 fn worker_loop(listener: &TcpListener, stop: &AtomicBool, core: &FleetCore, config: &ServerConfig) {
+    let mut conn = ConnBuffers::default();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let Ok((stream, _)) = listener.accept() else {
+        let Ok((mut stream, _)) = listener.accept() else {
             continue;
         };
         if stop.load(Ordering::SeqCst) {
@@ -301,80 +434,157 @@ fn worker_loop(listener: &TcpListener, stop: &AtomicBool, core: &FleetCore, conf
         }
         let _ = stream.set_read_timeout(Some(config.read_timeout));
         let _ = stream.set_nodelay(true);
-        serve_connection(stream, core, config);
+        serve_stream(&mut stream, core, config, &mut conn);
     }
 }
 
 /// Serves one keep-alive connection until close, error, or the
-/// per-connection request cap.
-fn serve_connection(mut stream: TcpStream, core: &FleetCore, config: &ServerConfig) {
-    let mut carry: Vec<u8> = Vec::new();
-    for _ in 0..config.max_requests_per_conn {
-        match read_request(&mut stream, &mut carry, config) {
-            Ok(Some(request)) => {
-                let response = match route(core, &request) {
-                    Ok(response) => response,
-                    Err(err) => Response::from_error(&err),
+/// per-connection request cap, using (and warming) `conn`'s buffers.
+///
+/// Generic over the stream so the carry-bound and allocation-count
+/// harnesses can drive it with in-memory streams; the server proper
+/// calls it on accepted `TcpStream`s.
+pub fn serve_stream<S: Read + Write>(
+    stream: &mut S,
+    core: &FleetCore,
+    config: &ServerConfig,
+    conn: &mut ConnBuffers,
+) -> ConnStats {
+    conn.reset();
+    let mut stats = ConnStats::default();
+    let mut remaining = config.max_requests_per_conn;
+    loop {
+        if remaining == 0 {
+            // Request cap reached: close politely so the client
+            // re-connects.
+            conn.writer.put_str("connection-request-cap\n");
+            conn.writer.finish(200, "OK", false);
+            let _ = conn.writer.flush_to(stream);
+            break;
+        }
+        remaining -= 1;
+        match read_request(stream, conn, config) {
+            Ok(Some(parsed)) => {
+                let end = parsed.end;
+                let request = parsed.request(&conn.carry, conn.pos);
+                let keep = match route(core, &request, &mut conn.writer, &mut conn.batch) {
+                    Ok(()) => true,
+                    Err(err) => {
+                        conn.writer.write_error(&err);
+                        false
+                    }
                 };
                 core.count_served();
-                let keep = response.keep_alive;
-                if stream.write_all(&response.to_bytes()).is_err() || !keep {
-                    return;
+                conn.pos += end;
+                stats.requests += 1;
+                if !keep {
+                    let _ = conn.writer.flush_to(stream);
+                    break;
+                }
+                if conn.writer.pending() >= FLUSH_PENDING_BYTES
+                    && conn.writer.flush_to(stream).is_err()
+                {
+                    break;
                 }
             }
             // Clean close at a request boundary.
-            Ok(None) => return,
+            Ok(None) => {
+                let _ = conn.writer.flush_to(stream);
+                break;
+            }
             Err(err) => {
                 // Disconnection mid-request has no one left to answer.
                 if err != HttpError::Disconnected {
-                    let _ = stream.write_all(&Response::from_error(&err).to_bytes());
+                    conn.writer.write_error(&err);
                 }
-                return;
+                let _ = conn.writer.flush_to(stream);
+                break;
             }
         }
     }
-    // Request cap reached: close politely so the client re-connects.
-    let _ = stream.write_all(
-        &Response {
-            status: 200,
-            reason: "OK",
-            body: "connection-request-cap\n".to_string(),
-            keep_alive: false,
-        }
-        .to_bytes(),
-    );
+    stats.carry_capacity = conn.carry.capacity();
+    stats
 }
 
-/// Reads one request from `stream`, carrying pipelined leftovers in
-/// `carry` between calls. `Ok(None)` means the peer closed cleanly at a
-/// request boundary.
-fn read_request(
-    stream: &mut TcpStream,
-    carry: &mut Vec<u8>,
+/// The byte ranges of one parsed request, relative to the carry
+/// cursor. Ranges stay valid across compaction because compaction only
+/// happens before blocking reads, never between parsing and routing.
+struct Parsed {
+    method: (usize, usize),
+    path: (usize, usize),
+    query: (usize, usize),
+    body: (usize, usize),
+    /// Total bytes the request consumed (cursor advance).
+    end: usize,
+}
+
+impl Parsed {
+    /// Materialises the borrowed [`Request`] over the carry buffer.
+    fn request<'a>(&self, carry: &'a [u8], pos: usize) -> Request<'a> {
+        let slice = |(off, len): (usize, usize)| -> &'a [u8] {
+            carry.get(pos + off..pos + off + len).unwrap_or_default()
+        };
+        // The head was UTF-8-validated during parsing, so these never
+        // actually fall back.
+        Request {
+            method: std::str::from_utf8(slice(self.method)).unwrap_or_default(),
+            path: std::str::from_utf8(slice(self.path)).unwrap_or_default(),
+            query: std::str::from_utf8(slice(self.query)).unwrap_or_default(),
+            body: slice(self.body),
+        }
+    }
+}
+
+/// Flushes pending responses and compacts the carry buffer — the two
+/// things that must happen before the connection blocks in `read`.
+/// Flushing first keeps a request/response-lockstep peer from
+/// deadlocking; compacting here (and only here) keeps parsed ranges
+/// stable while bounding the buffer under pipelining.
+fn pre_read<S: Read + Write>(stream: &mut S, conn: &mut ConnBuffers) -> Result<(), HttpError> {
+    conn.writer.flush_to(stream)?;
+    if conn.pos > 0 {
+        let len = conn.carry.len();
+        conn.carry.copy_within(conn.pos.., 0);
+        conn.carry.truncate(len - conn.pos);
+        conn.pos = 0;
+    }
+    Ok(())
+}
+
+/// Reads one request from `stream` into the carry buffer and parses it
+/// in place. `Ok(None)` means the peer closed cleanly at a request
+/// boundary.
+fn read_request<S: Read + Write>(
+    stream: &mut S,
+    conn: &mut ConnBuffers,
     config: &ServerConfig,
-) -> Result<Option<Request>, HttpError> {
+) -> Result<Option<Parsed>, HttpError> {
     let mut chunk = [0u8; 4096];
     // Phase 1: accumulate until the blank line ending the headers.
     let header_end = loop {
-        if let Some(end) = find_header_end(carry) {
+        let unread = conn.carry.get(conn.pos..).unwrap_or_default();
+        if let Some(end) = find_header_end(unread) {
             break end;
         }
-        if carry.len() > config.max_header_bytes {
+        if unread.len() > config.max_header_bytes {
             return Err(HttpError::HeaderTooLarge);
         }
+        pre_read(stream, conn)?;
         match stream.read(&mut chunk) {
             Ok(0) => {
-                return if carry.is_empty() {
+                return if conn.unread_len() == 0 {
                     Ok(None)
                 } else {
                     Err(HttpError::Disconnected)
                 };
             }
-            Ok(n) => carry.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Ok(n) => conn
+                .carry
+                .extend_from_slice(chunk.get(..n).unwrap_or_default()),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                return if carry.is_empty() {
+                return if conn.unread_len() == 0 {
                     Ok(None)
                 } else {
                     Err(HttpError::Timeout)
@@ -387,45 +597,63 @@ fn read_request(
     if header_end > config.max_header_bytes {
         return Err(HttpError::HeaderTooLarge);
     }
-    let head = String::from_utf8(carry.get(..header_end).unwrap_or_default().to_vec())
-        .map_err(|_| HttpError::BadHeader)?;
-    carry.drain(..header_end.saturating_add(4).min(carry.len()));
 
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
-    let mut parts = request_line.split(' ');
-    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
-    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
-    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
-    if parts.next().is_some() || !version.starts_with("HTTP/1.") || method.is_empty() {
-        return Err(HttpError::BadRequestLine);
-    }
-
-    let mut content_length: Option<usize> = None;
-    for line in lines {
-        if line.is_empty() {
-            continue;
+    // Parse the head in place; only ranges and the content length leave
+    // this block, so the borrow ends before the body phase reads more.
+    let (method_len, path_len, query_len, content_length, is_post) = {
+        let unread = conn.carry.get(conn.pos..).unwrap_or_default();
+        let head = std::str::from_utf8(unread.get(..header_end).unwrap_or_default())
+            .map_err(|_| HttpError::BadHeader)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+        let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+        let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+        if parts.next().is_some() || !version.starts_with("HTTP/1.") || method.is_empty() {
+            return Err(HttpError::BadRequestLine);
         }
-        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = Some(value.trim().parse().map_err(|_| HttpError::BadHeader)?);
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.trim().parse().map_err(|_| HttpError::BadHeader)?);
+            }
         }
-    }
+        let (path_len, query_len) = match target.split_once('?') {
+            Some((p, q)) => (p.len(), Some(q.len())),
+            None => (target.len(), None),
+        };
+        (
+            method.len(),
+            path_len,
+            query_len,
+            content_length,
+            method == "POST",
+        )
+    };
 
     // Phase 2: the body. POSTs must declare a length (411); others
     // default to empty.
     let length = match content_length {
         Some(n) => n,
-        None if method == "POST" => return Err(HttpError::LengthRequired),
+        None if is_post => return Err(HttpError::LengthRequired),
         None => 0,
     };
     if length > config.max_body_bytes {
         return Err(HttpError::BodyTooLarge);
     }
-    while carry.len() < length {
+    let body_off = header_end + 4;
+    while conn.unread_len() < body_off + length {
+        pre_read(stream, conn)?;
         match stream.read(&mut chunk) {
             Ok(0) => return Err(HttpError::Disconnected),
-            Ok(n) => carry.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Ok(n) => conn
+                .carry
+                .extend_from_slice(chunk.get(..n).unwrap_or_default()),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
@@ -435,25 +663,17 @@ fn read_request(
             Err(_) => return Err(HttpError::Disconnected),
         }
     }
-    let body: Vec<u8> = carry.drain(..length.min(carry.len())).collect();
 
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    let params = query
-        .split('&')
-        .filter(|kv| !kv.is_empty())
-        .map(|kv| match kv.split_once('=') {
-            Some((k, v)) => (k.to_string(), v.to_string()),
-            None => (kv.to_string(), String::new()),
-        })
-        .collect();
-    Ok(Some(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        params,
-        body,
+    let target_off = method_len + 1;
+    Ok(Some(Parsed {
+        method: (0, method_len),
+        path: (target_off, path_len),
+        query: match query_len {
+            Some(q) => (target_off + path_len + 1, q),
+            None => (0, 0),
+        },
+        body: (body_off, length),
+        end: body_off + length,
     }))
 }
 
@@ -462,15 +682,30 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Dispatches a parsed request to the decision core.
-fn route(core: &FleetCore, request: &Request) -> Result<Response, HttpError> {
-    match (request.method.as_str(), request.path.as_str()) {
+/// Dispatches a parsed request to the decision core, writing the
+/// response into `w`. `batch` is the reusable scratch for decoded
+/// `/api/checkin-batch` entries.
+fn route(
+    core: &FleetCore,
+    request: &Request<'_>,
+    w: &mut ResponseWriter,
+    batch: &mut Vec<(u64, SimTime, u32)>,
+) -> Result<(), HttpError> {
+    match (request.method, request.path) {
         ("POST", "/api/checkin") => {
             let station = request.need::<u64>("station")?;
             let at = SimTime::from_unix(request.need::<u64>("at")?);
             let soc = request.need::<u32>("soc")?;
             core.check_in(station, at, soc).map_err(HttpError::Core)?;
-            Ok(Response::ok("ok\n".to_string()))
+            w.put_str("ok\n");
+        }
+        ("POST", "/api/checkin-batch") => {
+            batch.clear();
+            parse_checkin_batch(request.body, batch)?;
+            let applied = core.check_in_batch(batch).map_err(HttpError::Core)?;
+            w.put_str("ok batch=");
+            w.put_u64(applied);
+            w.put_str("\n");
         }
         ("POST", "/api/state") => {
             let station = request.need::<u64>("station")?;
@@ -478,64 +713,173 @@ fn route(core: &FleetCore, request: &Request) -> Result<Response, HttpError> {
             let level = request.need::<u8>("level")?;
             core.report_state(station, at, level)
                 .map_err(HttpError::Core)?;
-            Ok(Response::ok("ok\n".to_string()))
+            w.put_str("ok\n");
         }
         ("GET", "/api/override") => {
             let station = request.need::<u64>("station")?;
             let at = SimTime::from_unix(request.need::<u64>("at")?);
             let decision = core.override_for(station, at).map_err(HttpError::Core)?;
-            Ok(Response::ok(match decision {
-                Some(state) => format!("override={}\n", state.level()),
-                None => "override=none\n".to_string(),
-            }))
+            match decision {
+                Some(state) => {
+                    w.put_str("override=");
+                    w.put_u64(u64::from(state.level()));
+                    w.put_str("\n");
+                }
+                None => w.put_str("override=none\n"),
+            }
         }
         ("GET", "/api/update") => {
             let station = request.need::<u64>("station")?;
             let at = SimTime::from_unix(request.need::<u64>("at")?);
             let update = core.update_for(station, at).map_err(HttpError::Core)?;
-            Ok(Response::ok(match update {
-                Some(u) => format!(
-                    "update={}\nmd5={}\npayload={}\n",
-                    u.name,
-                    update_md5_hex(&u.payload),
-                    hex_encode(&u.payload)
-                ),
-                None => "update=none\n".to_string(),
-            }))
+            match update {
+                Some(u) => {
+                    w.put_str("update=");
+                    w.put_str(&u.name);
+                    w.put_str("\nmd5=");
+                    w.put_hex(&md5(&u.payload));
+                    w.put_str("\npayload=");
+                    w.put_hex(&u.payload);
+                    w.put_str("\n");
+                }
+                None => w.put_str("update=none\n"),
+            }
         }
         ("POST", "/api/ack") => {
             let station = request.need::<u64>("station")?;
             let at = SimTime::from_unix(request.need::<u64>("at")?);
             let file = request.param("file").ok_or(HttpError::BadParam("file"))?;
-            let md5 = request.param("md5").ok_or(HttpError::BadParam("md5"))?;
+            let md5_hex = request.param("md5").ok_or(HttpError::BadParam("md5"))?;
             let verified = core
-                .ack_update(station, at, file, md5)
+                .ack_update(station, at, file, md5_hex)
                 .map_err(HttpError::Core)?;
-            Ok(Response::ok(format!("verified={verified}\n")))
+            w.put_str(if verified {
+                "verified=true\n"
+            } else {
+                "verified=false\n"
+            });
         }
-        ("GET", "/api/analytics/states") => Ok(Response::ok(core.power_counts().to_json())),
-        ("GET", "/api/analytics/battery") => Ok(Response::ok(core.soc_histogram().to_json())),
-        ("GET", "/api/telemetry") => Ok(Response::ok(core.telemetry_ndjson())),
-        ("GET", "/health") => Ok(Response::ok(format!(
-            "ok stations={} served={}\n",
-            core.stations(),
-            core.requests_served()
-        ))),
-        (_, "/api/checkin" | "/api/state" | "/api/ack")
+        ("GET", "/api/analytics/states") => core.power_counts().write_json(w.body_mut()),
+        ("GET", "/api/analytics/battery") => core.soc_histogram().write_json(w.body_mut()),
+        ("GET", "/api/telemetry") => core.telemetry_ndjson_into(w.body_mut()),
+        ("GET", "/health") => {
+            w.put_str("ok stations=");
+            w.put_u64(core.stations());
+            w.put_str(" served=");
+            w.put_u64(core.requests_served());
+            w.put_str("\n");
+        }
+        (_, "/api/checkin" | "/api/checkin-batch" | "/api/state" | "/api/ack")
         | (_, "/api/override" | "/api/update")
         | (_, "/api/analytics/states" | "/api/analytics/battery" | "/api/telemetry" | "/health") => {
-            Err(HttpError::MethodNotAllowed)
+            return Err(HttpError::MethodNotAllowed)
         }
-        _ => Err(HttpError::NotFound),
+        _ => return Err(HttpError::NotFound),
+    }
+    w.finish(200, "OK", true);
+    Ok(())
+}
+
+/// Decodes an `/api/checkin-batch` NDJSON body into `out`: one
+/// `{"station":N,"at":U,"soc":S}` object per line (key order and
+/// spacing free, other keys ignored), blank lines skipped. Hand-rolled
+/// digit scanning — no allocation, no JSON tree.
+fn parse_checkin_batch(body: &[u8], out: &mut Vec<(u64, SimTime, u32)>) -> Result<(), HttpError> {
+    for line in body.split(|&b| b == b'\n') {
+        let line = line.trim_ascii();
+        if line.is_empty() {
+            continue;
+        }
+        let station = json_u64(line, b"\"station\"").ok_or(HttpError::BadParam("station"))?;
+        let at = json_u64(line, b"\"at\"").ok_or(HttpError::BadParam("at"))?;
+        let soc = json_u64(line, b"\"soc\"").ok_or(HttpError::BadParam("soc"))?;
+        let soc = u32::try_from(soc).map_err(|_| HttpError::BadParam("soc"))?;
+        out.push((station, SimTime::from_unix(at), soc));
+    }
+    Ok(())
+}
+
+/// The unsigned integer following `key` (a quoted JSON key) and its
+/// colon in `line`; `None` if the key is absent or the value is not a
+/// plain digit run.
+fn json_u64(line: &[u8], key: &[u8]) -> Option<u64> {
+    let at = line.windows(key.len()).position(|w| w == key)?;
+    let mut rest = line.get(at + key.len()..)?;
+    while let Some((&b, tail)) = rest.split_first() {
+        if b == b' ' {
+            rest = tail;
+        } else {
+            break;
+        }
+    }
+    let (first, tail) = rest.split_first()?;
+    if *first != b':' {
+        return None;
+    }
+    let mut rest = tail;
+    while let Some((&b, tail)) = rest.split_first() {
+        if b == b' ' {
+            rest = tail;
+        } else {
+            break;
+        }
+    }
+    let mut value = 0u64;
+    let mut any = false;
+    while let Some((&b, tail)) = rest.split_first() {
+        if b.is_ascii_digit() {
+            value = value.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+            any = true;
+            rest = tail;
+        } else {
+            break;
+        }
+    }
+    any.then_some(value)
+}
+
+/// Appends `v`'s decimal digits to `out` — the `format!`-free integer
+/// writer the whole response path uses.
+pub fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    loop {
+        at = at.saturating_sub(1);
+        if let Some(slot) = buf.get_mut(at) {
+            *slot = b'0' + u8::try_from(v % 10).unwrap_or(0);
+        }
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if let Ok(digits) = std::str::from_utf8(buf.get(at..).unwrap_or_default()) {
+        out.push_str(digits);
     }
 }
 
-/// Lower-case hex encoding (payloads cross the wire as text).
+/// Lower-case hex digits for [`push_hex`].
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+/// Appends lower-case hex of `bytes` to `out` — the `format!`-free hex
+/// writer (payloads cross the wire as text).
+pub fn push_hex(out: &mut String, bytes: &[u8]) {
+    for &b in bytes {
+        let hi = HEX_DIGITS.get(usize::from(b >> 4)).copied().unwrap_or(b'0');
+        let lo = HEX_DIGITS
+            .get(usize::from(b & 0xf))
+            .copied()
+            .unwrap_or(b'0');
+        out.push(char::from(hi));
+        out.push(char::from(lo));
+    }
+}
+
+/// Lower-case hex encoding into a fresh `String` (tooling convenience;
+/// the serving path appends with [`push_hex`] instead).
 pub fn hex_encode(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        out.push_str(&format!("{b:02x}"));
-    }
+    push_hex(&mut out, bytes);
     out
 }
 
@@ -574,6 +918,47 @@ mod tests {
     }
 
     #[test]
+    fn push_u64_matches_display() {
+        for v in [0u64, 1, 9, 10, 99, 100, 12_345, u64::MAX] {
+            let mut out = String::new();
+            push_u64(&mut out, v);
+            assert_eq!(out, v.to_string());
+        }
+    }
+
+    #[test]
+    fn json_u64_scans_fields() {
+        let line = br#"{"station": 12, "at":1253606400,"soc" : 815}"#;
+        assert_eq!(json_u64(line, b"\"station\""), Some(12));
+        assert_eq!(json_u64(line, b"\"at\""), Some(1_253_606_400));
+        assert_eq!(json_u64(line, b"\"soc\""), Some(815));
+        assert_eq!(json_u64(line, b"\"missing\""), None);
+        assert_eq!(json_u64(br#"{"soc":-4}"#, b"\"soc\""), None, "signed");
+        assert_eq!(json_u64(br#"{"soc":"x"}"#, b"\"soc\""), None, "non-digit");
+    }
+
+    #[test]
+    fn batch_bodies_decode_in_order() {
+        let body =
+            b"{\"station\":0,\"at\":100,\"soc\":500}\n\n{\"at\":101,\"station\":3,\"soc\":9}\n";
+        let mut out = Vec::new();
+        parse_checkin_batch(body, &mut out).expect("decodes");
+        assert_eq!(
+            out,
+            vec![
+                (0, SimTime::from_unix(100), 500),
+                (3, SimTime::from_unix(101), 9)
+            ]
+        );
+        let mut out = Vec::new();
+        assert_eq!(
+            parse_checkin_batch(b"{\"station\":0,\"at\":1}", &mut out).err(),
+            Some(HttpError::BadParam("soc")),
+            "a malformed line is a typed error"
+        );
+    }
+
+    #[test]
     fn error_statuses_are_stable() {
         assert_eq!(HttpError::BadRequestLine.status().0, 400);
         assert_eq!(HttpError::HeaderTooLarge.status().0, 431);
@@ -589,9 +974,27 @@ mod tests {
 
     #[test]
     fn responses_have_no_date_header() {
-        let bytes = Response::ok("x".to_string()).to_bytes();
-        let text = String::from_utf8(bytes).expect("ascii");
+        let mut w = ResponseWriter::default();
+        w.put_str("x");
+        w.finish(200, "OK", true);
+        let text = w.out.clone();
         assert!(!text.contains("Date:"), "dates would break determinism");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 1"));
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(text.ends_with("\r\n\r\nx"));
+    }
+
+    #[test]
+    fn writer_reuses_buffers_across_responses() {
+        let mut w = ResponseWriter::default();
+        w.put_str("first\n");
+        w.finish(200, "OK", true);
+        w.put_u64(42);
+        w.finish(200, "OK", false);
+        assert!(w.out.contains("Content-Length: 6"));
+        assert!(w.out.contains("Content-Length: 2"));
+        assert!(w.out.contains("Connection: close"));
+        assert!(w.body.is_empty(), "body resets after finish");
     }
 }

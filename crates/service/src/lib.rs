@@ -49,7 +49,10 @@ pub mod http;
 pub mod load;
 
 pub use crate::core::{FleetCore, PowerCounts, SocHistogram};
-pub use crate::http::{HttpError, HttpServer, Request, Response, ServerConfig};
+pub use crate::http::{
+    push_hex, push_u64, serve_stream, ConnBuffers, ConnStats, HttpError, HttpServer, Request,
+    ResponseWriter, ServerConfig,
+};
 pub use crate::load::{
     percentile_us, replay, script_from_trace, Action, LatencyStats, ReplayConfig, ReplayOutcome,
     Script, Step,

@@ -152,6 +152,19 @@ pub struct ReplayConfig {
     /// client `p % clients` — the affinity behind byte-identical
     /// transcripts at any client count.
     pub clients: usize,
+    /// Requests each client keeps in flight on its connection
+    /// (HTTP/1.1 pipelining window; `1` = strict request/response
+    /// lockstep). Pipelining changes *when* bytes hit the wire, never
+    /// *which* bytes: each client still issues its steps in script
+    /// order on one connection, so the transcript stays byte-identical
+    /// at any window size.
+    pub pipeline: usize,
+    /// Coalesce consecutive check-in runs into `POST
+    /// /api/checkin-batch` uploads (the §III GPRS batch-upload shape).
+    /// Entries apply in script order so all analytics and telemetry
+    /// stay byte-identical; the *transcript* necessarily differs from
+    /// an unbatched run (fewer, different requests).
+    pub batch_checkins: bool,
     /// Keep the reassembled transcript bytes in the outcome (the FNV
     /// digest is always computed).
     pub keep_transcript: bool,
@@ -161,6 +174,8 @@ impl Default for ReplayConfig {
     fn default() -> Self {
         ReplayConfig {
             clients: 4,
+            pipeline: 1,
+            batch_checkins: false,
             keep_transcript: false,
         }
     }
@@ -203,7 +218,10 @@ pub fn percentile_us(sorted: &[u64], permille: u64) -> u64 {
 /// What one replay measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplayOutcome {
-    /// Requests issued (equals the script length).
+    /// HTTP requests issued — equals the script length unless
+    /// [`ReplayConfig::batch_checkins`] coalesced check-in runs, in
+    /// which case it is smaller (one latency sample per request, not
+    /// per step).
     pub requests: u64,
     /// Wall-clock duration of the replay, seconds.
     pub seconds: f64,
@@ -248,7 +266,7 @@ pub fn replay(
     let outs = std::thread::scope(|s| {
         let handles: Vec<_> = partitions
             .iter()
-            .map(|steps| s.spawn(move || run_client(addr, steps)))
+            .map(|steps| s.spawn(move || run_client(addr, steps, config)))
             .collect();
         handles
             .into_iter()
@@ -288,8 +306,155 @@ pub fn replay(
     })
 }
 
-/// Drives one keep-alive connection through its steps in order.
-fn run_client(addr: std::net::SocketAddr, steps: &[&Step]) -> io::Result<ClientOut> {
+/// Check-in runs longer than this split into multiple batch uploads —
+/// mirrors the bounded upload size a real GPRS session would use.
+const MAX_BATCH: usize = 64;
+
+/// One request written into a pipeline window, awaiting its response.
+struct Pending {
+    index: u64,
+    method: &'static str,
+    target: String,
+    is_fetch: bool,
+    station: u64,
+}
+
+/// Partitions a client's step list into units: `(start, end)` ranges
+/// where `end - start >= 2` is a coalesced run of consecutive check-ins
+/// (batch mode only, capped at [`MAX_BATCH`]) and everything else is a
+/// singleton.
+fn units_of(steps: &[&Step], batch: bool) -> Vec<(usize, usize)> {
+    let mut units = Vec::new();
+    let mut i = 0;
+    let is_checkin = |at: usize| {
+        matches!(
+            steps.get(at).map(|s| s.action),
+            Some(Action::CheckIn { .. })
+        )
+    };
+    while i < steps.len() {
+        let mut end = i + 1;
+        if batch && is_checkin(i) {
+            while end < steps.len() && end - i < MAX_BATCH && is_checkin(end) {
+                end += 1;
+            }
+        }
+        units.push((i, end));
+        i = end;
+    }
+    units
+}
+
+/// Serialises one unit's request into `wbuf` and returns its pending
+/// record. Batched units carry an NDJSON body; singletons reproduce the
+/// exact request bytes of the sequential harness.
+fn append_unit(
+    wbuf: &mut Vec<u8>,
+    steps: &[&Step],
+    (start, end): (usize, usize),
+    staged: &std::collections::BTreeMap<u64, (String, String)>,
+) -> io::Result<Pending> {
+    let first = steps
+        .get(start)
+        .copied()
+        .ok_or_else(|| io::Error::other("empty replay unit"))?;
+    if end - start >= 2 {
+        let mut body = String::new();
+        for step in steps.get(start..end).unwrap_or_default() {
+            if let Action::CheckIn { soc } = step.action {
+                body.push_str(&format!(
+                    "{{\"station\":{},\"at\":{},\"soc\":{soc}}}\n",
+                    step.station,
+                    step.at.unix()
+                ));
+            }
+        }
+        wbuf.extend_from_slice(
+            format!(
+                "POST /api/checkin-batch HTTP/1.1\r\nHost: glacsweb\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        wbuf.extend_from_slice(body.as_bytes());
+        return Ok(Pending {
+            index: first.index,
+            method: "POST",
+            target: "/api/checkin-batch".to_string(),
+            is_fetch: false,
+            station: first.station,
+        });
+    }
+    let unix = first.at.unix();
+    let (method, target) = match first.action {
+        Action::CheckIn { soc } => (
+            "POST",
+            format!("/api/checkin?station={}&at={unix}&soc={soc}", first.station),
+        ),
+        Action::StateReport { level } => (
+            "POST",
+            format!(
+                "/api/state?station={}&at={unix}&level={level}",
+                first.station
+            ),
+        ),
+        Action::OverrideQuery => (
+            "GET",
+            format!("/api/override?station={}&at={unix}", first.station),
+        ),
+        Action::UpdateFetch => (
+            "GET",
+            format!("/api/update?station={}&at={unix}", first.station),
+        ),
+        Action::UpdateAck => {
+            let (file, digest) = staged.get(&first.station).cloned().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("station {} acks before fetching", first.station),
+                )
+            })?;
+            (
+                "POST",
+                format!(
+                    "/api/ack?station={}&at={unix}&file={file}&md5={digest}",
+                    first.station
+                ),
+            )
+        }
+    };
+    let extra = if method == "POST" {
+        "Content-Length: 0\r\n"
+    } else {
+        ""
+    };
+    wbuf.extend_from_slice(
+        format!("{method} {target} HTTP/1.1\r\nHost: glacsweb\r\n{extra}\r\n").as_bytes(),
+    );
+    Ok(Pending {
+        index: first.index,
+        method,
+        target,
+        is_fetch: matches!(first.action, Action::UpdateFetch),
+        station: first.station,
+    })
+}
+
+/// Drives one keep-alive connection through its steps in order,
+/// pipelining up to `config.pipeline` requests per write.
+///
+/// A window's requests are serialised into one buffer and hit the wire
+/// in a single `write`; responses are then read back in order (HTTP/1.1
+/// guarantees response order on a connection). Each response's latency
+/// is measured from the window's write — the client-observed latency
+/// under pipelining. Two ordering rules keep update staging correct:
+/// an `UpdateFetch` closes its window (its response carries the payload
+/// the following ack hashes), and an `UpdateAck` only opens a window
+/// (its target needs the staged digest).
+fn run_client(
+    addr: std::net::SocketAddr,
+    steps: &[&Step],
+    config: &ReplayConfig,
+) -> io::Result<ClientOut> {
     let mut out = ClientOut {
         lines: Vec::with_capacity(steps.len()),
         latencies_us: Vec::with_capacity(steps.len()),
@@ -297,66 +462,62 @@ fn run_client(addr: std::net::SocketAddr, steps: &[&Step]) -> io::Result<ClientO
     if steps.is_empty() {
         return Ok(out);
     }
+    let pipeline = config.pipeline.max(1);
+    let units = units_of(steps, config.batch_checkins);
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut carry: Vec<u8> = Vec::new();
     // The last update each station fetched: (file, payload-md5 hex).
     let mut staged: std::collections::BTreeMap<u64, (String, String)> =
         std::collections::BTreeMap::new();
-    for step in steps {
-        let unix = step.at.unix();
-        let (method, target) = match step.action {
-            Action::CheckIn { soc } => (
-                "POST",
-                format!("/api/checkin?station={}&at={unix}&soc={soc}", step.station),
-            ),
-            Action::StateReport { level } => (
-                "POST",
-                format!(
-                    "/api/state?station={}&at={unix}&level={level}",
-                    step.station
-                ),
-            ),
-            Action::OverrideQuery => (
-                "GET",
-                format!("/api/override?station={}&at={unix}", step.station),
-            ),
-            Action::UpdateFetch => (
-                "GET",
-                format!("/api/update?station={}&at={unix}", step.station),
-            ),
-            Action::UpdateAck => {
-                let (file, digest) = staged.get(&step.station).cloned().ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("station {} acks before fetching", step.station),
-                    )
-                })?;
-                (
-                    "POST",
-                    format!(
-                        "/api/ack?station={}&at={unix}&file={file}&md5={digest}",
-                        step.station
-                    ),
-                )
+    let mut wbuf: Vec<u8> = Vec::new();
+    let mut window: Vec<Pending> = Vec::new();
+    let mut u = 0;
+    while u < units.len() {
+        wbuf.clear();
+        window.clear();
+        while let Some(&unit) = units.get(u) {
+            if window.len() >= pipeline {
+                break;
             }
-        };
+            let first_action = steps.get(unit.0).map(|s| s.action);
+            if matches!(first_action, Some(Action::UpdateAck)) && !window.is_empty() {
+                break;
+            }
+            let pending = append_unit(&mut wbuf, steps, unit, &staged)?;
+            let closes = pending.is_fetch;
+            window.push(pending);
+            u += 1;
+            if closes {
+                break;
+            }
+        }
+        if window.is_empty() {
+            break;
+        }
         let issued = Instant::now();
-        let (status, body) = request(&mut stream, &mut carry, method, &target)?;
-        let micros = u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
-        out.latencies_us.push(micros);
-        if status != 200 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{method} {target} -> {status}: {body}"),
-            ));
+        stream.write_all(&wbuf)?;
+        for pending in &window {
+            let (status, body) = read_response(&mut stream, &mut carry)?;
+            let micros = u64::try_from(issued.elapsed().as_micros()).unwrap_or(u64::MAX);
+            out.latencies_us.push(micros);
+            if status != 200 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} {} -> {status}: {body}", pending.method, pending.target),
+                ));
+            }
+            if pending.is_fetch {
+                staged.insert(pending.station, parse_update(&body)?);
+            }
+            let mut line = format!(
+                "{} {} {} {status}\n",
+                pending.index, pending.method, pending.target
+            )
+            .into_bytes();
+            line.extend_from_slice(body.as_bytes());
+            out.lines.push((pending.index, line));
         }
-        if matches!(step.action, Action::UpdateFetch) {
-            staged.insert(step.station, parse_update(&body)?);
-        }
-        let mut line = format!("{} {method} {target} {status}\n", step.index).into_bytes();
-        line.extend_from_slice(body.as_bytes());
-        out.lines.push((step.index, line));
     }
     Ok(out)
 }
@@ -398,7 +559,12 @@ fn request(
     stream.write_all(
         format!("{method} {target} HTTP/1.1\r\nHost: glacsweb\r\n{extra}\r\n").as_bytes(),
     )?;
+    read_response(stream, carry)
+}
 
+/// Reads one full response off the connection (draining `carry` across
+/// calls); returns `(status, body)`.
+fn read_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> io::Result<(u16, String)> {
     let mut chunk = [0u8; 4096];
     let header_end = loop {
         if let Some(end) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -529,6 +695,44 @@ mod tests {
         assert_eq!(percentile_us(&[7], 999), 7);
         let stats = LatencyStats::from_sorted(&sample);
         assert_eq!((stats.p50_us, stats.p99_us, stats.p999_us), (500, 990, 999));
+    }
+
+    #[test]
+    fn batching_coalesces_consecutive_checkin_runs_only() {
+        let at = SimTime::from_unix(100);
+        let step = |index, action| Step {
+            index,
+            station: index,
+            at,
+            action,
+        };
+        let steps = [
+            step(0, Action::CheckIn { soc: 500 }),
+            step(1, Action::CheckIn { soc: 501 }),
+            step(2, Action::StateReport { level: 1 }),
+            step(3, Action::CheckIn { soc: 502 }),
+            step(4, Action::OverrideQuery),
+        ];
+        let refs: Vec<&Step> = steps.iter().collect();
+        assert_eq!(
+            units_of(&refs, true),
+            vec![(0, 2), (2, 3), (3, 4), (4, 5)],
+            "only runs of two or more check-ins coalesce"
+        );
+        assert_eq!(
+            units_of(&refs, false),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            "batching off means all singletons"
+        );
+        let long: Vec<Step> = (0..150)
+            .map(|i| step(i, Action::CheckIn { soc: 500 }))
+            .collect();
+        let refs: Vec<&Step> = long.iter().collect();
+        assert_eq!(
+            units_of(&refs, true),
+            vec![(0, 64), (64, 128), (128, 150)],
+            "runs split at MAX_BATCH"
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Counting-allocator pin for the zero-allocation hot path: after the
+//! per-worker buffers warm up, serving a request must not allocate.
+//!
+//! This file holds exactly one `#[test]` because the `#[global_allocator]`
+//! counts every allocation in the process — concurrent tests would
+//! pollute the measurement. The connection is driven in-memory through
+//! `serve_stream` (the same code path the socket workers run) so no
+//! helper threads allocate behind the counter's back.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use glacsweb_service::{serve_stream, ConnBuffers, FleetCore, ServerConfig};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// In-memory connection; output capacity is preallocated so response
+/// flushing cannot allocate during the measured pass.
+struct MemStream {
+    input: Vec<u8>,
+    read_at: usize,
+    output: Vec<u8>,
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = &self.input[self.read_at..];
+        let n = remaining.len().min(buf.len());
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.read_at += n;
+        Ok(n)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn steady_state_requests_do_not_allocate() {
+    let core = FleetCore::new(4, 2).expect("valid core");
+    let config = ServerConfig::default();
+    let requests = 8192u64;
+    let mut input = Vec::new();
+    for i in 0..requests {
+        // Both pairs, mixed endpoints: check-ins exercise the write
+        // path (recorder + histogram), overrides the read path.
+        let station = (i % 2) * 2;
+        let line = if i % 4 == 0 {
+            format!(
+                "POST /api/checkin?station={station}&at=86400&soc={} HTTP/1.1\r\nHost: glacsweb\r\nContent-Length: 0\r\n\r\n",
+                100 + i % 900
+            )
+        } else {
+            format!(
+                "GET /api/override?station={station}&at=86400 HTTP/1.1\r\nHost: glacsweb\r\n\r\n"
+            )
+        };
+        input.extend_from_slice(line.as_bytes());
+    }
+
+    let mut conn = ConnBuffers::default();
+
+    // Warmup: grows the carry buffer, response buffers, recorder
+    // counter entries, and per-station SoC map to their steady state.
+    let mut warm = MemStream {
+        input: input.clone(),
+        read_at: 0,
+        output: Vec::with_capacity(input.len() * 4),
+    };
+    let stats = serve_stream(&mut warm, &core, &config, &mut conn);
+    assert_eq!(stats.requests, requests, "warmup run served everything");
+
+    // Measured pass: identical traffic, warmed buffers.
+    let mut stream = MemStream {
+        input,
+        read_at: 0,
+        output: warm.output,
+    };
+    stream.output.clear();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let stats = serve_stream(&mut stream, &core, &config, &mut conn);
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(stats.requests, requests, "measured run served everything");
+    let per_request = delta as f64 / requests as f64;
+    assert!(
+        per_request < 0.05,
+        "hot path allocates: {delta} allocations over {requests} requests \
+         ({per_request:.4}/request; target ~0)"
+    );
+}

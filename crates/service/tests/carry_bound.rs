@@ -1,0 +1,147 @@
+//! Regression pin for the carry-buffer bound: a client pipelining
+//! thousands of requests on one connection must never grow the carry
+//! buffer past the configured request-size caps (compaction, not
+//! reallocation), and a single over-cap request must fail with the
+//! typed error — never with unbounded buffering.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use glacsweb_service::{serve_stream, ConnBuffers, FleetCore, ServerConfig};
+
+/// A scripted in-memory connection: `serve_stream` reads the prepared
+/// request bytes in bounded chunks (exercising partial reads) and
+/// writes its responses into `output`.
+struct MemStream {
+    input: Vec<u8>,
+    read_at: usize,
+    chunk: usize,
+    output: Vec<u8>,
+}
+
+impl MemStream {
+    fn new(input: Vec<u8>, chunk: usize) -> MemStream {
+        MemStream {
+            input,
+            read_at: 0,
+            chunk,
+            output: Vec::new(),
+        }
+    }
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = &self.input[self.read_at..];
+        let n = remaining.len().min(buf.len()).min(self.chunk);
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.read_at += n;
+        Ok(n)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn core() -> Arc<FleetCore> {
+    Arc::new(FleetCore::new(4, 2).expect("valid core"))
+}
+
+#[test]
+fn pipelining_thousands_of_requests_keeps_the_carry_bounded() {
+    let core = core();
+    let config = ServerConfig::default();
+    let total = 4000u64;
+    let mut input = Vec::new();
+    for i in 0..total {
+        let station = (i % 4) / 2 * 2; // alternate pairs, base stations
+        input.extend_from_slice(
+            format!(
+                "GET /api/override?station={station}&at=86400 HTTP/1.1\r\nHost: glacsweb\r\n\r\n"
+            )
+            .as_bytes(),
+        );
+    }
+    let mut stream = MemStream::new(input, 4096);
+    let mut conn = ConnBuffers::default();
+    let stats = serve_stream(&mut stream, &core, &config, &mut conn);
+
+    assert_eq!(stats.requests, total, "every pipelined request answered");
+    let cap = config.max_header_bytes + config.max_body_bytes + 16 * 1024;
+    assert!(
+        stats.carry_capacity <= cap,
+        "carry grew to {} bytes serving {} requests (cap {})",
+        stats.carry_capacity,
+        total,
+        cap
+    );
+    let text = String::from_utf8(stream.output).expect("responses are text");
+    assert_eq!(
+        text.matches("HTTP/1.1 200 OK\r\n").count(),
+        total as usize,
+        "one 200 per pipelined request"
+    );
+    assert_eq!(text.matches("override=none\n").count(), total as usize);
+}
+
+#[test]
+fn an_over_cap_header_is_a_typed_431() {
+    let core = core();
+    let config = ServerConfig::default();
+    let mut input = Vec::new();
+    input.extend_from_slice(
+        b"GET /api/override?station=0&at=86400 HTTP/1.1\r\nHost: glacsweb\r\nX-Pad: ",
+    );
+    input.extend(std::iter::repeat_n(b'a', config.max_header_bytes + 100));
+    input.extend_from_slice(b"\r\n\r\n");
+    let mut stream = MemStream::new(input, 4096);
+    let mut conn = ConnBuffers::default();
+    let stats = serve_stream(&mut stream, &core, &config, &mut conn);
+
+    assert_eq!(stats.requests, 0, "the request was rejected, not served");
+    let text = String::from_utf8(stream.output).expect("responses are text");
+    assert!(
+        text.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
+        "got: {}",
+        text.lines().next().unwrap_or_default()
+    );
+    assert!(text.contains("error=header-too-large\n"));
+    assert!(
+        text.contains("Connection: close"),
+        "errors close the connection"
+    );
+}
+
+#[test]
+fn an_over_cap_body_is_a_typed_413() {
+    let core = core();
+    let config = ServerConfig::default();
+    let declared = config.max_body_bytes + 1;
+    let input = format!(
+        "POST /api/checkin-batch HTTP/1.1\r\nHost: glacsweb\r\nContent-Length: {declared}\r\n\r\n"
+    )
+    .into_bytes();
+    let mut stream = MemStream::new(input, 4096);
+    let mut conn = ConnBuffers::default();
+    let stats = serve_stream(&mut stream, &core, &config, &mut conn);
+
+    assert_eq!(stats.requests, 0);
+    let text = String::from_utf8(stream.output).expect("responses are text");
+    assert!(
+        text.starts_with("HTTP/1.1 413 Content Too Large\r\n"),
+        "got: {}",
+        text.lines().next().unwrap_or_default()
+    );
+    assert!(text.contains("error=body-too-large\n"));
+    // The body is rejected from its declared length alone — the carry
+    // never buffers it.
+    let cap = config.max_header_bytes + 16 * 1024;
+    assert!(stats.carry_capacity <= cap);
+}

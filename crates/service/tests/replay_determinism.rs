@@ -1,6 +1,9 @@
 //! The tentpole contract: a fixed-seed fleet replay produces a
 //! byte-identical transcript and telemetry export across runs *and*
 //! across client counts — only the wall-clock measurements may differ.
+//! Pipelining depth is part of that contract (it changes when bytes hit
+//! the wire, never which bytes); check-in batching preserves analytics
+//! and telemetry while necessarily changing the transcript.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -10,8 +13,18 @@ use glacsweb_service::http::{HttpServer, ServerConfig};
 use glacsweb_service::load::{replay, script_from_trace, ReplayConfig};
 use glacsweb_service::FleetCore;
 
-/// One full boot + replay; returns (transcript bytes, fnv, telemetry).
-fn run(clients: usize, shards: usize, workers: usize) -> (Vec<u8>, u64, String) {
+struct RunOut {
+    transcript: Vec<u8>,
+    fnv: u64,
+    telemetry: String,
+    states_json: String,
+    battery_json: String,
+    requests: u64,
+    steps: u64,
+}
+
+/// One full boot + replay with the given client topology.
+fn run(clients: usize, shards: usize, workers: usize, pipeline: usize, batch: bool) -> RunOut {
     let config = FleetConfig::new(2, 8).seed(2009);
     let trace = WakeTrace::derive(&config, 2).expect("valid config");
     let script = script_from_trace(&trace, true);
@@ -34,40 +47,94 @@ fn run(clients: usize, shards: usize, workers: usize) -> (Vec<u8>, u64, String) 
         &script,
         &ReplayConfig {
             clients,
+            pipeline,
+            batch_checkins: batch,
             keep_transcript: true,
         },
     )
     .expect("replay");
-    assert_eq!(outcome.requests, script.steps.len() as u64);
     let telemetry = core.telemetry_ndjson();
+    let states_json = core.power_counts().to_json();
+    let battery_json = core.soc_histogram().to_json();
     server.shutdown();
-    (
-        outcome.transcript.expect("kept transcript"),
-        outcome.transcript_fnv,
+    RunOut {
+        transcript: outcome.transcript.expect("kept transcript"),
+        fnv: outcome.transcript_fnv,
         telemetry,
-    )
+        states_json,
+        battery_json,
+        requests: outcome.requests,
+        steps: script.steps.len() as u64,
+    }
 }
 
 #[test]
 fn byte_identical_across_runs_and_client_counts() {
-    let (t1, fnv1, n1) = run(2, 4, 4);
-    let (t2, fnv2, n2) = run(2, 4, 4);
-    assert_eq!(fnv1, fnv2, "same config, same digest");
-    assert_eq!(t1, t2, "same config, same transcript bytes");
-    assert_eq!(n1, n2, "same config, same telemetry NDJSON");
+    let a = run(2, 4, 4, 1, false);
+    let b = run(2, 4, 4, 1, false);
+    assert_eq!(a.requests, a.steps, "unbatched replay covers every step");
+    assert_eq!(a.fnv, b.fnv, "same config, same digest");
+    assert_eq!(a.transcript, b.transcript, "same config, same transcript");
+    assert_eq!(a.telemetry, b.telemetry, "same config, same telemetry");
 
     // A different client count, shard count, and worker count changes
     // the interleaving completely — and nothing observable.
-    let (t3, fnv3, n3) = run(5, 2, 8);
-    assert_eq!(fnv1, fnv3, "client/shard/worker counts never leak");
-    assert_eq!(t1, t3);
-    assert_eq!(n1, n3);
+    let c = run(5, 2, 8, 1, false);
+    assert_eq!(a.fnv, c.fnv, "client/shard/worker counts never leak");
+    assert_eq!(a.transcript, c.transcript);
+    assert_eq!(a.telemetry, c.telemetry);
+}
+
+#[test]
+fn pipelining_depth_never_changes_a_byte() {
+    let lockstep = run(3, 4, 4, 1, false);
+    for depth in [2, 8, 32] {
+        let piped = run(3, 4, 4, depth, false);
+        assert_eq!(piped.requests, piped.steps);
+        assert_eq!(
+            lockstep.transcript, piped.transcript,
+            "pipeline depth {depth} changed the transcript"
+        );
+        assert_eq!(lockstep.fnv, piped.fnv);
+        assert_eq!(
+            lockstep.telemetry, piped.telemetry,
+            "pipeline depth {depth} changed the telemetry"
+        );
+    }
+}
+
+#[test]
+fn batching_preserves_analytics_and_telemetry() {
+    let plain = run(3, 4, 4, 1, false);
+    let batched = run(3, 4, 4, 4, true);
+    assert!(
+        batched.requests < batched.steps,
+        "batching coalesced nothing ({} requests for {} steps)",
+        batched.requests,
+        batched.steps
+    );
+    assert_eq!(plain.states_json, batched.states_json);
+    assert_eq!(plain.battery_json, batched.battery_json);
+    assert_eq!(
+        plain.telemetry, batched.telemetry,
+        "batched check-ins record per-entry, so telemetry is identical"
+    );
+    assert_ne!(
+        plain.transcript, batched.transcript,
+        "the batched transcript legitimately differs"
+    );
+    let text = String::from_utf8(batched.transcript).expect("transcripts are text");
+    assert!(text.contains("POST /api/checkin-batch 200\nok batch="));
+
+    // Batched replay is still deterministic in itself.
+    let again = run(3, 4, 4, 4, true);
+    assert_eq!(batched.fnv, again.fnv);
 }
 
 #[test]
 fn transcript_covers_every_endpoint_kind() {
-    let (transcript, _, telemetry) = run(3, 4, 4);
-    let text = String::from_utf8(transcript).expect("transcripts are text");
+    let out = run(3, 4, 4, 1, false);
+    let text = String::from_utf8(out.transcript).expect("transcripts are text");
     for needle in [
         "POST /api/checkin?",
         "POST /api/state?",
@@ -83,6 +150,6 @@ fn transcript_covers_every_endpoint_kind() {
         "every MD5 receipt verifies in a clean replay"
     );
     for needle in ["checkins", "state_reports", "update_acks_verified"] {
-        assert!(telemetry.contains(needle), "telemetry misses {needle}");
+        assert!(out.telemetry.contains(needle), "telemetry misses {needle}");
     }
 }

@@ -184,7 +184,9 @@ impl<E: Serialize> Serialize for EventWheel<E> {
             }
         }
         Value::Map(vec![
+            // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
             (Value::Str("seq".to_string()), self.seq.to_value()),
+            // glacsweb: allow(perf-hygiene, reason = "snapshot-export keys; runs once per checkpoint save, never per substep")
             (Value::Str("entries".to_string()), Value::Seq(entries)),
         ])
     }
